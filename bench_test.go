@@ -1,0 +1,338 @@
+// Benchmark harness: one testing.B benchmark per figure in the paper's
+// evaluation section, plus ablation benches for the design choices called
+// out in DESIGN.md and micro-benchmarks of the geometric kernels.
+//
+// The figure benches both measure cost and print the reproduced series via
+// b.Log on the first iteration, so `go test -bench . -benchmem` regenerates
+// every figure's data (also available via cmd/octant-eval).
+package octant_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"octant/internal/baselines"
+	"octant/internal/core"
+	"octant/internal/eval"
+	"octant/internal/geo"
+	"octant/internal/netsim"
+	"octant/internal/probe"
+)
+
+var (
+	deployOnce sync.Once
+	deployment *eval.Deployment
+	deployErr  error
+)
+
+func sharedDeployment(b *testing.B) *eval.Deployment {
+	b.Helper()
+	deployOnce.Do(func() {
+		deployment, deployErr = eval.NewDeployment(1)
+	})
+	if deployErr != nil {
+		b.Fatal(deployErr)
+	}
+	return deployment
+}
+
+// BenchmarkFig1RegionCombination measures the Figure 1 operation: combining
+// positive and negative constraints into a non-convex, possibly disjoint
+// weighted region.
+func BenchmarkFig1RegionCombination(b *testing.B) {
+	pr := geo.NewProjection(geo.Pt(41.8, -74.0))
+	cons := []core.Constraint{
+		core.PositiveDisk(pr, geo.Pt(42.44, -76.50), 260, 1.0, "a"),
+		core.NegativeDisk(pr, geo.Pt(42.44, -76.50), 60, 1.0, "a/neg"),
+		core.PositiveDisk(pr, geo.Pt(40.71, -74.01), 240, 0.9, "b"),
+		core.NegativeDisk(pr, geo.Pt(40.71, -74.01), 70, 0.9, "b/neg"),
+		core.PositiveDisk(pr, geo.Pt(42.36, -71.06), 340, 0.8, "c"),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := core.Solve(cons, core.SolverOpts{MinAreaKm2: 1500})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Region.IsEmpty() {
+			b.Fatal("empty region")
+		}
+	}
+}
+
+// BenchmarkFig2Calibration measures one landmark's §2.1 calibration build
+// and reports the hull/percentile/spline series of Figure 2.
+func BenchmarkFig2Calibration(b *testing.B) {
+	d := sharedDeployment(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := d.RunFig2("rochester")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("Fig2: %d scatter points, ρ=%.1fms, %d upper facets, %d lower facets",
+				len(f.Scatter), f.Rho, len(f.UpperFacets), len(f.LowerFacets))
+		}
+	}
+}
+
+// BenchmarkFig3ErrorCDF measures the full four-technique comparison on a
+// subset of targets (step 5 → 11 of 51) and reports the medians; run
+// cmd/octant-eval -fig 3 for the full 51-target version.
+func BenchmarkFig3ErrorCDF(b *testing.B) {
+	d := sharedDeployment(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := d.RunFig3(core.Config{}, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range res.Summaries() {
+				b.Logf("Fig3 %-9s median %6.1f mi  worst %6.1f mi", s.Name, s.Median, s.Worst)
+			}
+		}
+	}
+}
+
+// BenchmarkFig4LandmarkSweep measures the containment-vs-landmark-count
+// sweep on two representative counts; cmd/octant-eval -fig 4 runs the full
+// 10..50 sweep.
+func BenchmarkFig4LandmarkSweep(b *testing.B) {
+	d := sharedDeployment(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := d.RunFig4(core.Config{}, []int{15, 40}, 1, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range pts {
+				b.Logf("Fig4 k=%2d Octant %.0f%% GeoLim %.0f%%", p.Landmarks, p.OctantPct, p.GeoLimPct)
+			}
+		}
+	}
+}
+
+// ablationBench localizes a fixed target under a config variant; the
+// b.Log line reports the accuracy effect of the ablated mechanism.
+func ablationBench(b *testing.B, cfg core.Config) {
+	d := sharedDeployment(b)
+	const ti = 2 // rochester
+	target := d.Landmarks[ti]
+	idx := make([]int, 0, len(d.Landmarks)-1)
+	for i := range d.Landmarks {
+		if i != ti {
+			idx = append(idx, i)
+		}
+	}
+	sub, err := d.Survey.Subset(idx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	loc := core.NewLocalizer(d.Prober, sub, cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := loc.Localize(target.Addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			errMi := res.Point.DistanceMiles(target.Loc)
+			if math.IsNaN(errMi) {
+				b.Logf("ablation: empty region (brittle config)")
+			} else {
+				b.Logf("ablation: error %.1f mi, area %.0f km², contains=%v",
+					errMi, res.AreaKm2, res.ContainsTruth(target.Loc))
+			}
+		}
+	}
+}
+
+// BenchmarkAblationBaseline is the full default pipeline (§2.1–2.5).
+func BenchmarkAblationBaseline(b *testing.B) { ablationBench(b, core.Config{}) }
+
+// BenchmarkAblationHeights disables §2.2 queuing-delay compensation.
+func BenchmarkAblationHeights(b *testing.B) { ablationBench(b, core.Config{DisableHeights: true}) }
+
+// BenchmarkAblationNegative disables negative constraints (positive-only,
+// the prior-work regime).
+func BenchmarkAblationNegative(b *testing.B) { ablationBench(b, core.Config{DisableNegative: true}) }
+
+// BenchmarkAblationPiecewise disables §2.3 router localization.
+func BenchmarkAblationPiecewise(b *testing.B) {
+	ablationBench(b, core.Config{DisablePiecewise: true})
+}
+
+// BenchmarkAblationWeights uses the brittle discrete (unweighted) solver
+// §2.4 argues against.
+func BenchmarkAblationWeights(b *testing.B) { ablationBench(b, core.Config{Unweighted: true}) }
+
+// BenchmarkAblationGeoConstraints disables §2.5 WHOIS + ocean constraints.
+func BenchmarkAblationGeoConstraints(b *testing.B) {
+	ablationBench(b, core.Config{DisableWhois: true, DisableOceans: true})
+}
+
+// BenchmarkAblationSolverEngine uses the exact arrangement solver on a
+// reduced landmark set (the exact engine is exponential in constraints).
+func BenchmarkAblationSolverEngine(b *testing.B) {
+	d := sharedDeployment(b)
+	target := d.Landmarks[2]
+	idx := []int{0, 5, 10, 20, 30, 40, 50}
+	sub, err := d.Survey.Subset(idx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	loc := core.NewLocalizer(d.Prober, sub, core.Config{
+		Exact:            true,
+		DisablePiecewise: true,
+		DisableOceans:    true,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := loc.Localize(target.Addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkSurveyBuild measures the full 50-landmark survey: O(n²) pings,
+// heights solve, 50 convex-hull calibrations.
+func BenchmarkSurveyBuild(b *testing.B) {
+	w := netsim.NewWorld(netsim.Config{Seed: 1})
+	p := probe.NewSimProber(w)
+	hosts := w.HostNodes()
+	var lms []core.Landmark
+	for _, h := range hosts[1:] {
+		lms = append(lms, core.Landmark{Addr: h.Name, Name: h.Inst, Loc: h.Loc})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewSurvey(p, lms, core.SurveyOpts{UseHeights: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocalize measures one end-to-end localization (50 landmarks,
+// full default pipeline) against a pre-built survey.
+func BenchmarkLocalize(b *testing.B) {
+	d := sharedDeployment(b)
+	target := d.Landmarks[0]
+	idx := make([]int, 0, len(d.Landmarks)-1)
+	for i := 1; i < len(d.Landmarks); i++ {
+		idx = append(idx, i)
+	}
+	sub, err := d.Survey.Subset(idx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	loc := core.NewLocalizer(d.Prober, sub, core.Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := loc.Localize(target.Addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegionIntersectClip measures exact pairwise disk intersection.
+func BenchmarkRegionIntersectClip(b *testing.B) {
+	r1 := geo.Disk(geo.V2(0, 0), 100, 128)
+	r2 := geo.Disk(geo.V2(120, 0), 100, 128)
+	opts := &geo.BoolOpts{Engine: geo.EngineClip}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if geo.Intersect(r1, r2, opts).IsEmpty() {
+			b.Fatal("unexpected empty")
+		}
+	}
+}
+
+// BenchmarkRegionIntersectRaster measures raster-engine disk intersection.
+func BenchmarkRegionIntersectRaster(b *testing.B) {
+	r1 := geo.Disk(geo.V2(0, 0), 100, 128)
+	r2 := geo.Disk(geo.V2(120, 0), 100, 128)
+	opts := &geo.BoolOpts{Engine: geo.EngineRaster}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if geo.Intersect(r1, r2, opts).IsEmpty() {
+			b.Fatal("unexpected empty")
+		}
+	}
+}
+
+// BenchmarkRegionBuffer measures morphological dilation (secondary
+// landmark positive constraints).
+func BenchmarkRegionBuffer(b *testing.B) {
+	r := geo.Disk(geo.V2(0, 0), 80, 96)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if geo.Buffer(r, 40, 2).IsEmpty() {
+			b.Fatal("unexpected empty")
+		}
+	}
+}
+
+// BenchmarkBezierFit measures fitting a 256-vertex ring with cubic Beziers.
+func BenchmarkBezierFit(b *testing.B) {
+	ring := geo.Disk(geo.V2(0, 0), 100, 256).Rings[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(geo.FitBeziers(ring, 0.5)) == 0 {
+			b.Fatal("no fit")
+		}
+	}
+}
+
+// BenchmarkPing measures the simulator's measurement path (route lookup +
+// 10 jittered probes).
+func BenchmarkPing(b *testing.B) {
+	w := netsim.NewWorld(netsim.Config{Seed: 1})
+	a, c := w.Hosts[0], w.Hosts[25]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w.MinPing(a, c, 10) <= 0 {
+			b.Fatal("bad rtt")
+		}
+	}
+}
+
+// BenchmarkGeoLim measures the CBG baseline end to end.
+func BenchmarkGeoLim(b *testing.B) {
+	d := sharedDeployment(b)
+	target := d.Landmarks[0]
+	idx := make([]int, 0, len(d.Landmarks)-1)
+	for i := 1; i < len(d.Landmarks); i++ {
+		idx = append(idx, i)
+	}
+	sub, err := d.Survey.Subset(idx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gl := baselines.NewGeoLim(sub)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gl.Localize(d.Prober, target.Addr, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

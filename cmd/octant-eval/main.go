@@ -1,0 +1,75 @@
+// Command octant-eval regenerates the paper's evaluation figures over the
+// simulated 51-node PlanetLab deployment:
+//
+//	octant-eval -fig 2   # latency/distance scatter + hull + spline (Fig. 2)
+//	octant-eval -fig 3   # error CDF, Octant vs GeoLim/GeoPing/GeoTrack (Fig. 3)
+//	octant-eval -fig 4   # region containment vs landmark count (Fig. 4)
+//	octant-eval -fig all # everything
+//
+// Flags -seed, -step (Fig. 3 target stride) and -trials (Fig. 4 subsets per
+// count) trade fidelity for speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"octant/internal/core"
+	"octant/internal/eval"
+	"octant/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("octant-eval: ")
+	var (
+		fig      = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, or all")
+		seed     = flag.Uint64("seed", 1, "world seed")
+		step     = flag.Int("step", 1, "Figure 3: localize every step-th node (1 = all 51)")
+		trials   = flag.Int("trials", 2, "Figure 4: random landmark subsets per count")
+		landmark = flag.String("landmark", "rochester", "Figure 2: landmark to calibrate (the paper uses rochester)")
+	)
+	flag.Parse()
+
+	fmt.Printf("building deployment (seed %d)...\n", *seed)
+	d, err := eval.NewDeployment(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *fig == "2" || *fig == "all" {
+		f, err := d.RunFig2(*landmark)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Println(f.Format())
+	}
+
+	if *fig == "3" || *fig == "all" {
+		fmt.Println("\nFigure 3 — localization error CDF (leave-one-out, miles)")
+		res, err := d.RunFig3(core.Config{}, *step)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.FormatCDF())
+		fmt.Println("§3 accuracy table:")
+		fmt.Println(stats.FormatTable(res.Summaries(), "mi"))
+		for _, row := range res.Rows {
+			if row.HasRegion {
+				fmt.Printf("%-10s region contained truth for %d/%d targets\n",
+					row.Name, row.Contained, res.Targets)
+			}
+		}
+	}
+
+	if *fig == "4" || *fig == "all" {
+		fmt.Println("\nFigure 4 — % of targets inside the estimated region vs landmarks")
+		pts, err := d.RunFig4(core.Config{}, nil, *trials, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(eval.FormatFig4(pts))
+	}
+}

@@ -1,0 +1,82 @@
+// Command octant-sim inspects the simulated Internet: topology summary,
+// sample routes and traceroutes, WHOIS records, and the latency/distance
+// statistics the framework's calibration depends on.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"octant/internal/geo"
+	"octant/internal/netsim"
+	"octant/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("octant-sim: ")
+	var (
+		seed = flag.Uint64("seed", 1, "world seed")
+		src  = flag.String("src", "planetlab2.cs.cornell.edu", "traceroute source host")
+		dst  = flag.String("dst", "planetlab1.cs.berkeley.edu", "traceroute destination host")
+	)
+	flag.Parse()
+
+	w := netsim.NewWorld(netsim.Config{Seed: *seed})
+
+	var hosts, access, backbone int
+	for _, n := range w.Nodes {
+		switch n.Kind {
+		case netsim.KindHost:
+			hosts++
+		case netsim.KindAccess:
+			access++
+		case netsim.KindBackbone:
+			backbone++
+		}
+	}
+	fmt.Printf("world seed=%d: %d nodes (%d hosts, %d access, %d backbone), %d links\n",
+		*seed, len(w.Nodes), hosts, access, backbone, len(w.Links))
+
+	// Latency/distance statistics over host pairs.
+	var ratios, rtts []float64
+	hs := w.HostNodes()
+	for i := range hs {
+		for j := i + 1; j < len(hs); j++ {
+			rtt := w.MinPing(hs[i].ID, hs[j].ID, 10)
+			d := hs[i].Loc.DistanceKm(hs[j].Loc)
+			rtts = append(rtts, rtt)
+			if d > 100 {
+				ratios = append(ratios, rtt/geo.DistanceToMinLatencyMs(d))
+			}
+		}
+	}
+	fmt.Printf("inter-host RTT: median %.1f ms, p90 %.1f ms, max %.1f ms\n",
+		stats.Median(rtts), stats.Percentile(rtts, 90), stats.Max(rtts))
+	fmt.Printf("route inflation (RTT / geodesic fiber RTT): median %.2f, p90 %.2f\n",
+		stats.Median(ratios), stats.Percentile(ratios, 90))
+
+	a, ok := w.HostByName(*src)
+	if !ok {
+		log.Fatalf("unknown src %q", *src)
+	}
+	b, ok := w.HostByName(*dst)
+	if !ok {
+		log.Fatalf("unknown dst %q", *dst)
+	}
+	fmt.Printf("\ntraceroute %s → %s:\n", *src, *dst)
+	for i, h := range w.Traceroute(a.ID, b.ID, 3) {
+		fmt.Printf("%3d  %-44s %-16s %7.2f ms\n", i+1, h.Name, h.IP, h.RTTMs)
+	}
+
+	fmt.Printf("\nWHOIS records (first 10 hosts):\n")
+	for _, n := range hs[:10] {
+		rec, _ := w.Whois(n.IP)
+		status := "ok"
+		if !rec.Correct {
+			status = "WRONG (registrar HQ)"
+		}
+		fmt.Printf("%-40s %-16s zip=%-8s %s\n", n.Name, rec.City, rec.Zip, status)
+	}
+}

@@ -1,0 +1,116 @@
+// Command octant localizes a host in the simulated Internet with the full
+// Octant pipeline and prints the point estimate, the estimated location
+// region, and optionally its GeoJSON.
+//
+// Usage:
+//
+//	octant -target planetlab2.cs.cornell.edu [-seed 1] [-probes 10]
+//	       [-geojson out.json] [-disable heights,negative,piecewise,whois,oceans]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"octant/internal/core"
+	"octant/internal/netsim"
+	"octant/internal/probe"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("octant: ")
+	var (
+		target  = flag.String("target", "planetlab2.cs.cornell.edu", "host name of the target (one of the simulated sites)")
+		seed    = flag.Uint64("seed", 1, "world seed")
+		probes  = flag.Int("probes", 10, "ping probes per measurement")
+		geoOut  = flag.String("geojson", "", "write the estimated region as GeoJSON to this file")
+		disable = flag.String("disable", "", "comma-separated mechanisms to disable: heights,negative,piecewise,whois,oceans")
+		list    = flag.Bool("list", false, "list available target hosts and exit")
+	)
+	flag.Parse()
+
+	world := netsim.NewWorld(netsim.Config{Seed: *seed})
+	prober := probe.NewSimProber(world)
+	hosts := world.HostNodes()
+
+	if *list {
+		for _, h := range hosts {
+			fmt.Printf("%-40s %-16s %s\n", h.Name, h.Inst, h.Loc)
+		}
+		return
+	}
+
+	cfg := core.Config{Probes: *probes}
+	for _, d := range strings.Split(*disable, ",") {
+		switch strings.TrimSpace(d) {
+		case "":
+		case "heights":
+			cfg.DisableHeights = true
+		case "negative":
+			cfg.DisableNegative = true
+		case "piecewise":
+			cfg.DisablePiecewise = true
+		case "whois":
+			cfg.DisableWhois = true
+		case "oceans":
+			cfg.DisableOceans = true
+		default:
+			log.Fatalf("unknown mechanism %q (want heights|negative|piecewise|whois|oceans)", d)
+		}
+	}
+
+	var truth *netsim.Node
+	var landmarks []core.Landmark
+	for _, h := range hosts {
+		if h.Name == *target {
+			truth = h
+			continue
+		}
+		landmarks = append(landmarks, core.Landmark{Addr: h.Name, Name: h.Inst, Loc: h.Loc})
+	}
+	if truth == nil {
+		log.Fatalf("unknown target %q (use -list to see hosts)", *target)
+	}
+
+	survey, err := core.NewSurvey(prober, landmarks, core.SurveyOpts{Probes: *probes, UseHeights: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	loc := core.NewLocalizer(prober, survey, cfg)
+	res, err := loc.Localize(*target)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("target          %s\n", *target)
+	fmt.Printf("landmarks       %d (κ=%.2f)\n", survey.N(), survey.Kappa)
+	fmt.Printf("point estimate  %s\n", res.Point)
+	fmt.Printf("true location   %s\n", truth.Loc)
+	fmt.Printf("error           %.1f miles (%.1f km)\n",
+		res.Point.DistanceMiles(truth.Loc), res.Point.DistanceKm(truth.Loc))
+	fmt.Printf("region area     %.0f km² (%.0f mi²), %d ring(s)\n",
+		res.AreaKm2, res.AreaKm2*0.386102, len(res.Region.Rings))
+	fmt.Printf("contains truth  %v\n", res.ContainsTruth(truth.Loc))
+	fmt.Printf("target height   %.2f ms (true access delay %.2f ms)\n",
+		res.TargetHeightMs, world.AccessHeight(truth.ID))
+	fmt.Printf("constraints     %d\n", len(res.Constraints))
+
+	if *geoOut != "" {
+		props := map[string]any{
+			"target":  *target,
+			"area_mi": res.AreaKm2 * 0.386102,
+		}
+		js, err := res.Region.ToGeoJSON(res.Projection, props)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*geoOut, js, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("geojson         %s (%d bytes)\n", *geoOut, len(js))
+	}
+}

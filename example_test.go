@@ -1,0 +1,59 @@
+package octant_test
+
+import (
+	"fmt"
+
+	"octant"
+)
+
+// ExampleLocalizer demonstrates a complete localization against the
+// simulated Internet: build a world, survey the landmarks, and localize a
+// target. Everything is deterministic for a given seed.
+func Example() {
+	world := octant.NewWorld(octant.WorldConfig{Seed: 1})
+	prober := octant.NewSimProber(world)
+	hosts := world.HostNodes()
+
+	target := hosts[1] // planetlab2.cs.cornell.edu
+	var landmarks []octant.Landmark
+	for i, h := range hosts {
+		if i == 1 {
+			continue
+		}
+		landmarks = append(landmarks, octant.Landmark{Addr: h.Name, Name: h.Inst, Loc: h.Loc})
+	}
+
+	survey, err := octant.NewSurvey(prober, landmarks, octant.SurveyOpts{UseHeights: true})
+	if err != nil {
+		panic(err)
+	}
+	loc := octant.NewLocalizer(prober, survey, octant.Config{})
+	res, err := loc.Localize(target.Name)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("landmarks: %d\n", survey.N())
+	fmt.Printf("region is non-empty: %v\n", !res.Region.IsEmpty())
+	fmt.Printf("error under 350 miles: %v\n", res.Point.DistanceMiles(target.Loc) < 350)
+	// Output:
+	// landmarks: 50
+	// region is non-empty: true
+	// error under 350 miles: true
+}
+
+// ExampleSolve shows the constraint algebra directly: an annulus around a
+// landmark ("between 40 and 150 km away"), solved for a region.
+func ExampleSolve() {
+	pr := octant.NewProjection(octant.Pt(42.44, -76.50))
+	cons := []octant.Constraint{
+		octant.PositiveDisk(pr, octant.Pt(42.44, -76.50), 150, 1, "landmark"),
+		octant.NegativeDisk(pr, octant.Pt(42.44, -76.50), 40, 1, "landmark/neg"),
+	}
+	sol, err := octant.Solve(cons, octant.SolverOpts{MinAreaKm2: 100})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("annulus excludes the centre: %v\n", !sol.Region.Contains(pr.Forward(octant.Pt(42.44, -76.50))))
+	// Output:
+	// annulus excludes the centre: true
+}

@@ -1,0 +1,85 @@
+// Constraints: a Figure 1-style composition of positive and negative
+// constraints, including a secondary landmark whose own position is only
+// known as a region, and §2.5 geographic constraints. Demonstrates the
+// region algebra the framework is built on and exports the result as
+// GeoJSON for inspection on geojson.io.
+//
+//	go run ./examples/constraints
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"octant"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Work in a projection centred between the landmarks.
+	ithaca := octant.Pt(42.4440, -76.5019)
+	nyc := octant.Pt(40.7128, -74.0060)
+	boston := octant.Pt(42.3601, -71.0589)
+	pr := octant.NewProjection(octant.Pt(41.8, -74.0))
+
+	// Primary landmarks with pinpoint positions contribute annuli:
+	// "between r and R km from me" (§2).
+	cons := []octant.Constraint{
+		octant.PositiveDisk(pr, ithaca, 260, 1.0, "ithaca"),
+		octant.NegativeDisk(pr, ithaca, 60, 1.0, "ithaca/neg"),
+		octant.PositiveDisk(pr, nyc, 240, 0.9, "nyc"),
+		octant.NegativeDisk(pr, nyc, 70, 0.9, "nyc/neg"),
+		octant.PositiveDisk(pr, boston, 340, 0.8, "boston"),
+	}
+
+	// A secondary landmark: a router localized earlier, its position
+	// known only as a 70 km-radius region near Albany. Its positive
+	// constraint is the dilation of that region (§2: ⋃ of disks); its
+	// negative constraint is the intersection (⋂ of disks).
+	albany := octant.Pt(42.6526, -73.7562)
+	beta := octant.Disk(pr.Forward(albany), 70, 64)
+	cons = append(cons,
+		octant.PositiveFromRegion(beta, 160, 0.7, "router-region"),
+		octant.NegativeFromRegion(beta, 90, 0.7, "router-region/neg"),
+	)
+
+	fmt.Println("constraint system:")
+	for _, c := range cons {
+		fmt.Printf("  %v\n", c)
+	}
+
+	sol, err := octant.Solve(cons, octant.SolverOpts{MinAreaKm2: 1500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nestimated location region: %.0f km², %d ring(s), best weight %.2f\n",
+		sol.Region.Area(), len(sol.Region.Rings), sol.Weight)
+	fmt.Printf("point estimate: %s\n", pr.Inverse(sol.Point))
+
+	// Region algebra directly (Figure 1's boolean composition).
+	a := octant.Disk(pr.Forward(ithaca), 250, 96)
+	b := octant.Disk(pr.Forward(nyc), 250, 96)
+	lens := octant.Intersect(a, b, nil)
+	ring := octant.Subtract(lens, octant.Disk(pr.Forward(ithaca), 120, 96), nil)
+	fmt.Printf("\nregion algebra: |A∩B| = %.0f km², |A∩B \\ C| = %.0f km² (%d rings)\n",
+		lens.Area(), ring.Area(), len(ring.Rings))
+
+	// Morphology for secondary landmarks.
+	grown := octant.Buffer(lens, 50, 0)
+	shrunk := octant.Buffer(lens, -50, 0)
+	fmt.Printf("morphology: dilate(+50km) = %.0f km², erode(−50km) = %.0f km²\n",
+		grown.Area(), shrunk.Area())
+
+	// Export the solution for visual inspection.
+	js, err := sol.Region.ToGeoJSON(pr, map[string]any{"name": "estimated location region"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := "region.geojson"
+	if err := os.WriteFile(out, js, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %s (%d bytes) — drop it on geojson.io to view\n", out, len(js))
+}

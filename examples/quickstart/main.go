@@ -1,0 +1,61 @@
+// Quickstart: localize one host in the simulated Internet with the full
+// Octant pipeline, using only the public octant API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"octant"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A deterministic simulated Internet: 51 PlanetLab-style sites,
+	// backbone POPs, policy routing, queuing delay, WHOIS records.
+	world := octant.NewWorld(octant.WorldConfig{Seed: 1})
+	prober := octant.NewSimProber(world)
+	hosts := world.HostNodes()
+
+	// The first host is our target; everyone else is a landmark.
+	target := hosts[0]
+	var landmarks []octant.Landmark
+	for _, h := range hosts[1:] {
+		landmarks = append(landmarks, octant.Landmark{
+			Addr: h.Name, Name: h.Inst, Loc: h.Loc,
+		})
+	}
+
+	// Survey: pairwise pings, §2.2 heights, §2.1 convex-hull calibration.
+	survey, err := octant.NewSurvey(prober, landmarks, octant.SurveyOpts{UseHeights: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("surveyed %d landmarks (route inflation κ=%.2f)\n", survey.N(), survey.Kappa)
+
+	// Localize with the paper's default mechanisms: weighted positive and
+	// negative constraints, piecewise router localization, WHOIS, oceans.
+	loc := octant.NewLocalizer(prober, survey, octant.Config{})
+	res, err := loc.Localize(target.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("target          %s (%s)\n", target.Name, target.City)
+	fmt.Printf("point estimate  %s\n", res.Point)
+	fmt.Printf("true location   %s\n", target.Loc)
+	fmt.Printf("error           %.1f miles\n", res.Point.DistanceMiles(target.Loc))
+	fmt.Printf("region          %.0f km² in %d ring(s); contains truth: %v\n",
+		res.AreaKm2, len(res.Region.Rings), res.ContainsTruth(target.Loc))
+
+	// The region's compact Bezier boundary (the paper's representation).
+	paths := res.Region.BezierBoundary(2.0)
+	segs := 0
+	for _, p := range paths {
+		segs += len(p)
+	}
+	fmt.Printf("boundary        %d Bezier segments across %d path(s)\n", segs, len(paths))
+}

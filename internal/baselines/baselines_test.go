@@ -1,0 +1,161 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"octant/internal/core"
+	"octant/internal/geo"
+	"octant/internal/netsim"
+	"octant/internal/probe"
+)
+
+func testSetup(t *testing.T, targetIdx int) (*probe.SimProber, *core.Survey, *netsim.Node) {
+	t.Helper()
+	w := netsim.NewWorld(netsim.Config{Seed: 11})
+	p := probe.NewSimProber(w)
+	hosts := w.HostNodes()
+	var lms []core.Landmark
+	for i, h := range hosts {
+		if i == targetIdx {
+			continue
+		}
+		lms = append(lms, core.Landmark{Addr: h.Name, Name: h.Inst, Loc: h.Loc})
+	}
+	s, err := core.NewSurvey(p, lms, core.SurveyOpts{UseHeights: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, s, hosts[targetIdx]
+}
+
+func TestGeoLimBestlinesValid(t *testing.T) {
+	_, s, _ := testSetup(t, 0)
+	gl := NewGeoLim(s)
+	// Every bestline must dominate its calibration points: the bound for
+	// the observed RTT to a peer must be ≥ the true distance.
+	for i := 0; i < s.N(); i++ {
+		for j := 0; j < s.N(); j++ {
+			if i == j {
+				continue
+			}
+			d := s.Landmarks[i].Loc.DistanceKm(s.Landmarks[j].Loc)
+			bound := gl.Bound(i, s.RTT[i][j])
+			if bound < d-1e-3 && bound < geo.LatencyToMaxDistanceKm(s.RTT[i][j])-1e-3 {
+				t.Errorf("bestline %d underestimates peer %d: bound %.1f < dist %.1f", i, j, bound, d)
+			}
+		}
+	}
+	// Bounds are physical.
+	for i := 0; i < s.N(); i++ {
+		for _, rtt := range []float64{1, 10, 50, 200} {
+			b := gl.Bound(i, rtt)
+			if b < 0 || b > geo.LatencyToMaxDistanceKm(rtt)+1e-9 {
+				t.Errorf("bound(%d, %v) = %v breaks physics", i, rtt, b)
+			}
+		}
+	}
+}
+
+func TestGeoLimLocalize(t *testing.T) {
+	p, s, target := testSetup(t, 20)
+	gl := NewGeoLim(s)
+	res, err := gl.Localize(p, target.Name, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := res.Point.DistanceMiles(target.Loc); e > 1200 {
+		t.Errorf("GeoLim error %.0f mi absurd", e)
+	}
+	// A non-empty region must contain its own centroid-ish point.
+	if !res.Region.IsEmpty() {
+		if res.AreaKm2 <= 0 {
+			t.Error("inconsistent area")
+		}
+	}
+	if _, err := gl.Localize(p, "bogus.example.org", 3); err == nil {
+		t.Error("unknown target should error")
+	}
+}
+
+func TestGeoLimOverconstraintFallback(t *testing.T) {
+	// Force over-constraint: bound everything to near zero by lying
+	// about bestlines via a survey subset with absurd probes... instead,
+	// call the violation minimizer path directly by shrinking disks:
+	// craft a survey of 3 distant landmarks and a target far from all.
+	p, s, target := testSetup(t, 5)
+	sub, err := s.Subset([]int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl := NewGeoLim(sub)
+	res, err := gl.Localize(p, target.Name, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Point.Valid() {
+		t.Errorf("fallback point invalid: %v", res.Point)
+	}
+}
+
+func TestGeoPingPicksNearbyLandmark(t *testing.T) {
+	p, s, target := testSetup(t, 30)
+	gp := NewGeoPing(s)
+	res, err := gp.Localize(p, target.Name, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestLandmark < 0 || res.BestLandmark >= s.N() {
+		t.Fatalf("bad landmark index %d", res.BestLandmark)
+	}
+	if res.Point != s.Landmarks[res.BestLandmark].Loc {
+		t.Error("point must be the matched landmark's location")
+	}
+	// GeoPing's error is bounded by the worst nearest-landmark distance
+	// only heuristically; sanity-bound it loosely.
+	if e := res.Point.DistanceMiles(target.Loc); e > 1500 {
+		t.Errorf("GeoPing error %.0f mi absurd", e)
+	}
+	if res.Score < 0 {
+		t.Errorf("negative score %v", res.Score)
+	}
+}
+
+func TestGeoTrackResolvesRouter(t *testing.T) {
+	p, s, target := testSetup(t, 40)
+	gt := NewGeoTrack(s)
+	res, err := gt.Localize(p, target.Name, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Point.Valid() {
+		t.Fatalf("invalid point %v", res.Point)
+	}
+	if res.Hops < 2 {
+		t.Errorf("implausible hop count %d", res.Hops)
+	}
+	if e := res.Point.DistanceMiles(target.Loc); e > 1500 {
+		t.Errorf("GeoTrack error %.0f mi absurd", e)
+	}
+}
+
+func TestBaselinesComparableOnSameTarget(t *testing.T) {
+	// All three baselines run on the same survey/target without error
+	// and produce finite errors.
+	p, s, target := testSetup(t, 15)
+	var errs []float64
+	gl, errGL := NewGeoLim(s).Localize(p, target.Name, 10)
+	gp, errGP := NewGeoPing(s).Localize(p, target.Name, 10)
+	gt, errGT := NewGeoTrack(s).Localize(p, target.Name, 10)
+	if errGL != nil || errGP != nil || errGT != nil {
+		t.Fatal(errGL, errGP, errGT)
+	}
+	for _, pt := range []geo.Point{gl.Point, gp.Point, gt.Point} {
+		e := pt.DistanceMiles(target.Loc)
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			t.Errorf("non-finite error")
+		}
+		errs = append(errs, e)
+	}
+	_ = errs
+}

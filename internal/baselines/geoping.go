@@ -1,0 +1,98 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"octant/internal/core"
+	"octant/internal/geo"
+	"octant/internal/probe"
+)
+
+// GeoPing (IP2Geo) maps the target to the landmark whose network signature
+// — its vector of latencies to the probing landmarks — most resembles the
+// target's, then reports that landmark's location. The similarity metric
+// is the RMS difference between latency vectors (the "closest latency
+// characteristics" metric of §4 / RADAR).
+type GeoPing struct {
+	Survey *core.Survey
+}
+
+// NewGeoPing wraps a survey.
+func NewGeoPing(s *core.Survey) *GeoPing { return &GeoPing{Survey: s} }
+
+// GeoPingResult is a GeoPing outcome.
+type GeoPingResult struct {
+	Target string
+	Point  geo.Point
+	// BestLandmark is the index of the matched landmark in the survey.
+	BestLandmark int
+	// Score is the RMS signature distance to the matched landmark (ms).
+	Score float64
+}
+
+// Localize maps targetAddr onto the most latency-similar landmark.
+func (g *GeoPing) Localize(p probe.Prober, targetAddr string, probes int) (*GeoPingResult, error) {
+	if probes <= 0 {
+		probes = 10
+	}
+	s := g.Survey
+	n := s.N()
+	sig := make([]float64, n)
+	for i, lm := range s.Landmarks {
+		samples, err := p.Ping(lm.Addr, targetAddr, probes)
+		if err != nil {
+			return nil, fmt.Errorf("baselines: geoping %s→%s: %w", lm.Name, targetAddr, err)
+		}
+		min, err := probe.MinRTT(samples)
+		if err != nil {
+			return nil, err
+		}
+		sig[i] = min
+	}
+	best := -1
+	bestScore := math.Inf(1)
+	for cand := 0; cand < n; cand++ {
+		// Compare the target's signature with candidate cand's own
+		// latency vector over all *other* landmarks (a landmark's
+		// latency to itself is zero and would bias the metric). Vectors
+		// are mean-centred first so that per-host constant delay (access
+		// height) does not swamp the geographic signal — two co-located
+		// hosts with different last-mile delays still match.
+		var sumT, sumC float64
+		m := 0
+		for i := 0; i < n; i++ {
+			if i == cand {
+				continue
+			}
+			sumT += sig[i]
+			sumC += s.RTT[cand][i]
+			m++
+		}
+		if m == 0 {
+			continue
+		}
+		meanT, meanC := sumT/float64(m), sumC/float64(m)
+		var ss float64
+		for i := 0; i < n; i++ {
+			if i == cand {
+				continue
+			}
+			d := (sig[i] - meanT) - (s.RTT[cand][i] - meanC)
+			ss += d * d
+		}
+		score := math.Sqrt(ss / float64(m))
+		if score < bestScore {
+			bestScore, best = score, cand
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("baselines: geoping found no candidate landmark")
+	}
+	return &GeoPingResult{
+		Target:       targetAddr,
+		Point:        s.Landmarks[best].Loc,
+		BestLandmark: best,
+		Score:        bestScore,
+	}, nil
+}

@@ -1,0 +1,91 @@
+package baselines
+
+import (
+	"fmt"
+
+	"octant/internal/core"
+	"octant/internal/geo"
+	"octant/internal/probe"
+	"octant/internal/undns"
+)
+
+// GeoTrack (IP2Geo) traceroutes to the target, extracts geographic hints
+// from router DNS names, and localizes the target at the last router on
+// the path whose position is known.
+type GeoTrack struct {
+	Survey   *core.Survey
+	Resolver *undns.Resolver
+}
+
+// NewGeoTrack wraps a survey with the default undns resolver.
+func NewGeoTrack(s *core.Survey) *GeoTrack {
+	return &GeoTrack{Survey: s, Resolver: undns.NewResolver()}
+}
+
+// GeoTrackResult is a GeoTrack outcome.
+type GeoTrackResult struct {
+	Target string
+	Point  geo.Point
+	// RouterName is the DNS name of the last resolvable router.
+	RouterName string
+	// City is the undns city the estimate comes from.
+	City string
+	// Hops is the traceroute length used.
+	Hops int
+}
+
+// Localize traceroutes from the lowest-latency landmark to the target and
+// returns the last resolvable router's city as the estimate.
+func (g *GeoTrack) Localize(p probe.Prober, targetAddr string, probes int) (*GeoTrackResult, error) {
+	if probes <= 0 {
+		probes = 10
+	}
+	s := g.Survey
+	// Pick the landmark closest to the target by latency: its traceroute
+	// shares the most suffix with the target's location.
+	bestIdx := -1
+	bestRTT := 0.0
+	for i, lm := range s.Landmarks {
+		samples, err := p.Ping(lm.Addr, targetAddr, probes)
+		if err != nil {
+			return nil, fmt.Errorf("baselines: geotrack ping %s→%s: %w", lm.Name, targetAddr, err)
+		}
+		min, err := probe.MinRTT(samples)
+		if err != nil {
+			return nil, err
+		}
+		if bestIdx < 0 || min < bestRTT {
+			bestIdx, bestRTT = i, min
+		}
+	}
+	hops, err := p.Traceroute(s.Landmarks[bestIdx].Addr, targetAddr)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: geotrack traceroute: %w", err)
+	}
+	if len(hops) == 0 {
+		return nil, fmt.Errorf("baselines: geotrack got an empty traceroute to %s", targetAddr)
+	}
+	var out *GeoTrackResult
+	for _, h := range hops[:max(len(hops)-1, 0)] { // exclude the target itself
+		if loc, ok := g.Resolver.Resolve(h.Name); ok {
+			out = &GeoTrackResult{
+				Target:     targetAddr,
+				Point:      loc.Loc,
+				RouterName: h.Name,
+				City:       loc.City,
+				Hops:       len(hops),
+			}
+		}
+	}
+	if out == nil {
+		// No resolvable router: fall back to the probing landmark's own
+		// location (the technique's weakest case).
+		out = &GeoTrackResult{
+			Target: targetAddr,
+			Point:  s.Landmarks[bestIdx].Loc,
+			City:   "",
+			Hops:   len(hops),
+		}
+	}
+	return out, nil
+}

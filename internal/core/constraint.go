@@ -1,0 +1,153 @@
+// Package core implements the Octant framework itself — the paper's primary
+// contribution. It turns network measurements into weighted positive and
+// negative geographic constraints (§2), solves the constraint system with an
+// error-minimizing weighted geometric solver (§2.4), refines estimates with
+// queuing-delay heights (§2.2), piecewise router localization over indirect
+// routes (§2.3), and geographic/demographic constraints (§2.5).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"octant/internal/geo"
+	"octant/internal/hull"
+)
+
+// Kind distinguishes positive from negative constraints.
+type Kind int
+
+// Constraint kinds.
+const (
+	// Positive constraints assert the target IS inside the region
+	// ("within x miles of L").
+	Positive Kind = iota
+	// Negative constraints assert the target is NOT inside the region
+	// ("further than y miles from L").
+	Negative
+)
+
+func (k Kind) String() string {
+	if k == Negative {
+		return "negative"
+	}
+	return "positive"
+}
+
+// Constraint is a weighted region statement about the target's position.
+// Regions live in the projection plane of the enclosing localization.
+type Constraint struct {
+	Kind   Kind
+	Region *geo.Region
+	Weight float64
+	Source string // provenance, e.g. landmark name, "whois", "router:nyc"
+}
+
+// String summarizes the constraint.
+func (c Constraint) String() string {
+	return fmt.Sprintf("%s[%s w=%.3f area=%.0fkm²]", c.Kind, c.Source, c.Weight, c.Region.Area())
+}
+
+// circleSegments is the polygonalization density for constraint disks.
+const circleSegments = 96
+
+// PositiveDisk builds a positive constraint: target within radiusKm of a
+// pinpoint-known landmark at center.
+func PositiveDisk(pr *geo.Projection, center geo.Point, radiusKm, weight float64, source string) Constraint {
+	return Constraint{
+		Kind:   Positive,
+		Region: geo.RegionFromRing(pr.GeoCircle(center, radiusKm, circleSegments)),
+		Weight: weight,
+		Source: source,
+	}
+}
+
+// NegativeDisk builds a negative constraint: target further than radiusKm
+// from a pinpoint-known landmark at center (the excluded region is the
+// disk itself).
+func NegativeDisk(pr *geo.Projection, center geo.Point, radiusKm, weight float64, source string) Constraint {
+	return Constraint{
+		Kind:   Negative,
+		Region: geo.RegionFromRing(pr.GeoCircle(center, radiusKm, circleSegments)),
+		Weight: weight,
+		Source: source,
+	}
+}
+
+// PositiveFromRegion builds the positive constraint induced by a secondary
+// landmark whose own position is only known as the region beta: the union
+// of all radiusKm-disks centred at points of beta, i.e. the Minkowski
+// dilation of beta (§2 of the paper: γ = ⋃_{(x,y)∈β} c(x,y,d)).
+func PositiveFromRegion(beta *geo.Region, radiusKm, weight float64, source string) Constraint {
+	return Constraint{
+		Kind:   Positive,
+		Region: geo.Buffer(beta, radiusKm, 0),
+		Weight: weight,
+		Source: source,
+	}
+}
+
+// NegativeFromRegion builds the negative constraint induced by a secondary
+// landmark region beta: only points within radiusKm of EVERY point of beta
+// are ruled out (γ = ⋂_{(x,y)∈β} c(x,y,d)). Because Euclidean distance is
+// convex, the intersection equals the intersection of disks centred at the
+// vertices of beta's convex hull.
+func NegativeFromRegion(beta *geo.Region, radiusKm, weight float64, source string) Constraint {
+	verts := hullVertices(beta)
+	if len(verts) == 0 {
+		return Constraint{Kind: Negative, Region: geo.EmptyRegion(), Weight: weight, Source: source}
+	}
+	region := geo.Disk(verts[0], radiusKm, circleSegments)
+	for _, v := range verts[1:] {
+		region = geo.Intersect(region, geo.Disk(v, radiusKm, circleSegments), nil)
+		if region.IsEmpty() {
+			break
+		}
+	}
+	return Constraint{Kind: Negative, Region: region, Weight: weight, Source: source}
+}
+
+// hullVertices returns the convex hull vertices of all ring points of r.
+func hullVertices(r *geo.Region) []geo.Vec2 {
+	var pts []hull.P
+	for _, ring := range r.Rings {
+		for _, v := range ring {
+			pts = append(pts, hull.P{X: v.X, Y: v.Y})
+		}
+	}
+	hp := hull.Convex(pts)
+	out := make([]geo.Vec2, len(hp))
+	for i, p := range hp {
+		out[i] = geo.V2(p.X, p.Y)
+	}
+	return out
+}
+
+// AnnulusConstraints converts one latency measurement from a primary
+// landmark into the paper's canonical pair: a positive disk of radius
+// R(rtt) and a negative disk of radius r(rtt) — together an annulus when
+// both apply.
+func AnnulusConstraints(pr *geo.Projection, center geo.Point, minKm, maxKm, weight float64, source string) []Constraint {
+	var out []Constraint
+	if maxKm > 0 {
+		out = append(out, PositiveDisk(pr, center, maxKm, weight, source))
+	}
+	if minKm > 0 && minKm < maxKm {
+		out = append(out, NegativeDisk(pr, center, minKm, weight, source+"/neg"))
+	}
+	return out
+}
+
+// LatencyWeight is the paper's §2.4 weighting: confidence decreases
+// exponentially with latency, so nearby landmarks dominate when present.
+// halfLifeMs is the RTT at which weight halves (30 ms by default in
+// Config).
+func LatencyWeight(rttMs, halfLifeMs float64) float64 {
+	if halfLifeMs <= 0 {
+		return 1
+	}
+	if rttMs < 0 {
+		rttMs = 0
+	}
+	return math.Exp2(-rttMs / halfLifeMs)
+}

@@ -1,0 +1,439 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"octant/internal/geo"
+	"octant/internal/height"
+	"octant/internal/probe"
+	"octant/internal/stats"
+	"octant/internal/undns"
+)
+
+// Config controls which of the paper's mechanisms a Localizer applies.
+// The zero value enables everything with the paper's defaults; the Use*
+// switches exist for the ablation benchmarks.
+type Config struct {
+	// Probes per latency measurement (default 10, matching §3's "10
+	// time-dispersed round-trip measurements").
+	Probes int
+
+	// DisableHeights turns off §2.2 queuing-delay compensation.
+	DisableHeights bool
+	// DisableNegative turns off negative constraints, reducing Octant to
+	// positive-information-only (the prior-work regime).
+	DisableNegative bool
+	// DisablePiecewise turns off §2.3 router localization.
+	DisablePiecewise bool
+	// DisableWhois turns off the §2.5 WHOIS positive constraint.
+	DisableWhois bool
+	// DisableOceans turns off the §2.5 geographic negative constraints.
+	DisableOceans bool
+	// Unweighted makes every constraint weight 1 and requires all
+	// positive constraints to hold — the brittle discrete system §2.4
+	// warns about (one bad constraint empties the estimate).
+	Unweighted bool
+	// Exact uses the exact arrangement solver instead of the raster one.
+	Exact bool
+
+	// WeightHalfLifeMs is the latency at which constraint confidence
+	// halves (default 20 ms).
+	WeightHalfLifeMs float64
+	// MinRegionAreaKm2 is the §2.4 size threshold (default 25000 km²).
+	MinRegionAreaKm2 float64
+	// PadKm widens every latency constraint conservatively: R grows and r
+	// shrinks by this amount (default 15 km). The convex hull bounds only
+	// the *observed* peer pairs exactly; unseen target pairs draw new
+	// inflation noise, and the pad absorbs that generalization error.
+	PadKm float64
+	// PadFrac additionally widens constraints proportionally (default
+	// 0.06): inflation noise scales with distance, so a 3000 km bound
+	// deserves a far larger allowance than a 100 km one.
+	PadFrac float64
+	// WhoisRadiusKm is the positive-constraint radius around a WHOIS
+	// location (default 60 km).
+	WhoisRadiusKm float64
+	// RouterCityRadiusKm pads router-derived constraints for the
+	// imprecision of "router is in city X" (default 60 km).
+	RouterCityRadiusKm float64
+	// RouterWeightFactor scales down router-derived constraint weights
+	// (default 0.9): secondary landmarks are slightly less trustworthy.
+	RouterWeightFactor float64
+	// NegativeWeightFactor scales down negative-constraint weights
+	// (default 0.5): the lower hull generalizes worse than the upper (a
+	// single fast pair pins it), so exclusion claims deserve less
+	// confidence than inclusion claims.
+	NegativeWeightFactor float64
+	// NegativeShrink scales the negative-constraint radius r(d) (default
+	// 0.75): the lower hull is the most aggressive exclusion consistent
+	// with observed peers, and unseen targets routinely undershoot it.
+	NegativeShrink float64
+	// NegHeightPercentile is the excess-latency percentile used as the
+	// target-height estimate when deflating latencies for negative
+	// constraints (default 80). Higher percentiles deflate more, keeping
+	// exclusion radii conservative for targets with indirect access paths.
+	NegHeightPercentile float64
+	// WhoisWeight is the (moderate) weight of the WHOIS constraint
+	// (default 0.8): city-level, 85%-ish accurate evidence.
+	WhoisWeight float64
+	// TracerouteLandmarks is how many of the lowest-latency landmarks
+	// issue traceroutes for piecewise localization (default 3).
+	TracerouteLandmarks int
+	// MaxRouterHeightDeflationMs caps how much of the solved target
+	// height is subtracted from router residuals (default 3 ms — a
+	// generous last-mile delay). A solved height beyond that usually
+	// hides access-path *propagation* (the target is homed far from its
+	// POP), and subtracting it would turn the router constraint into a
+	// tight pin at the wrong city.
+	MaxRouterHeightDeflationMs float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Probes == 0 {
+		c.Probes = 10
+	}
+	if c.WeightHalfLifeMs == 0 {
+		c.WeightHalfLifeMs = 20
+	}
+	if c.MinRegionAreaKm2 == 0 {
+		c.MinRegionAreaKm2 = 25000
+	}
+	if c.PadKm == 0 {
+		c.PadKm = 15
+	}
+	if c.PadFrac == 0 {
+		c.PadFrac = 0.06
+	}
+	if c.WhoisRadiusKm == 0 {
+		c.WhoisRadiusKm = 60
+	}
+	if c.RouterCityRadiusKm == 0 {
+		c.RouterCityRadiusKm = 60
+	}
+	if c.RouterWeightFactor == 0 {
+		c.RouterWeightFactor = 0.9
+	}
+	if c.NegativeWeightFactor == 0 {
+		c.NegativeWeightFactor = 0.5
+	}
+	if c.NegativeShrink == 0 {
+		c.NegativeShrink = 0.75
+	}
+	if c.NegHeightPercentile == 0 {
+		c.NegHeightPercentile = 80
+	}
+	if c.WhoisWeight == 0 {
+		c.WhoisWeight = 0.8
+	}
+	if c.TracerouteLandmarks == 0 {
+		c.TracerouteLandmarks = 3
+	}
+	if c.MaxRouterHeightDeflationMs == 0 {
+		c.MaxRouterHeightDeflationMs = 3
+	}
+}
+
+// Localizer runs Octant localizations against a prober using a calibrated
+// landmark survey.
+type Localizer struct {
+	Prober   probe.Prober
+	Survey   *Survey
+	Cfg      Config
+	Resolver *undns.Resolver // router-name resolver; defaults to undns.NewResolver()
+}
+
+// NewLocalizer builds a Localizer with the given configuration.
+func NewLocalizer(p probe.Prober, s *Survey, cfg Config) *Localizer {
+	cfg.fillDefaults()
+	return &Localizer{Prober: p, Survey: s, Cfg: cfg, Resolver: undns.NewResolver()}
+}
+
+// Result is one localization outcome.
+type Result struct {
+	Target string
+	// Point is the final point estimate.
+	Point geo.Point
+	// Region is the estimated location region β in the projection plane.
+	Region *geo.Region
+	// Projection maps Region to/from geographic coordinates.
+	Projection *geo.Projection
+	// AreaKm2 is Region's area.
+	AreaKm2 float64
+	// TargetHeightMs is the solved §2.2 height of the target.
+	TargetHeightMs float64
+	// RTTs holds the raw min-filtered RTT from each survey landmark.
+	RTTs []float64
+	// Constraints are the constraints the solver consumed.
+	Constraints []Constraint
+	// Weight is the captured constraint weight of the solution.
+	Weight float64
+}
+
+// ContainsTruth reports whether the true location falls inside the
+// estimated region — the Figure 4 success metric.
+func (r *Result) ContainsTruth(truth geo.Point) bool {
+	if r.Region.IsEmpty() {
+		return false
+	}
+	return r.Region.Contains(r.Projection.Forward(truth))
+}
+
+// Localize estimates the position of targetAddr.
+func (l *Localizer) Localize(targetAddr string) (*Result, error) {
+	cfg := l.Cfg
+	cfg.fillDefaults()
+	s := l.Survey
+	if s == nil || s.N() < 3 {
+		return nil, fmt.Errorf("core: localizer needs a survey with ≥ 3 landmarks")
+	}
+	pr := geo.NewProjection(s.Centroid())
+
+	// 1. Measure the target from every landmark.
+	rtts := make([]float64, s.N())
+	for i, lm := range s.Landmarks {
+		if lm.Addr == targetAddr {
+			return nil, fmt.Errorf("core: target %s is landmark %s; exclude it from the survey first", targetAddr, lm.Name)
+		}
+		samples, err := l.Prober.Ping(lm.Addr, targetAddr, cfg.Probes)
+		if err != nil {
+			return nil, fmt.Errorf("core: ping %s→%s: %w", lm.Name, targetAddr, err)
+		}
+		min, err := probe.MinRTT(samples)
+		if err != nil {
+			return nil, err
+		}
+		rtts[i] = min
+	}
+
+	// 2. Target height (§2.2): solve the coarse position, then estimate
+	// the target's inelastic component from the excess-latency
+	// distribution. Two estimates with different conservatism:
+	// positive constraints deflate by a LOW height estimate (keeping
+	// R(d) safely large), negative constraints by a HIGH one (keeping
+	// r(d) safely small). An erroneous deflation then loosens, never
+	// breaks, the constraint.
+	var tHeight float64
+	adjPos := append([]float64(nil), rtts...)
+	adjNeg := append([]float64(nil), rtts...)
+	if !cfg.DisableHeights {
+		locs := make([]geo.Point, s.N())
+		for i, lm := range s.Landmarks {
+			locs[i] = lm.Loc
+		}
+		hres, err := height.SolveTargetK(locs, s.Heights, rtts, s.Kappa)
+		if err == nil {
+			excess := make([]float64, s.N())
+			for i, lm := range s.Landmarks {
+				excess[i] = rtts[i] - s.Heights[i] -
+					s.Kappa*geo.DistanceToMinLatencyMs(lm.Loc.DistanceKm(hres.Coarse))
+			}
+			tHeight = hres.HeightMs
+			tNeg := math.Max(tHeight, stats.Percentile(excess, cfg.NegHeightPercentile))
+			for i := range rtts {
+				adjPos[i] = height.AdjustRTT(rtts[i], s.Heights[i], tHeight)
+				adjNeg[i] = height.AdjustRTT(rtts[i], s.Heights[i], tNeg)
+			}
+		}
+	}
+
+	// 3. Latency constraints from every landmark (§2.1).
+	var constraints []Constraint
+	for i, lm := range s.Landmarks {
+		rawMax := s.Calibs[i].MaxDistanceKm(adjPos[i])
+		rawMin := s.Calibs[i].MinDistanceKm(adjNeg[i])
+		maxKm := rawMax*(1+cfg.PadFrac) + cfg.PadKm
+		minKm := rawMin*cfg.NegativeShrink*(1-cfg.PadFrac) - cfg.PadKm
+		w := LatencyWeight(rtts[i], cfg.WeightHalfLifeMs)
+		if cfg.Unweighted {
+			w = 1
+		}
+		if maxKm <= 0 {
+			continue
+		}
+		constraints = append(constraints, PositiveDisk(pr, lm.Loc, maxKm, w, lm.Name))
+		if !cfg.DisableNegative && minKm > 0 && minKm < maxKm {
+			wn := w * cfg.NegativeWeightFactor
+			if cfg.Unweighted {
+				wn = 1
+			}
+			constraints = append(constraints, NegativeDisk(pr, lm.Loc, minKm, wn, lm.Name+"/neg"))
+		}
+	}
+	if len(constraints) == 0 {
+		return nil, fmt.Errorf("core: no usable constraints for %s", targetAddr)
+	}
+
+	// 4. Piecewise router localization (§2.3).
+	if !cfg.DisablePiecewise {
+		constraints = append(constraints, l.routerConstraints(pr, targetAddr, rtts, tHeight, cfg)...)
+	}
+
+	// 5. WHOIS positive constraint (§2.5).
+	if !cfg.DisableWhois {
+		if loc, _, ok := l.Prober.Whois(targetAddr); ok && loc.Valid() {
+			constraints = append(constraints,
+				PositiveDisk(pr, loc, cfg.WhoisRadiusKm, cfg.WhoisWeight, "whois"))
+		}
+	}
+
+	// 6. Solve (§2.4), masking oceans (§2.5).
+	sopts := SolverOpts{
+		MinAreaKm2: cfg.MinRegionAreaKm2,
+		Exact:      cfg.Exact,
+	}
+	if !cfg.DisableOceans {
+		sopts.LandRegions = LandRegions(pr)
+	}
+	if cfg.Unweighted {
+		// Discrete semantics: negatives are absolute vetoes.
+		for i := range constraints {
+			if constraints[i].Kind == Negative {
+				constraints[i].Weight = 1e9
+			}
+		}
+		sopts.MinAreaKm2 = 1 // take only the top weight level
+	}
+	sol, err := Solve(constraints, sopts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Target:         targetAddr,
+		Region:         sol.Region,
+		Projection:     pr,
+		AreaKm2:        sol.Region.Area(),
+		TargetHeightMs: tHeight,
+		RTTs:           rtts,
+		Constraints:    constraints,
+		Weight:         sol.Weight,
+	}
+	if sol.Region.IsEmpty() {
+		// Brittle configurations (Unweighted) can produce an empty
+		// estimate; report it honestly with a NaN point.
+		res.Point = geo.Pt(math.NaN(), math.NaN())
+		return res, nil
+	}
+	res.Point = pr.Inverse(sol.Point)
+	return res, nil
+}
+
+// routerConstraints issues traceroutes from the lowest-latency landmarks
+// and converts undns-localized routers on the paths into extra constraints
+// (§2.3). The residual latency from a router at hop k to the target is the
+// end-to-end RTT minus the cumulative RTT at hop k — the piece of the path
+// the landmark's measurements cannot see. The target's solved height is
+// removed from the residual before the distance lookup: the last router
+// before a campus is often one metro away, and without the height
+// deflation its constraint would be hundreds of km too loose.
+func (l *Localizer) routerConstraints(pr *geo.Projection, targetAddr string, rtts []float64, tHeight float64, cfg Config) []Constraint {
+	s := l.Survey
+	// Rank landmarks by latency to the target.
+	type lmDist struct {
+		idx int
+		rtt float64
+	}
+	order := make([]lmDist, len(rtts))
+	for i, r := range rtts {
+		order[i] = lmDist{i, r}
+	}
+	for i := 1; i < len(order); i++ { // insertion sort: n ≤ ~50
+		for j := i; j > 0 && order[j].rtt < order[j-1].rtt; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	resolver := l.Resolver
+	if resolver == nil {
+		resolver = undns.NewResolver()
+	}
+	type routerCons struct {
+		loc   undns.Location
+		maxKm float64
+		resid float64
+	}
+	best := make(map[string]routerCons) // per city code, keep the tightest
+	nTr := cfg.TracerouteLandmarks
+	if nTr > len(order) {
+		nTr = len(order)
+	}
+	for k := 0; k < nTr; k++ {
+		lm := s.Landmarks[order[k].idx]
+		hops, err := l.Prober.Traceroute(lm.Addr, targetAddr)
+		if err != nil || len(hops) == 0 {
+			continue
+		}
+		total := hops[len(hops)-1].RTTMs
+		deflate := math.Min(tHeight, cfg.MaxRouterHeightDeflationMs)
+		for _, h := range hops[:len(hops)-1] {
+			loc, ok := resolver.Resolve(h.Name)
+			if !ok {
+				continue
+			}
+			residual := total - h.RTTMs - deflate - 0.3 // 0.3ms: downstream queuing allowance
+			if residual < 0.2 {
+				residual = 0.2
+			}
+			maxKm := s.Global.MaxDistanceKm(residual) + cfg.RouterCityRadiusKm
+			if prev, ok := best[loc.Code]; !ok || maxKm < prev.maxKm {
+				best[loc.Code] = routerCons{loc: loc, maxKm: maxKm, resid: residual}
+			}
+		}
+	}
+	codes := make([]string, 0, len(best))
+	for code := range best {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes) // deterministic constraint order
+	var out []Constraint
+	for _, code := range codes {
+		rc := best[code]
+		w := LatencyWeight(rc.resid, cfg.WeightHalfLifeMs) * cfg.RouterWeightFactor
+		if cfg.Unweighted {
+			w = 1
+		}
+		out = append(out, PositiveDisk(pr, rc.loc.Loc, rc.maxKm, w, "router:"+code))
+	}
+	return out
+}
+
+// LocalizeWithSecondary runs a localization that additionally uses a
+// secondary landmark: a node whose own position is only known as an
+// estimated region beta (e.g. a previously localized router). Positive
+// constraints dilate beta by R(d); negative constraints keep only points
+// within r(d) of all of beta (§2 of the paper). The secondary's latency to
+// the target must be supplied by the caller.
+func (l *Localizer) LocalizeWithSecondary(targetAddr string, beta *geo.Region, rttMs float64) (*Result, error) {
+	res, err := l.Localize(targetAddr)
+	if err != nil {
+		return nil, err
+	}
+	cfg := l.Cfg
+	cfg.fillDefaults()
+	minKm, maxKm := l.Survey.Global.Band(rttMs)
+	w := LatencyWeight(rttMs, cfg.WeightHalfLifeMs) * cfg.RouterWeightFactor
+	cons := append([]Constraint(nil), res.Constraints...)
+	cons = append(cons, PositiveFromRegion(beta, maxKm, w, "secondary"))
+	if !cfg.DisableNegative && minKm > 0 {
+		neg := NegativeFromRegion(beta, minKm, w, "secondary/neg")
+		if !neg.Region.IsEmpty() {
+			cons = append(cons, neg)
+		}
+	}
+	sopts := SolverOpts{MinAreaKm2: cfg.MinRegionAreaKm2, Exact: cfg.Exact}
+	if !cfg.DisableOceans {
+		sopts.LandRegions = LandRegions(res.Projection)
+	}
+	sol, err := Solve(cons, sopts)
+	if err != nil {
+		return nil, err
+	}
+	res.Region = sol.Region
+	res.AreaKm2 = sol.Region.Area()
+	res.Constraints = cons
+	res.Weight = sol.Weight
+	if !sol.Region.IsEmpty() {
+		res.Point = res.Projection.Inverse(sol.Point)
+	}
+	return res, nil
+}

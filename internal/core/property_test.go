@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"octant/internal/geo"
+)
+
+// Property: adding a positive constraint never decreases the solver's best
+// weight, and adding a negative constraint never increases it — the
+// monotonicity that makes weighted constraint accumulation (§2.4) sound.
+func TestSolverWeightMonotonicity(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 21))
+		var cons []Constraint
+		n := 3 + rng.IntN(5)
+		for i := 0; i < n; i++ {
+			c := geo.V2(rng.Float64()*200-100, rng.Float64()*200-100)
+			cons = append(cons, Constraint{
+				Kind:   Positive,
+				Region: geo.Disk(c, 40+rng.Float64()*120, 64),
+				Weight: 0.2 + rng.Float64(),
+			})
+		}
+		opts := SolverOpts{MinAreaKm2: 200}
+		base, err := Solve(cons, opts)
+		if err != nil {
+			return false
+		}
+		// Add a positive constraint overlapping the current best point.
+		extra := Constraint{
+			Kind:   Positive,
+			Region: geo.Disk(base.Point, 80, 64),
+			Weight: 0.5,
+		}
+		more, err := Solve(append(append([]Constraint{}, cons...), extra), opts)
+		if err != nil {
+			return false
+		}
+		if more.Weight < base.Weight-1e-9 {
+			return false
+		}
+		// Add a negative constraint covering the best point.
+		neg := Constraint{
+			Kind:   Negative,
+			Region: geo.Disk(base.Point, 80, 64),
+			Weight: 0.5,
+		}
+		less, err := Solve(append(append([]Constraint{}, cons...), neg), opts)
+		if err != nil {
+			return false
+		}
+		return less.Weight <= base.Weight+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the solution region of a positive-only system always lies
+// inside the union of the positive constraints (no invented area).
+func TestSolverRegionWithinPositiveUnion(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 22))
+		var cons []Constraint
+		var regions []*geo.Region
+		n := 2 + rng.IntN(4)
+		for i := 0; i < n; i++ {
+			c := geo.V2(rng.Float64()*150-75, rng.Float64()*150-75)
+			r := geo.Disk(c, 50+rng.Float64()*80, 64)
+			regions = append(regions, r)
+			cons = append(cons, Constraint{Kind: Positive, Region: r, Weight: 1})
+		}
+		sol, err := Solve(cons, SolverOpts{MinAreaKm2: 100})
+		if err != nil {
+			return false
+		}
+		for _, p := range sol.Region.SamplePoints(25) {
+			inAny := false
+			for _, r := range regions {
+				if r.Contains(p) {
+					inAny = true
+					break
+				}
+			}
+			// Raster cell granularity tolerance: allow points within a
+			// couple of km of some region.
+			if !inAny {
+				near := false
+				for _, r := range regions {
+					if r.DistanceTo(p) < 5 {
+						near = true
+						break
+					}
+				}
+				if !near {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

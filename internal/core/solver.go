@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"octant/internal/geo"
+)
+
+// The weighted constraint solver of §2.4. A discrete solution (pure
+// intersection/subtraction) is brittle: one erroneous constraint collapses
+// the estimate to the empty set. Octant instead accumulates constraint
+// weights over the plane and returns the union of the highest-weight
+// regions, descending by weight, until the result exceeds a size threshold.
+//
+// Two engines implement this:
+//
+//   - the raster engine overlays constraints on a weight grid
+//     (positive add, negative subtract, hard masks exclude), then extracts
+//     a level set — robust for dozens of overlapping constraints, and
+//     refined in a second pass at fine resolution around the first answer;
+//   - the exact engine maintains the full arrangement of constraint
+//     regions as disjoint (region, weight) cells via pairwise boolean
+//     operations — exponential in the worst case, usable for small
+//     constraint counts and for cross-validating the raster engine.
+
+// SolverOpts configures the weighted solve.
+type SolverOpts struct {
+	// MinAreaKm2 is the size threshold: weight levels are unioned in
+	// descending order until the region reaches this area (default 500).
+	MinAreaKm2 float64
+	// CoarseCells is the target cell count across the larger extent axis
+	// for the first raster pass (default 384).
+	CoarseCells int
+	// FineCellKm is the resolution of the refinement pass (default 4 km,
+	// clamped so the fine grid stays within budget).
+	FineCellKm float64
+	// Exact switches to the exact arrangement engine.
+	Exact bool
+	// LandRegions, when non-empty, restricts solutions to the union of
+	// these regions (the §2.5 ocean/uninhabitable negative constraint,
+	// applied as a hard mask).
+	LandRegions []*geo.Region
+}
+
+func (o *SolverOpts) fillDefaults() {
+	if o.MinAreaKm2 == 0 {
+		o.MinAreaKm2 = 500
+	}
+	if o.CoarseCells == 0 {
+		o.CoarseCells = 384
+	}
+	if o.FineCellKm == 0 {
+		o.FineCellKm = 4
+	}
+}
+
+// Solution is the outcome of a weighted constraint solve.
+type Solution struct {
+	// Region is the estimated location region β.
+	Region *geo.Region
+	// Weight is the constraint weight captured by the region's
+	// highest-weight cells.
+	Weight float64
+	// Point is the weight-averaged point estimate.
+	Point geo.Vec2
+	// CellKm is the resolution the final extraction used.
+	CellKm float64
+}
+
+// Solve runs the weighted solver over the constraints.
+func Solve(constraints []Constraint, opts SolverOpts) (*Solution, error) {
+	opts.fillDefaults()
+	var positives []Constraint
+	for _, c := range constraints {
+		if c.Kind == Positive && !c.Region.IsEmpty() {
+			positives = append(positives, c)
+		}
+	}
+	if len(positives) == 0 {
+		return nil, fmt.Errorf("core: no positive constraints to solve")
+	}
+	if opts.Exact {
+		return solveExact(constraints, opts)
+	}
+
+	// Pass 1: coarse grid over the union of positive-constraint extents.
+	min, max := constraintExtent(positives)
+	span := math.Max(max.X-min.X, max.Y-min.Y)
+	coarse := span / float64(opts.CoarseCells)
+	if coarse < opts.FineCellKm {
+		coarse = opts.FineCellKm
+	}
+	sol := solveOnGrid(constraints, min, max, coarse, opts)
+	if sol.Region.IsEmpty() {
+		return sol, nil
+	}
+	// Pass 2: refine around the coarse answer when it is small enough to
+	// benefit.
+	rmin, rmax, ok := sol.Region.BoundingBox()
+	if !ok {
+		return sol, nil
+	}
+	pad := 4 * coarse
+	rmin = geo.V2(rmin.X-pad, rmin.Y-pad)
+	rmax = geo.V2(rmax.X+pad, rmax.Y+pad)
+	fine := opts.FineCellKm
+	// Keep the fine grid within ~1M cells.
+	for (rmax.X-rmin.X)*(rmax.Y-rmin.Y)/(fine*fine) > 1<<20 {
+		fine *= 2
+	}
+	if fine >= coarse {
+		return sol, nil
+	}
+	refined := solveOnGrid(constraints, rmin, rmax, fine, opts)
+	if refined.Region.IsEmpty() {
+		return sol, nil
+	}
+	return refined, nil
+}
+
+// constraintExtent returns the union bounding box of constraint regions.
+func constraintExtent(cs []Constraint) (min, max geo.Vec2) {
+	first := true
+	for _, c := range cs {
+		lo, hi, ok := c.Region.BoundingBox()
+		if !ok {
+			continue
+		}
+		if first {
+			min, max, first = lo, hi, false
+			continue
+		}
+		min.X = math.Min(min.X, lo.X)
+		min.Y = math.Min(min.Y, lo.Y)
+		max.X = math.Max(max.X, hi.X)
+		max.Y = math.Max(max.Y, hi.Y)
+	}
+	return min, max
+}
+
+// solveOnGrid accumulates constraint weights on one grid and extracts the
+// best level set exceeding the size threshold.
+func solveOnGrid(constraints []Constraint, min, max geo.Vec2, cellKm float64, opts SolverOpts) *Solution {
+	g := geo.NewGrid(min, max, cellKm)
+	for _, c := range constraints {
+		if c.Region.IsEmpty() {
+			continue
+		}
+		switch c.Kind {
+		case Positive:
+			g.AddRegion(c.Region, c.Weight)
+		case Negative:
+			g.AddRegion(c.Region, -c.Weight)
+		}
+	}
+	const excluded = -math.MaxFloat64
+	if len(opts.LandRegions) > 0 {
+		// Hard mask: zero out everything outside land. Build the land
+		// mask on the same grid.
+		land := make([]bool, g.W*g.H)
+		for _, lr := range opts.LandRegions {
+			for i, in := range g.RasterizeRegion(lr) {
+				if in {
+					land[i] = true
+				}
+			}
+		}
+		for i := range g.Weight {
+			if !land[i] {
+				g.Weight[i] = excluded
+			}
+		}
+	}
+
+	// Union weight levels in descending order until the size threshold.
+	levels := g.WeightLevels()
+	if len(levels) == 0 {
+		return &Solution{Region: geo.EmptyRegion(), CellKm: cellKm}
+	}
+	best := levels[0]
+	if best <= 0 {
+		return &Solution{Region: geo.EmptyRegion(), CellKm: cellKm}
+	}
+	level := best
+	for _, l := range levels {
+		if l <= 0 {
+			break
+		}
+		level = l
+		if g.AreaAtOrAbove(l) >= opts.MinAreaKm2 {
+			break
+		}
+	}
+	region := g.Threshold(level)
+	// Point estimate from the HIGHEST-weight cells only: the size
+	// threshold grows the reported region (for containment guarantees)
+	// without diluting the point estimate.
+	var sw, sx, sy float64
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			w := g.Weight[y*g.W+x]
+			if w < best {
+				continue
+			}
+			c := g.CellCenter(x, y)
+			sw += w
+			sx += w * c.X
+			sy += w * c.Y
+		}
+	}
+	pt := region.Centroid()
+	if sw > 0 {
+		pt = geo.V2(sx/sw, sy/sw)
+	}
+	return &Solution{Region: region, Weight: best, Point: pt, CellKm: cellKm}
+}
+
+// solveExact maintains the exact arrangement of constraints as disjoint
+// weighted cells. Worst-case exponential; intended for ≤ ~12 constraints
+// and for cross-validation.
+func solveExact(constraints []Constraint, opts SolverOpts) (*Solution, error) {
+	type cell struct {
+		region *geo.Region
+		weight float64
+	}
+	min, max := constraintExtent(constraints)
+	pad := math.Max(max.X-min.X, max.Y-min.Y)*0.05 + 10
+	universe := geo.Rect(geo.V2(min.X-pad, min.Y-pad), geo.V2(max.X+pad, max.Y+pad))
+	cells := []cell{{region: universe, weight: 0}}
+	bopts := &geo.BoolOpts{}
+	const maxCells = 4096
+	for _, c := range constraints {
+		if c.Region.IsEmpty() {
+			continue
+		}
+		delta := c.Weight
+		if c.Kind == Negative {
+			delta = -c.Weight
+		}
+		var next []cell
+		for _, cl := range cells {
+			in := geo.Intersect(cl.region, c.Region, bopts)
+			out := geo.Subtract(cl.region, c.Region, bopts)
+			if !in.IsEmpty() {
+				next = append(next, cell{in, cl.weight + delta})
+			}
+			if !out.IsEmpty() {
+				next = append(next, cell{out, cl.weight})
+			}
+		}
+		if len(next) > maxCells {
+			return nil, fmt.Errorf("core: exact solver arrangement exploded (%d cells); use the raster engine", len(next))
+		}
+		cells = next
+	}
+	// Mask to land if requested.
+	if len(opts.LandRegions) > 0 {
+		land := geo.UnionAll(opts.LandRegions, bopts)
+		var masked []cell
+		for _, cl := range cells {
+			in := geo.Intersect(cl.region, land, bopts)
+			if !in.IsEmpty() {
+				masked = append(masked, cell{in, cl.weight})
+			}
+		}
+		cells = masked
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].weight > cells[j].weight })
+	if len(cells) == 0 || cells[0].weight <= 0 {
+		return &Solution{Region: geo.EmptyRegion()}, nil
+	}
+	var acc *geo.Region
+	var area float64
+	level := cells[0].weight
+	for _, cl := range cells {
+		if cl.weight <= 0 {
+			break
+		}
+		if area >= opts.MinAreaKm2 && cl.weight < level {
+			break
+		}
+		level = cl.weight
+		if acc == nil {
+			acc = cl.region.Clone()
+		} else {
+			acc = geo.Union(acc, cl.region, bopts)
+		}
+		area = acc.Area()
+	}
+	if acc == nil {
+		acc = geo.EmptyRegion()
+	}
+	return &Solution{
+		Region: acc,
+		Weight: cells[0].weight,
+		Point:  acc.Centroid(),
+	}, nil
+}

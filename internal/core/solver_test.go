@@ -1,0 +1,265 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"octant/internal/geo"
+)
+
+func disk(x, y, r float64) *geo.Region { return geo.Disk(geo.V2(x, y), r, 96) }
+
+func TestSolveSingleConstraint(t *testing.T) {
+	cons := []Constraint{{Kind: Positive, Region: disk(0, 0, 100), Weight: 1, Source: "a"}}
+	sol, err := Solve(cons, SolverOpts{MinAreaKm2: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pi * 100 * 100
+	if got := sol.Region.Area(); math.Abs(got-want) > want*0.05 {
+		t.Errorf("area %v, want %v", got, want)
+	}
+	if sol.Point.Len() > 10 {
+		t.Errorf("point %v should be near origin", sol.Point)
+	}
+	if sol.Weight != 1 {
+		t.Errorf("weight %v", sol.Weight)
+	}
+}
+
+func TestSolveIntersection(t *testing.T) {
+	cons := []Constraint{
+		{Kind: Positive, Region: disk(0, 0, 100), Weight: 1, Source: "a"},
+		{Kind: Positive, Region: disk(150, 0, 100), Weight: 1, Source: "b"},
+	}
+	sol, err := Solve(cons, SolverOpts{MinAreaKm2: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best cells are the lens around (75, 0).
+	if math.Abs(sol.Point.X-75) > 10 || math.Abs(sol.Point.Y) > 10 {
+		t.Errorf("point %v, want ≈ (75, 0)", sol.Point)
+	}
+	if sol.Weight != 2 {
+		t.Errorf("weight %v, want 2", sol.Weight)
+	}
+	// Region contains lens points, not disk-a-only points... the region
+	// may be grown past the lens by the size threshold, but the lens
+	// itself must be in it.
+	if !sol.Region.Contains(geo.V2(75, 0)) {
+		t.Error("lens centre missing from region")
+	}
+}
+
+func TestSolveNegativeConstraint(t *testing.T) {
+	cons := []Constraint{
+		{Kind: Positive, Region: disk(0, 0, 100), Weight: 1, Source: "a"},
+		{Kind: Negative, Region: disk(0, 0, 30), Weight: 1, Source: "a/neg"},
+	}
+	sol, err := Solve(cons, SolverOpts{MinAreaKm2: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Region.Contains(geo.V2(0, 0)) {
+		t.Error("negative constraint centre should be excluded")
+	}
+	if !sol.Region.Contains(geo.V2(60, 0)) {
+		t.Error("annulus should be included")
+	}
+}
+
+func TestSolveWeightedConflict(t *testing.T) {
+	// Two disjoint high-weight clusters; one heavier. The solver must
+	// pick the heavier, not fail (the §2.4 robustness argument).
+	cons := []Constraint{
+		{Kind: Positive, Region: disk(0, 0, 50), Weight: 1, Source: "a"},
+		{Kind: Positive, Region: disk(0, 0, 50), Weight: 1, Source: "b"},
+		{Kind: Positive, Region: disk(0, 0, 50), Weight: 1, Source: "c"},
+		{Kind: Positive, Region: disk(500, 0, 50), Weight: 1, Source: "liar1"},
+		{Kind: Positive, Region: disk(500, 0, 50), Weight: 0.5, Source: "liar2"},
+	}
+	sol, err := Solve(cons, SolverOpts{MinAreaKm2: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Point.Dist(geo.V2(0, 0)) > 20 {
+		t.Errorf("point %v should be at the 3-vote cluster", sol.Point)
+	}
+	if sol.Weight != 3 {
+		t.Errorf("weight %v, want 3", sol.Weight)
+	}
+}
+
+func TestSolveSizeThresholdGrowsRegion(t *testing.T) {
+	cons := []Constraint{
+		{Kind: Positive, Region: disk(0, 0, 200), Weight: 1, Source: "a"},
+		{Kind: Positive, Region: disk(0, 0, 20), Weight: 1, Source: "b"},
+	}
+	small, _ := Solve(cons, SolverOpts{MinAreaKm2: 100})
+	big, _ := Solve(cons, SolverOpts{MinAreaKm2: 50000})
+	if big.Region.Area() <= small.Region.Area() {
+		t.Errorf("size threshold should grow region: %v vs %v", big.Region.Area(), small.Region.Area())
+	}
+	// Point estimate must not degrade with a bigger region (it comes
+	// from top-weight cells in both cases).
+	if small.Point.Len() > 10 || big.Point.Len() > 10 {
+		t.Errorf("points drifted: %v %v", small.Point, big.Point)
+	}
+}
+
+func TestSolveLandMask(t *testing.T) {
+	land := geo.Rect(geo.V2(-30, -30), geo.V2(30, 30))
+	cons := []Constraint{
+		{Kind: Positive, Region: disk(50, 0, 60), Weight: 1, Source: "a"},
+	}
+	sol, err := Solve(cons, SolverOpts{MinAreaKm2: 10, LandRegions: []*geo.Region{land}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the overlap of the disk with land survives.
+	if sol.Region.Contains(geo.V2(50, 0)) {
+		t.Error("off-land cells should be masked")
+	}
+	if !sol.Region.Contains(geo.V2(20, 0)) {
+		t.Error("on-land disk cells should remain")
+	}
+}
+
+func TestSolveNoPositive(t *testing.T) {
+	if _, err := Solve(nil, SolverOpts{}); err == nil {
+		t.Error("no constraints should error")
+	}
+	cons := []Constraint{{Kind: Negative, Region: disk(0, 0, 10), Weight: 1}}
+	if _, err := Solve(cons, SolverOpts{}); err == nil {
+		t.Error("negative-only should error")
+	}
+}
+
+func TestSolveExactMatchesRaster(t *testing.T) {
+	cons := []Constraint{
+		{Kind: Positive, Region: disk(0, 0, 100), Weight: 1, Source: "a"},
+		{Kind: Positive, Region: disk(120, 0, 100), Weight: 1, Source: "b"},
+		{Kind: Negative, Region: disk(60, 0, 25), Weight: 0.5, Source: "n"},
+	}
+	raster, err := Solve(cons, SolverOpts{MinAreaKm2: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Solve(cons, SolverOpts{MinAreaKm2: 200, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same top weight and nearby point estimates.
+	if math.Abs(raster.Weight-exact.Weight) > 1e-9 {
+		t.Errorf("weights differ: %v vs %v", raster.Weight, exact.Weight)
+	}
+	if raster.Point.Dist(exact.Point) > 30 {
+		t.Errorf("points differ: %v vs %v", raster.Point, exact.Point)
+	}
+	rel := math.Abs(raster.Region.Area()-exact.Region.Area()) / exact.Region.Area()
+	if rel > 0.25 {
+		t.Errorf("areas differ %.0f%%: %v vs %v", rel*100, raster.Region.Area(), exact.Region.Area())
+	}
+}
+
+func TestConstraintBuilders(t *testing.T) {
+	pr := geo.NewProjection(geo.Pt(40, -90))
+	c := PositiveDisk(pr, geo.Pt(40, -90), 100, 0.7, "lm")
+	if c.Kind != Positive || c.Weight != 0.7 {
+		t.Errorf("PositiveDisk = %+v", c)
+	}
+	want := math.Pi * 100 * 100
+	if got := c.Region.Area(); math.Abs(got-want) > want*0.02 {
+		t.Errorf("disk area %v", got)
+	}
+	n := NegativeDisk(pr, geo.Pt(40, -90), 50, 0.7, "lm")
+	if n.Kind != Negative {
+		t.Error("NegativeDisk kind")
+	}
+	anns := AnnulusConstraints(pr, geo.Pt(40, -90), 50, 100, 1, "lm")
+	if len(anns) != 2 || anns[0].Kind != Positive || anns[1].Kind != Negative {
+		t.Errorf("AnnulusConstraints = %v", anns)
+	}
+	if got := AnnulusConstraints(pr, geo.Pt(40, -90), 120, 100, 1, "lm"); len(got) != 1 {
+		t.Errorf("inverted annulus should yield positive only, got %v", got)
+	}
+}
+
+func TestSecondaryLandmarkConstraints(t *testing.T) {
+	beta := disk(0, 0, 50) // secondary landmark region
+	pos := PositiveFromRegion(beta, 100, 1, "sec")
+	// Dilation: all points within 100 of any point in beta → disk radius 150.
+	want := math.Pi * 150 * 150
+	if got := pos.Region.Area(); math.Abs(got-want) > want*0.08 {
+		t.Errorf("dilated area %v, want ≈ %v", got, want)
+	}
+	neg := NegativeFromRegion(beta, 100, 1, "sec")
+	// Intersection of 100-disks at all hull points of a 50-disk: points
+	// within 100 of EVERY point of beta → disk of radius 50 around centre.
+	wantN := math.Pi * 50 * 50
+	if got := neg.Region.Area(); math.Abs(got-wantN) > wantN*0.15 {
+		t.Errorf("erosion-style area %v, want ≈ %v", got, wantN)
+	}
+	if !neg.Region.Contains(geo.V2(0, 0)) {
+		t.Error("negative region should contain beta's centre")
+	}
+	// Radius smaller than beta's extent ⇒ empty intersection.
+	negEmpty := NegativeFromRegion(beta, 20, 1, "sec")
+	if !negEmpty.Region.IsEmpty() {
+		t.Errorf("r < region extent should give empty exclusion, got %v", negEmpty.Region.Area())
+	}
+	if got := PositiveFromRegion(geo.EmptyRegion(), 100, 1, "x"); !got.Region.IsEmpty() {
+		t.Error("empty beta should stay empty")
+	}
+}
+
+func TestLatencyWeight(t *testing.T) {
+	if w := LatencyWeight(0, 30); w != 1 {
+		t.Errorf("weight at 0 = %v", w)
+	}
+	if w := LatencyWeight(30, 30); math.Abs(w-0.5) > 1e-12 {
+		t.Errorf("weight at half-life = %v", w)
+	}
+	if w := LatencyWeight(60, 30); math.Abs(w-0.25) > 1e-12 {
+		t.Errorf("weight at 2×half-life = %v", w)
+	}
+	if w := LatencyWeight(10, 0); w != 1 {
+		t.Errorf("zero half-life should disable weighting, got %v", w)
+	}
+	if w := LatencyWeight(-5, 30); w != 1 {
+		t.Errorf("negative rtt clamps, got %v", w)
+	}
+	// Monotone decreasing.
+	prev := 2.0
+	for rtt := 0.0; rtt < 300; rtt += 10 {
+		w := LatencyWeight(rtt, 30)
+		if w > prev {
+			t.Fatalf("weight not decreasing at %v", rtt)
+		}
+		prev = w
+	}
+}
+
+func TestOnLand(t *testing.T) {
+	onLand := []geo.Point{
+		geo.Pt(42.44, -76.50),  // Ithaca
+		geo.Pt(39.74, -104.99), // Denver
+		geo.Pt(48.85, 2.35),    // Paris
+		geo.Pt(51.51, -0.13),   // London
+	}
+	for _, p := range onLand {
+		if !OnLand(p) {
+			t.Errorf("%v should be on land", p)
+		}
+	}
+	offLand := []geo.Point{
+		geo.Pt(40, -40), // mid-Atlantic
+		geo.Pt(30, -60), // Sargasso Sea
+		geo.Pt(0, 0),    // Gulf of Guinea
+	}
+	for _, p := range offLand {
+		if OnLand(p) {
+			t.Errorf("%v should be ocean", p)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"octant/internal/core"
+	"octant/internal/stats"
+)
+
+func testDeployment(t *testing.T) *Deployment {
+	t.Helper()
+	d, err := NewDeployment(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDeployment(t *testing.T) {
+	d := testDeployment(t)
+	if len(d.Landmarks) != 51 {
+		t.Fatalf("landmarks = %d, want the paper's 51", len(d.Landmarks))
+	}
+	if d.Survey.N() != 51 {
+		t.Fatalf("survey N = %d", d.Survey.N())
+	}
+}
+
+func TestFig2(t *testing.T) {
+	d := testDeployment(t)
+	f, err := d.RunFig2("rochester")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Scatter) != 50 {
+		t.Errorf("scatter size %d, want 50 peers", len(f.Scatter))
+	}
+	// Hull facets bracket the scatter.
+	if len(f.UpperFacets) < 2 || len(f.LowerFacets) < 2 {
+		t.Errorf("facets too small: %d upper, %d lower", len(f.UpperFacets), len(f.LowerFacets))
+	}
+	// Percentiles ordered.
+	if !(f.Percentiles[50] <= f.Percentiles[75] && f.Percentiles[75] <= f.Percentiles[90]) {
+		t.Errorf("percentiles not ordered: %v", f.Percentiles)
+	}
+	// The speed-of-light line dominates the scatter (physics).
+	for _, s := range f.Scatter {
+		solAt := 0.0
+		for _, p := range f.SpeedOfLite {
+			if p[0] >= s.LatencyMs {
+				solAt = p[1]
+				break
+			}
+		}
+		if solAt > 0 && s.DistanceKm > solAt*1.05 {
+			t.Errorf("scatter point (%.1f, %.0f) above speed of light", s.LatencyMs, s.DistanceKm)
+		}
+	}
+	if len(f.Spline) == 0 {
+		t.Error("missing spline approximation series")
+	}
+	txt := f.Format()
+	for _, want := range []string{"Figure 2", "convex hull upper facets", "spline", "2/3c"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("formatted output missing %q", want)
+		}
+	}
+	if _, err := d.RunFig2("not-a-landmark"); err == nil {
+		t.Error("unknown landmark should error")
+	}
+}
+
+func TestFig3QuickShape(t *testing.T) {
+	// Step 5 → 11 targets: fast but statistically meaningful for shape.
+	d := testDeployment(t)
+	res, err := d.RunFig3(core.Config{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Targets != 11 {
+		t.Fatalf("targets = %d", res.Targets)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]stats.Summary{}
+	for _, s := range res.Summaries() {
+		byName[s.Name] = s
+	}
+	// Core paper shape: Octant beats the two latency-based baselines.
+	if byName["Octant"].Median >= byName["GeoLim"].Median {
+		t.Errorf("Octant median %.1f should beat GeoLim %.1f",
+			byName["Octant"].Median, byName["GeoLim"].Median)
+	}
+	if byName["Octant"].Median >= byName["GeoPing"].Median {
+		t.Errorf("Octant median %.1f should beat GeoPing %.1f",
+			byName["Octant"].Median, byName["GeoPing"].Median)
+	}
+	// All errors finite and plausible.
+	for _, row := range res.Rows {
+		if len(row.Errors) != res.Targets {
+			t.Errorf("%s has %d errors", row.Name, len(row.Errors))
+		}
+		for _, e := range row.Errors {
+			if e < 0 || e > 3000 {
+				t.Errorf("%s error %v implausible", row.Name, e)
+			}
+		}
+	}
+	// CDF formatting.
+	cdf := res.FormatCDF()
+	if !strings.Contains(cdf, "Octant") || !strings.Contains(cdf, "GeoTrack") {
+		t.Errorf("CDF table malformed:\n%s", cdf)
+	}
+}
+
+func TestFig4QuickShape(t *testing.T) {
+	d := testDeployment(t)
+	pts, err := d.RunFig4(core.Config{}, []int{15, 40}, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.OctantPct < 0 || p.OctantPct > 100 || p.GeoLimPct < 0 || p.GeoLimPct > 100 {
+			t.Errorf("percentages out of range: %+v", p)
+		}
+	}
+	// The paper's Figure 4 claim: Octant's containment exceeds GeoLim's.
+	// Averaged across counts to damp single-trial subset noise.
+	var octSum, glSum float64
+	for _, p := range pts {
+		octSum += p.OctantPct
+		glSum += p.GeoLimPct
+	}
+	if octSum <= glSum {
+		t.Errorf("mean Octant containment %.0f%% should beat GeoLim %.0f%%",
+			octSum/float64(len(pts)), glSum/float64(len(pts)))
+	}
+	out := FormatFig4(pts)
+	if !strings.Contains(out, "landmarks") {
+		t.Errorf("fig4 table malformed:\n%s", out)
+	}
+}

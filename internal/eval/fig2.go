@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"octant/internal/calib"
+	"octant/internal/geo"
+	"octant/internal/hull"
+)
+
+// Fig2Data is everything Figure 2 plots for one landmark: the scatter of
+// (latency, distance) points to its peers, the convex-hull facets that
+// become R_L and r_L, the 50/75/90th-percentile latency cutoffs, the
+// natural-cubic-spline approximation of the scatter, and the 2/3·c
+// speed-of-light line.
+type Fig2Data struct {
+	Landmark    string
+	Scatter     []calib.Sample
+	UpperFacets []hull.P
+	LowerFacets []hull.P
+	Percentiles map[int]float64 // 50, 75, 90 → latency ms
+	Spline      [][2]float64    // (latency, km) samples of the spline
+	SpeedOfLite [][2]float64    // (latency, km) samples of the 2/3·c line
+	Rho         float64
+}
+
+// RunFig2 builds the Figure 2 data for the named landmark (the paper uses
+// planetlab1.cs.rochester.edu; we match by survey landmark name).
+func (d *Deployment) RunFig2(landmarkName string) (*Fig2Data, error) {
+	idx := -1
+	for i, lm := range d.Survey.Landmarks {
+		if lm.Name == landmarkName || lm.Addr == landmarkName {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("eval: unknown landmark %q", landmarkName)
+	}
+	c := d.Survey.Calibs[idx]
+	out := &Fig2Data{
+		Landmark:    d.Survey.Landmarks[idx].Name,
+		Scatter:     c.SortedSamples(),
+		UpperFacets: c.UpperFacets(),
+		LowerFacets: c.LowerFacets(),
+		Percentiles: map[int]float64{
+			50: c.LatencyPercentile(50),
+			75: c.LatencyPercentile(75),
+			90: c.LatencyPercentile(90),
+		},
+		Rho: c.Rho(),
+	}
+	if sp := c.SplineApproximation(12); sp != nil {
+		maxLat := out.Scatter[len(out.Scatter)-1].LatencyMs
+		for x := 0.0; x <= maxLat; x += maxLat / 60 {
+			out.Spline = append(out.Spline, [2]float64{x, sp.Eval(x)})
+		}
+	}
+	maxLat := out.Scatter[len(out.Scatter)-1].LatencyMs
+	for x := 0.0; x <= maxLat; x += maxLat / 60 {
+		out.SpeedOfLite = append(out.SpeedOfLite, [2]float64{x, geo.LatencyToMaxDistanceKm(x)})
+	}
+	return out, nil
+}
+
+// Format renders the Figure 2 series as aligned text (scatter plus the
+// overlay curves at matching latencies).
+func (f *Fig2Data) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2 — latency vs distance for landmark %s\n", f.Landmark)
+	fmt.Fprintf(&b, "percentile cutoffs: 50%%=%.1fms 75%%=%.1fms 90%%=%.1fms (ρ=%.1fms)\n\n",
+		f.Percentiles[50], f.Percentiles[75], f.Percentiles[90], f.Rho)
+	fmt.Fprintf(&b, "scatter (%d peers):\n%-12s %-12s\n", len(f.Scatter), "latency ms", "distance km")
+	for _, s := range f.Scatter {
+		fmt.Fprintf(&b, "%-12.2f %-12.0f\n", s.LatencyMs, s.DistanceKm)
+	}
+	fmt.Fprintf(&b, "\nconvex hull upper facets (R_L):\n")
+	for _, p := range f.UpperFacets {
+		fmt.Fprintf(&b, "%-12.2f %-12.0f\n", p.X, p.Y)
+	}
+	fmt.Fprintf(&b, "\nconvex hull lower facets (r_L):\n")
+	for _, p := range f.LowerFacets {
+		fmt.Fprintf(&b, "%-12.2f %-12.0f\n", p.X, p.Y)
+	}
+	fmt.Fprintf(&b, "\n%-12s %-14s %-14s\n", "latency ms", "spline km", "2/3c km")
+	for i := range f.SpeedOfLite {
+		sp := ""
+		if i < len(f.Spline) {
+			sp = fmt.Sprintf("%.0f", f.Spline[i][1])
+		}
+		fmt.Fprintf(&b, "%-12.2f %-14s %-14.0f\n", f.SpeedOfLite[i][0], sp, f.SpeedOfLite[i][1])
+	}
+	return b.String()
+}

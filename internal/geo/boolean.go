@@ -1,0 +1,217 @@
+package geo
+
+import "math"
+
+// Engine selects which boolean-operation implementation to use.
+type Engine int
+
+// Boolean engines.
+const (
+	// EngineAuto uses exact clipping for single-ring pairs and the raster
+	// engine otherwise.
+	EngineAuto Engine = iota
+	// EngineClip forces Greiner–Hormann clipping (single-ring pairs only;
+	// falls back to raster when it cannot apply).
+	EngineClip
+	// EngineRaster forces the raster engine.
+	EngineRaster
+)
+
+// BoolOpts configures boolean operations.
+type BoolOpts struct {
+	Engine Engine
+	// CellKm is the raster resolution. ≤0 chooses automatically from the
+	// operand extents (≈1/400 of the bounding-box diagonal, clamped to
+	// [0.2km, 25km]).
+	CellKm float64
+}
+
+// autoCell picks a raster resolution from the combined extent of operands.
+func autoCell(a, b *Region, requested float64) float64 {
+	if requested > 0 {
+		return requested
+	}
+	min, max, ok := unionBBox(a, b)
+	if !ok {
+		return 1
+	}
+	diag := max.Sub(min).Len()
+	return clamp(diag/400, 0.2, 25)
+}
+
+// Intersect returns a ∩ b.
+func Intersect(a, b *Region, opts *BoolOpts) *Region {
+	return boolOp(a, b, OpIntersect, opts)
+}
+
+// Union returns a ∪ b.
+func Union(a, b *Region, opts *BoolOpts) *Region {
+	return boolOp(a, b, OpUnion, opts)
+}
+
+// Subtract returns a \ b.
+func Subtract(a, b *Region, opts *BoolOpts) *Region {
+	return boolOp(a, b, OpSubtract, opts)
+}
+
+func boolOp(a, b *Region, op BoolOp, opts *BoolOpts) *Region {
+	if opts == nil {
+		opts = &BoolOpts{}
+	}
+	aEmpty := a.IsEmpty()
+	bEmpty := b.IsEmpty()
+	switch op {
+	case OpIntersect:
+		if aEmpty || bEmpty {
+			return EmptyRegion()
+		}
+	case OpUnion:
+		if aEmpty && bEmpty {
+			return EmptyRegion()
+		}
+		if aEmpty {
+			return b.Clone()
+		}
+		if bEmpty {
+			return a.Clone()
+		}
+	case OpSubtract:
+		if aEmpty {
+			return EmptyRegion()
+		}
+		if bEmpty {
+			return a.Clone()
+		}
+	}
+	useClip := false
+	switch opts.Engine {
+	case EngineClip:
+		useClip = true
+	case EngineAuto:
+		useClip = len(a.Rings) == 1 && len(b.Rings) == 1
+	}
+	if useClip && len(a.Rings) == 1 && len(b.Rings) == 1 {
+		if reg, ok := clipRings(a.Rings[0], b.Rings[0], op); ok {
+			return reg
+		}
+	}
+	cell := autoCell(a, b, opts.CellKm)
+	switch op {
+	case OpIntersect:
+		return rasterBool(a, b, cell, func(x, y bool) bool { return x && y })
+	case OpUnion:
+		return rasterBool(a, b, cell, func(x, y bool) bool { return x || y })
+	default:
+		return rasterBool(a, b, cell, func(x, y bool) bool { return x && !y })
+	}
+}
+
+// IntersectAll intersects all regions in order, short-circuiting on empty.
+func IntersectAll(regions []*Region, opts *BoolOpts) *Region {
+	if len(regions) == 0 {
+		return EmptyRegion()
+	}
+	acc := regions[0].Clone()
+	for _, r := range regions[1:] {
+		acc = Intersect(acc, r, opts)
+		if acc.IsEmpty() {
+			return EmptyRegion()
+		}
+	}
+	return acc
+}
+
+// UnionAll unions all regions (divide and conquer to keep intermediate
+// complexity balanced).
+func UnionAll(regions []*Region, opts *BoolOpts) *Region {
+	switch len(regions) {
+	case 0:
+		return EmptyRegion()
+	case 1:
+		return regions[0].Clone()
+	}
+	mid := len(regions) / 2
+	return Union(UnionAll(regions[:mid], opts), UnionAll(regions[mid:], opts), opts)
+}
+
+// Buffer morphologically grows (d > 0) or shrinks (d < 0) the region by
+// |d| km: the dilation is the Minkowski sum with a disk of radius d — the
+// "union of all circles of radius d at all points inside β" construction the
+// paper uses for positive constraints from secondary landmarks — and the
+// erosion is its dual used for negative constraints.
+//
+// The implementation thresholds the Euclidean distance field of the region
+// on a raster: robust for any topology. cellKm ≤ 0 picks a resolution
+// proportional to the buffered extent.
+func Buffer(r *Region, d float64, cellKm float64) *Region {
+	if r.IsEmpty() {
+		return EmptyRegion()
+	}
+	if d == 0 {
+		return r.Clone()
+	}
+	min, max, _ := r.BoundingBox()
+	grow := math.Max(d, 0) + 1
+	min = Vec2{min.X - grow - 2, min.Y - grow - 2}
+	max = Vec2{max.X + grow + 2, max.Y + grow + 2}
+	if cellKm <= 0 {
+		diag := max.Sub(min).Len()
+		cellKm = clamp(diag/400, 0.2, 25)
+		if d != 0 {
+			cellKm = math.Min(cellKm, math.Abs(d)/3)
+		}
+		cellKm = math.Max(cellKm, 0.05)
+	}
+	g := NewGrid(min, max, cellKm)
+	inside := g.RasterizeRegion(r)
+	out := make([]bool, len(inside))
+	any := false
+	if d > 0 {
+		// Dilation: cell is in the result if inside, or within d of the
+		// boundary.
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				i := y*g.W + x
+				if inside[i] {
+					out[i] = true
+					any = true
+					continue
+				}
+				p := g.CellCenter(x, y)
+				if distToRings(r, p) <= d {
+					out[i] = true
+					any = true
+				}
+			}
+		}
+	} else {
+		// Erosion: keep cells strictly deeper than |d| from the boundary.
+		dd := -d
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				i := y*g.W + x
+				if !inside[i] {
+					continue
+				}
+				p := g.CellCenter(x, y)
+				if distToRings(r, p) >= dd {
+					out[i] = true
+					any = true
+				}
+			}
+		}
+	}
+	if !any {
+		return EmptyRegion()
+	}
+	return g.traceBoundary(out)
+}
+
+// distToRings is the unsigned distance from p to the nearest ring boundary.
+func distToRings(r *Region, p Vec2) float64 {
+	d := math.Inf(1)
+	for _, ring := range r.Rings {
+		d = math.Min(d, ring.DistanceTo(p))
+	}
+	return d
+}

@@ -1,0 +1,359 @@
+package geo
+
+import "math"
+
+// This file implements Greiner–Hormann polygon clipping for pairs of simple
+// rings. It is the exact boolean engine; the raster engine (raster.go)
+// handles arbitrary multi-ring regions and is used to cross-validate this
+// one in property tests. Degenerate configurations (shared vertices,
+// edge-touching) are handled by deterministic micro-perturbation and retry.
+
+// BoolOp selects a boolean operation.
+type BoolOp int
+
+// Boolean operations on regions.
+const (
+	OpIntersect BoolOp = iota
+	OpUnion
+	OpSubtract // a \ b
+)
+
+func (op BoolOp) String() string {
+	switch op {
+	case OpIntersect:
+		return "intersect"
+	case OpUnion:
+		return "union"
+	case OpSubtract:
+		return "subtract"
+	}
+	return "unknown"
+}
+
+type ghNode struct {
+	p          Vec2
+	next, prev *ghNode
+	neighbor   *ghNode
+	intersect  bool
+	entry      bool
+	processed  bool
+	alpha      float64
+}
+
+// buildList creates a circular doubly linked list from ring vertices.
+func buildList(ring Ring) *ghNode {
+	var first, last *ghNode
+	for _, p := range ring {
+		n := &ghNode{p: p}
+		if first == nil {
+			first = n
+			last = n
+			continue
+		}
+		last.next = n
+		n.prev = last
+		last = n
+	}
+	last.next = first
+	first.prev = last
+	return first
+}
+
+// insertBetween inserts an intersection node between a and the next
+// non-intersection node, ordered by alpha.
+func insertBetween(n *ghNode, a, b *ghNode) {
+	c := a
+	for c != b && c.next != b && c.next.alpha <= n.alpha && c.next.intersect {
+		c = c.next
+	}
+	// Walk forward among intersection nodes keeping alpha order.
+	for c.next != b && c.next.intersect && c.next.alpha < n.alpha {
+		c = c.next
+	}
+	n.next = c.next
+	n.prev = c
+	c.next.prev = n
+	c.next = n
+}
+
+// clipRings performs op on two simple rings via Greiner–Hormann.
+// ok is false when the configuration was too degenerate even after
+// perturbation; callers fall back to the raster engine.
+func clipRings(subject, clip Ring, op BoolOp) (*Region, bool) {
+	s := subject.Clone()
+	ensureCCW(s)
+	c := clip.Clone()
+	ensureCCW(c)
+	for attempt := 0; attempt < 4; attempt++ {
+		if attempt > 0 {
+			c = perturbRing(c, attempt)
+		}
+		reg, ok := clipOnce(s, c, op)
+		if ok {
+			return reg, true
+		}
+	}
+	return nil, false
+}
+
+// perturbRing returns ring translated by a tiny deterministic offset.
+func perturbRing(r Ring, attempt int) Ring {
+	d := 1e-6 * float64(attempt)
+	out := make(Ring, len(r))
+	for i, p := range r {
+		out[i] = Vec2{p.X + d*1.13, p.Y - d*0.71}
+	}
+	return out
+}
+
+func clipOnce(subject, clip Ring, op BoolOp) (*Region, bool) {
+	sList := buildList(subject)
+	cList := buildList(clip)
+
+	// Phase 1: find intersections and insert paired nodes.
+	degenerate := false
+	nIntersections := 0
+	forEachEdge(sList, func(s1, s2 *ghNode) {
+		forEachEdge(cList, func(c1, c2 *ghNode) {
+			a, b, ok := segIntersectFull(s1.p, s2.p, c1.p, c2.p)
+			if !ok {
+				return
+			}
+			const eps = 1e-9
+			if a < eps || a > 1-eps || b < eps || b > 1-eps {
+				degenerate = true
+				return
+			}
+			p := s1.p.Lerp(s2.p, a)
+			ns := &ghNode{p: p, intersect: true, alpha: a}
+			nc := &ghNode{p: p, intersect: true, alpha: b}
+			ns.neighbor = nc
+			nc.neighbor = ns
+			insertBetween(ns, s1, s2)
+			insertBetween(nc, c1, c2)
+			nIntersections++
+		})
+	})
+	if degenerate {
+		return nil, false
+	}
+
+	if nIntersections == 0 {
+		return noIntersectionResult(subject, clip, op), true
+	}
+	if nIntersections%2 != 0 {
+		// Numerically inconsistent crossing count; retry perturbed.
+		return nil, false
+	}
+
+	// Phase 2: entry/exit marking.
+	clipReg := RegionFromRing(clip)
+	subjReg := RegionFromRing(subject)
+	sEntry := !clipReg.Contains(firstNonIntersect(sList).p)
+	cEntry := !subjReg.Contains(firstNonIntersect(cList).p)
+	switch op {
+	case OpUnion:
+		sEntry = !sEntry
+		cEntry = !cEntry
+	case OpSubtract:
+		// For A ∖ B the traversal follows A's boundary where it is
+		// OUTSIDE B, so the subject's entry parity flips (the clip is
+		// walked backward along its inside-A arcs via the unchanged
+		// clip marks).
+		sEntry = !sEntry
+	}
+	markEntries(sList, sEntry)
+	markEntries(cList, cEntry)
+
+	// Phase 3: trace result rings.
+	var rings []Ring
+	for {
+		start := unprocessedIntersection(sList)
+		if start == nil {
+			break
+		}
+		var ring Ring
+		cur := start
+		for {
+			cur.processed = true
+			if cur.neighbor != nil {
+				cur.neighbor.processed = true
+			}
+			if cur.entry {
+				for {
+					cur = cur.next
+					ring = append(ring, cur.p)
+					if cur.intersect {
+						break
+					}
+				}
+			} else {
+				for {
+					cur = cur.prev
+					ring = append(ring, cur.p)
+					if cur.intersect {
+						break
+					}
+				}
+			}
+			cur = cur.neighbor
+			if cur == nil || cur.processed && cur != start {
+				break
+			}
+			if cur == start || cur.neighbor == start {
+				break
+			}
+			if len(ring) > 4*(len(subject)+len(clip)+nIntersections) {
+				return nil, false // runaway trace: inconsistent marking
+			}
+		}
+		ring = dedupeRing(ring)
+		if len(ring) >= 3 && ring.Area() > 1e-12 {
+			rings = append(rings, ring)
+		}
+	}
+	if op == OpSubtract && len(rings) == 0 {
+		// Subject possibly entirely inside clip.
+		if clipReg.Contains(subject[0]) {
+			return EmptyRegion(), true
+		}
+	}
+	return NewRegion(rings...), true
+}
+
+// segIntersectFull returns parametric intersection of segments including
+// endpoint hits (ok=false only for parallel/no-hit).
+func segIntersectFull(p1, p2, q1, q2 Vec2) (s, t float64, ok bool) {
+	d1 := p2.Sub(p1)
+	d2 := q2.Sub(q1)
+	den := d1.Cross(d2)
+	if math.Abs(den) < 1e-14 {
+		return 0, 0, false
+	}
+	w := q1.Sub(p1)
+	s = w.Cross(d2) / den
+	t = w.Cross(d1) / den
+	if s < 0 || s > 1 || t < 0 || t > 1 {
+		return s, t, false
+	}
+	return s, t, true
+}
+
+func forEachEdge(list *ghNode, fn func(a, b *ghNode)) {
+	// Iterate over original (non-intersection) vertices only; edges run
+	// between consecutive originals.
+	var originals []*ghNode
+	n := list
+	for {
+		if !n.intersect {
+			originals = append(originals, n)
+		}
+		n = n.next
+		if n == list {
+			break
+		}
+	}
+	for i, a := range originals {
+		b := originals[(i+1)%len(originals)]
+		fn(a, b)
+	}
+}
+
+func firstNonIntersect(list *ghNode) *ghNode {
+	n := list
+	for n.intersect {
+		n = n.next
+		if n == list {
+			return list
+		}
+	}
+	return n
+}
+
+func markEntries(list *ghNode, entry bool) {
+	n := list
+	for {
+		if n.intersect {
+			n.entry = entry
+			entry = !entry
+		}
+		n = n.next
+		if n == list {
+			break
+		}
+	}
+}
+
+func unprocessedIntersection(list *ghNode) *ghNode {
+	n := list
+	for {
+		if n.intersect && !n.processed {
+			return n
+		}
+		n = n.next
+		if n == list {
+			return nil
+		}
+	}
+}
+
+// dedupeRing removes consecutive (near-)duplicate vertices.
+func dedupeRing(r Ring) Ring {
+	if len(r) < 2 {
+		return r
+	}
+	out := r[:0:0]
+	for _, p := range r {
+		if len(out) == 0 || out[len(out)-1].Dist(p) > 1e-9 {
+			out = append(out, p)
+		}
+	}
+	for len(out) > 1 && out[0].Dist(out[len(out)-1]) <= 1e-9 {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+// noIntersectionResult handles the disjoint / nested cases. With no edge
+// intersections, either one ring lies entirely inside the other or they are
+// disjoint, so testing a *boundary vertex* (never shared territory, unlike an
+// interior point) decides which.
+func noIntersectionResult(subject, clip Ring, op BoolOp) *Region {
+	subjReg := RegionFromRing(subject)
+	clipReg := RegionFromRing(clip)
+	sInC := clipReg.Contains(subject[0])
+	cInS := subjReg.Contains(clip[0])
+	switch op {
+	case OpIntersect:
+		if sInC {
+			return subjReg
+		}
+		if cInS {
+			return clipReg
+		}
+		return EmptyRegion()
+	case OpUnion:
+		if sInC {
+			return clipReg
+		}
+		if cInS {
+			return subjReg
+		}
+		out := subjReg.Clone()
+		out.Rings = append(out.Rings, clipReg.Rings...)
+		return out
+	case OpSubtract:
+		if sInC {
+			return EmptyRegion()
+		}
+		if cInS {
+			out := subjReg.Clone()
+			hole := clipReg.Rings[0].Clone()
+			reverseRing(hole)
+			out.Rings = append(out.Rings, hole)
+			return out
+		}
+		return subjReg
+	}
+	return EmptyRegion()
+}

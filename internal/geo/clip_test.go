@@ -1,0 +1,117 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func triangle(a, b, c Vec2) Ring { return Ring{a, b, c} }
+
+func TestClipTrianglesOverlap(t *testing.T) {
+	// Two overlapping triangles with a quadrilateral intersection.
+	a := triangle(V2(0, 0), V2(10, 0), V2(5, 10))
+	b := triangle(V2(0, 6), V2(10, 6), V2(5, -4))
+	reg, ok := clipRings(a, b, OpIntersect)
+	if !ok {
+		t.Fatal("clip failed")
+	}
+	if reg.IsEmpty() {
+		t.Fatal("intersection should be non-empty")
+	}
+	// Intersection area bounded by both inputs.
+	if reg.Area() > a.Area() || reg.Area() > b.Area() {
+		t.Errorf("intersection area %v exceeds inputs (%v, %v)", reg.Area(), a.Area(), b.Area())
+	}
+	// The centroid region of overlap contains (5, 3).
+	if !reg.Contains(V2(5, 3)) {
+		t.Error("overlap centre missing")
+	}
+	if reg.Contains(V2(5, 9)) {
+		t.Error("apex of a outside b should be excluded")
+	}
+}
+
+func TestClipSharedVertexPerturbation(t *testing.T) {
+	// Squares sharing a corner exactly: a degenerate configuration that
+	// must survive via perturbation (or fall back) rather than crash.
+	a := square(0, 0, 5)
+	b := square(10, 10, 5) // corner (5,5) touches
+	reg := Intersect(RegionFromRing(a), RegionFromRing(b), &BoolOpts{Engine: EngineClip})
+	// Touching squares intersect in (numerically) nothing.
+	if reg.Area() > 1 {
+		t.Errorf("corner-touching squares should have ≈0 intersection, got %v", reg.Area())
+	}
+}
+
+func TestClipIdenticalRings(t *testing.T) {
+	a := Disk(V2(0, 0), 10, 64)
+	got := Intersect(a, a.Clone(), nil)
+	if math.Abs(got.Area()-a.Area()) > a.Area()*0.05 {
+		t.Errorf("self-intersection area %v, want %v", got.Area(), a.Area())
+	}
+	u := Union(a, a.Clone(), nil)
+	if math.Abs(u.Area()-a.Area()) > a.Area()*0.05 {
+		t.Errorf("self-union area %v, want %v", u.Area(), a.Area())
+	}
+	d := Subtract(a, a.Clone(), nil)
+	if d.Area() > a.Area()*0.05 {
+		t.Errorf("self-difference area %v, want ≈0", d.Area())
+	}
+}
+
+func TestClipCrossShapes(t *testing.T) {
+	// A plus-sign overlap: horizontal bar ∩ vertical bar = centre square.
+	h := Rect(V2(-10, -2), V2(10, 2))
+	v := Rect(V2(-2, -10), V2(2, 10))
+	got := Intersect(h, v, &BoolOpts{Engine: EngineClip}).Area()
+	if math.Abs(got-16) > 1 {
+		t.Errorf("cross intersection = %v, want 16", got)
+	}
+	// Union = 2 bars − overlap.
+	u := Union(h, v, &BoolOpts{Engine: EngineClip}).Area()
+	want := h.Area() + v.Area() - 16
+	if math.Abs(u-want) > 2 {
+		t.Errorf("cross union = %v, want %v", u, want)
+	}
+	// Subtraction leaves two stubs of the horizontal bar.
+	s := Subtract(h, v, &BoolOpts{Engine: EngineClip})
+	if math.Abs(s.Area()-(h.Area()-16)) > 2 {
+		t.Errorf("cross difference = %v, want %v", s.Area(), h.Area()-16)
+	}
+	if len(s.Rings) != 2 {
+		t.Errorf("difference should split into 2 rings, got %d", len(s.Rings))
+	}
+}
+
+func TestClipSubtractBites(t *testing.T) {
+	// Subtracting an overlapping disk bites a chunk out of the square.
+	sq := RegionFromRing(square(0, 0, 10))
+	bite := Disk(V2(10, 0), 6, 64)
+	got := Subtract(sq, bite, nil)
+	// Half the disk overlaps the square.
+	want := sq.Area() - math.Pi*36/2
+	if math.Abs(got.Area()-want) > want*0.05 {
+		t.Errorf("bitten area %v, want ≈ %v", got.Area(), want)
+	}
+	if got.Contains(V2(9, 0)) {
+		t.Error("bitten zone should be excluded")
+	}
+	if !got.Contains(V2(-9, 0)) {
+		t.Error("far side should remain")
+	}
+}
+
+func TestClipCWInputNormalized(t *testing.T) {
+	// clipRings must handle CW input rings by normalizing them.
+	a := square(0, 0, 5)
+	reverseRing(a)
+	b := square(3, 0, 5)
+	reg, ok := clipRings(a, b, OpIntersect)
+	if !ok || reg.IsEmpty() {
+		t.Fatalf("CW input clip failed: %v %v", reg, ok)
+	}
+	want := 7.0 * 10.0 // overlap is 7 wide, 10 tall
+	if math.Abs(reg.Area()-want) > 1 {
+		t.Errorf("area %v, want %v", reg.Area(), want)
+	}
+}

@@ -1,0 +1,102 @@
+package geo
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// GeoJSON export: regions live in a projection plane, so export needs the
+// projection to map ring vertices back to (lon, lat). Output is a standard
+// Feature with a MultiPolygon geometry, ready for geojson.io or any GIS
+// tool — the practical way to inspect an Octant estimated location region.
+
+type geoJSONGeometry struct {
+	Type        string          `json:"type"`
+	Coordinates [][][][]float64 `json:"coordinates"`
+}
+
+type geoJSONFeature struct {
+	Type       string          `json:"type"`
+	Properties map[string]any  `json:"properties"`
+	Geometry   geoJSONGeometry `json:"geometry"`
+}
+
+// ToGeoJSON serializes the region as a GeoJSON Feature (MultiPolygon) using
+// the given projection to recover geographic coordinates. properties may be
+// nil. Rings are grouped into polygons by assigning each hole (CW ring) to
+// the smallest outer ring that contains it.
+func (r *Region) ToGeoJSON(pr *Projection, properties map[string]any) ([]byte, error) {
+	if pr == nil {
+		return nil, fmt.Errorf("geo: ToGeoJSON requires a projection")
+	}
+	if properties == nil {
+		properties = map[string]any{}
+	}
+	type polyGroup struct {
+		outer Ring
+		holes []Ring
+	}
+	var outers []*polyGroup
+	var holes []Ring
+	if r != nil {
+		for _, ring := range r.Rings {
+			if len(ring) < 3 {
+				continue
+			}
+			if ring.IsCCW() {
+				outers = append(outers, &polyGroup{outer: ring})
+			} else {
+				holes = append(holes, ring)
+			}
+		}
+	}
+	for _, h := range holes {
+		p := ringInteriorPoint(h)
+		var best *polyGroup
+		bestArea := 0.0
+		for _, g := range outers {
+			if g.outer.Contains(p) {
+				a := g.outer.Area()
+				if best == nil || a < bestArea {
+					best, bestArea = g, a
+				}
+			}
+		}
+		if best != nil {
+			best.holes = append(best.holes, h)
+		}
+	}
+	coords := make([][][][]float64, 0, len(outers))
+	ringCoords := func(ring Ring) [][]float64 {
+		out := make([][]float64, 0, len(ring)+1)
+		for _, v := range ring {
+			p := pr.Inverse(v)
+			out = append(out, []float64{round6(p.Lon), round6(p.Lat)})
+		}
+		if len(out) > 0 {
+			out = append(out, out[0]) // GeoJSON rings are explicitly closed
+		}
+		return out
+	}
+	for _, g := range outers {
+		poly := [][][]float64{ringCoords(g.outer)}
+		for _, h := range g.holes {
+			poly = append(poly, ringCoords(h))
+		}
+		coords = append(coords, poly)
+	}
+	f := geoJSONFeature{
+		Type:       "Feature",
+		Properties: properties,
+		Geometry:   geoJSONGeometry{Type: "MultiPolygon", Coordinates: coords},
+	}
+	return json.MarshalIndent(f, "", "  ")
+}
+
+func round6(v float64) float64 {
+	const s = 1e6
+	if v >= 0 {
+		return float64(int64(v*s+0.5)) / s
+	}
+	return float64(int64(v*s-0.5)) / s
+}

@@ -1,0 +1,93 @@
+package geo
+
+import "math"
+
+// Projection is an azimuthal equidistant projection centred at a reference
+// point. Distances and bearings from the centre are preserved exactly, which
+// makes the projection the natural choice for constraint regions defined as
+// distance bounds from landmarks near the centre (the projection error of a
+// disk a few thousand km from the centre is a small fraction of its radius,
+// and Octant's own error budget dominates it).
+//
+// Forward maps geographic points to plane coordinates in kilometres; Inverse
+// maps back. The zero Projection is centred at (0°, 0°) and usable.
+type Projection struct {
+	Center Point
+}
+
+// NewProjection returns a projection centred at c.
+func NewProjection(c Point) *Projection { return &Projection{Center: c} }
+
+// Forward projects a geographic point into the plane (km east, km north of
+// the centre along the azimuthal equidistant mapping).
+func (pr *Projection) Forward(p Point) Vec2 {
+	d := pr.Center.DistanceKm(p)
+	if d == 0 {
+		return Vec2{}
+	}
+	b := pr.Center.BearingTo(p)
+	// Bearing is clockwise from north; plane x is east, y is north.
+	return Vec2{X: d * math.Sin(b), Y: d * math.Cos(b)}
+}
+
+// Inverse maps a plane coordinate back to a geographic point.
+func (pr *Projection) Inverse(v Vec2) Point {
+	d := v.Len()
+	if d == 0 {
+		return pr.Center
+	}
+	bearing := math.Atan2(v.X, v.Y) // from north, clockwise
+	if bearing < 0 {
+		bearing += 2 * math.Pi
+	}
+	return pr.Center.Destination(bearing, d)
+}
+
+// ForwardAll projects a slice of points.
+func (pr *Projection) ForwardAll(pts []Point) []Vec2 {
+	out := make([]Vec2, len(pts))
+	for i, p := range pts {
+		out[i] = pr.Forward(p)
+	}
+	return out
+}
+
+// InverseAll unprojects a slice of plane coordinates.
+func (pr *Projection) InverseAll(vs []Vec2) []Point {
+	out := make([]Point, len(vs))
+	for i, v := range vs {
+		out[i] = pr.Inverse(v)
+	}
+	return out
+}
+
+// GeoCircle returns a polygonal approximation (n vertices, counter-clockwise)
+// of the set of plane points at great-circle distance radiusKm from the
+// geographic point center. The circle is sampled on the sphere and each
+// sample projected, so the result is exact up to sampling even far from the
+// projection centre.
+func (pr *Projection) GeoCircle(center Point, radiusKm float64, n int) []Vec2 {
+	if n < 3 {
+		n = 3
+	}
+	out := make([]Vec2, n)
+	for i := 0; i < n; i++ {
+		b := 2 * math.Pi * float64(i) / float64(n)
+		out[i] = pr.Forward(center.Destination(b, radiusKm))
+	}
+	ensureCCW(out)
+	return out
+}
+
+// ensureCCW reverses ring in place if it is clockwise.
+func ensureCCW(ring []Vec2) {
+	if signedArea(ring) < 0 {
+		reverseRing(ring)
+	}
+}
+
+func reverseRing(ring []Vec2) {
+	for i, j := 0, len(ring)-1; i < j; i, j = i+1, j-1 {
+		ring[i], ring[j] = ring[j], ring[i]
+	}
+}

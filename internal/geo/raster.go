@@ -1,0 +1,480 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// Grid is a uniform weight-accumulation grid over a rectangle of the
+// projection plane. It is the robust geometry engine behind Octant's
+// weighted constraint solver (§2.4): constraint regions add (or mask)
+// weight, and a level set of the accumulated weight field is extracted back
+// into a Region by boundary tracing.
+type Grid struct {
+	Min    Vec2      // lower-left corner of cell (0,0)
+	CellKm float64   // cell edge length
+	W, H   int       // cells in x and y
+	Weight []float64 // W*H weights, row-major (y*W + x)
+}
+
+// NewGrid creates a grid covering [min, max] with the given cell size.
+// The extent is expanded to a whole number of cells.
+func NewGrid(min, max Vec2, cellKm float64) *Grid {
+	if cellKm <= 0 {
+		cellKm = 1
+	}
+	w := int(math.Ceil((max.X - min.X) / cellKm))
+	h := int(math.Ceil((max.Y - min.Y) / cellKm))
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	const maxCells = 1 << 22 // 4M cells hard cap
+	for w*h > maxCells {
+		cellKm *= 2
+		w = int(math.Ceil((max.X - min.X) / cellKm))
+		h = int(math.Ceil((max.Y - min.Y) / cellKm))
+		if w < 1 {
+			w = 1
+		}
+		if h < 1 {
+			h = 1
+		}
+	}
+	return &Grid{Min: min, CellKm: cellKm, W: w, H: h, Weight: make([]float64, w*h)}
+}
+
+// CellCenter returns the plane coordinate of the centre of cell (x, y).
+func (g *Grid) CellCenter(x, y int) Vec2 {
+	return Vec2{
+		X: g.Min.X + (float64(x)+0.5)*g.CellKm,
+		Y: g.Min.Y + (float64(y)+0.5)*g.CellKm,
+	}
+}
+
+// CellAt returns the cell indices containing plane point p (may be out of
+// range; callers check).
+func (g *Grid) CellAt(p Vec2) (int, int) {
+	return int(math.Floor((p.X - g.Min.X) / g.CellKm)),
+		int(math.Floor((p.Y - g.Min.Y) / g.CellKm))
+}
+
+// crossing is an x-coordinate where a ring edge crosses a scanline, with the
+// winding direction of the edge.
+type crossing struct {
+	x   float64
+	dir int
+}
+
+// scanRow collects winding crossings of all rings of r with the horizontal
+// line y=yc, appending to buf, and returns the result sorted by x.
+func scanRow(r *Region, yc float64, buf []crossing) []crossing {
+	buf = buf[:0]
+	for _, ring := range r.Rings {
+		n := len(ring)
+		for i := 0; i < n; i++ {
+			a := ring[i]
+			b := ring[(i+1)%n]
+			if a.Y == b.Y {
+				continue
+			}
+			dir := 0
+			if a.Y <= yc && b.Y > yc {
+				dir = 1
+			} else if a.Y > yc && b.Y <= yc {
+				dir = -1
+			} else {
+				continue
+			}
+			t := (yc - a.Y) / (b.Y - a.Y)
+			buf = append(buf, crossing{x: a.X + t*(b.X-a.X), dir: dir})
+		}
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i].x < buf[j].x })
+	return buf
+}
+
+// rowSpans invokes fn(x0, x1) for every maximal run of cells in row y whose
+// centres are inside region r (non-zero winding).
+func (g *Grid) rowSpans(r *Region, y int, buf []crossing, fn func(x0, x1 int)) []crossing {
+	yc := g.Min.Y + (float64(y)+0.5)*g.CellKm
+	buf = scanRow(r, yc, buf)
+	if len(buf) == 0 {
+		return buf
+	}
+	wind := 0
+	for i := 0; i < len(buf); i++ {
+		prev := wind
+		wind += buf[i].dir
+		if prev == 0 && wind != 0 {
+			// span opens at buf[i].x
+			continue
+		}
+		if prev != 0 && wind == 0 {
+			// span closes: from the x where it opened to here
+			openX := buf[spanOpenIndex(buf, i)].x
+			x0 := int(math.Ceil((openX-g.Min.X)/g.CellKm - 0.5))
+			x1 := int(math.Floor((buf[i].x-g.Min.X)/g.CellKm - 0.5))
+			if x0 < 0 {
+				x0 = 0
+			}
+			if x1 >= g.W {
+				x1 = g.W - 1
+			}
+			if x0 <= x1 {
+				fn(x0, x1)
+			}
+		}
+	}
+	return buf
+}
+
+// spanOpenIndex walks backwards from close index i to find where the winding
+// became non-zero.
+func spanOpenIndex(buf []crossing, i int) int {
+	wind := 0
+	open := 0
+	for j := 0; j <= i; j++ {
+		prev := wind
+		wind += buf[j].dir
+		if prev == 0 && wind != 0 {
+			open = j
+		}
+	}
+	return open
+}
+
+// AddRegion adds weight w to every cell whose centre lies inside r.
+func (g *Grid) AddRegion(r *Region, w float64) {
+	if r == nil || len(r.Rings) == 0 {
+		return
+	}
+	min, max, ok := r.BoundingBox()
+	if !ok {
+		return
+	}
+	y0 := int(math.Floor((min.Y - g.Min.Y) / g.CellKm))
+	y1 := int(math.Ceil((max.Y - g.Min.Y) / g.CellKm))
+	if y0 < 0 {
+		y0 = 0
+	}
+	if y1 > g.H-1 {
+		y1 = g.H - 1
+	}
+	var buf []crossing
+	for y := y0; y <= y1; y++ {
+		row := y * g.W
+		buf = g.rowSpans(r, y, buf, func(x0, x1 int) {
+			for x := x0; x <= x1; x++ {
+				g.Weight[row+x] += w
+			}
+		})
+	}
+}
+
+// MaskRegion forces the weight of every cell inside r to the given value
+// (used for hard negative constraints: cells ruled out entirely).
+func (g *Grid) MaskRegion(r *Region, value float64) {
+	if r == nil || len(r.Rings) == 0 {
+		return
+	}
+	min, max, ok := r.BoundingBox()
+	if !ok {
+		return
+	}
+	y0 := int(math.Floor((min.Y - g.Min.Y) / g.CellKm))
+	y1 := int(math.Ceil((max.Y - g.Min.Y) / g.CellKm))
+	if y0 < 0 {
+		y0 = 0
+	}
+	if y1 > g.H-1 {
+		y1 = g.H - 1
+	}
+	var buf []crossing
+	for y := y0; y <= y1; y++ {
+		row := y * g.W
+		buf = g.rowSpans(r, y, buf, func(x0, x1 int) {
+			for x := x0; x <= x1; x++ {
+				g.Weight[row+x] = value
+			}
+		})
+	}
+}
+
+// MaxWeight returns the maximum cell weight (0 for an empty grid).
+func (g *Grid) MaxWeight() float64 {
+	var m float64
+	first := true
+	for _, w := range g.Weight {
+		if first || w > m {
+			m, first = w, false
+		}
+	}
+	return m
+}
+
+// WeightLevels returns the distinct weight values present, descending.
+func (g *Grid) WeightLevels() []float64 {
+	seen := make(map[float64]struct{})
+	for _, w := range g.Weight {
+		seen[quantizeWeight(w)] = struct{}{}
+	}
+	out := make([]float64, 0, len(seen))
+	for w := range seen {
+		out = append(out, w)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// quantizeWeight collapses floating-point dust so that equal-weight cells
+// compare equal.
+func quantizeWeight(w float64) float64 {
+	return math.Round(w*1e9) / 1e9
+}
+
+// Threshold extracts the region of all cells with weight ≥ level, tracing
+// the cell boundary into properly oriented rings (outer CCW, holes CW).
+func (g *Grid) Threshold(level float64) *Region {
+	inside := make([]bool, len(g.Weight))
+	any := false
+	for i, w := range g.Weight {
+		if w >= level {
+			inside[i] = true
+			any = true
+		}
+	}
+	if !any {
+		return EmptyRegion()
+	}
+	return g.traceBoundary(inside)
+}
+
+// CellArea returns the area of one cell in km².
+func (g *Grid) CellArea() float64 { return g.CellKm * g.CellKm }
+
+// AreaAtOrAbove returns the total area of cells with weight ≥ level.
+func (g *Grid) AreaAtOrAbove(level float64) float64 {
+	n := 0
+	for _, w := range g.Weight {
+		if w >= level {
+			n++
+		}
+	}
+	return float64(n) * g.CellArea()
+}
+
+// vkey is an integer grid-vertex coordinate in [0..W]x[0..H].
+type vkey struct{ x, y int32 }
+
+// traceBoundary converts a binary cell mask into a Region. Directed
+// boundary edges are emitted with the inside on the left, then linked into
+// loops, producing CCW outer rings and CW holes without post-processing.
+func (g *Grid) traceBoundary(inside []bool) *Region {
+	// Directed edges keyed by start vertex.
+	edges := make(map[vkey][]vkey)
+	add := func(x0, y0, x1, y1 int) {
+		k := vkey{int32(x0), int32(y0)}
+		edges[k] = append(edges[k], vkey{int32(x1), int32(y1)})
+	}
+	in := func(x, y int) bool {
+		if x < 0 || y < 0 || x >= g.W || y >= g.H {
+			return false
+		}
+		return inside[y*g.W+x]
+	}
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			if !in(x, y) {
+				continue
+			}
+			if !in(x, y-1) { // bottom edge, rightward
+				add(x, y, x+1, y)
+			}
+			if !in(x, y+1) { // top edge, leftward
+				add(x+1, y+1, x, y+1)
+			}
+			if !in(x-1, y) { // left edge, downward
+				add(x, y+1, x, y)
+			}
+			if !in(x+1, y) { // right edge, upward
+				add(x+1, y, x+1, y+1)
+			}
+		}
+	}
+	var rings []Ring
+	for len(edges) > 0 {
+		// Pick any starting edge.
+		var start vkey
+		for k := range edges {
+			start = k
+			break
+		}
+		var loop []vkey
+		cur := start
+		prev := vkey{-1 << 30, -1 << 30}
+		for {
+			nexts := edges[cur]
+			if len(nexts) == 0 {
+				break // should not happen on a well-formed mask
+			}
+			var next vkey
+			if len(nexts) == 1 {
+				next = nexts[0]
+				delete(edges, cur)
+			} else {
+				// Saddle: prefer the sharpest left turn relative to the
+				// incoming direction to keep loops from merging.
+				next = pickLeftmost(prev, cur, nexts)
+				rest := nexts[:0]
+				for _, n := range nexts {
+					if n != next {
+						rest = append(rest, n)
+					}
+				}
+				if len(rest) == 0 {
+					delete(edges, cur)
+				} else {
+					edges[cur] = rest
+				}
+			}
+			loop = append(loop, cur)
+			prev = cur
+			cur = next
+			if cur == start {
+				break
+			}
+		}
+		if len(loop) >= 4 {
+			ring := make(Ring, 0, len(loop))
+			for _, v := range loop {
+				ring = append(ring, Vec2{
+					X: g.Min.X + float64(v.x)*g.CellKm,
+					Y: g.Min.Y + float64(v.y)*g.CellKm,
+				})
+			}
+			ring = collapseCollinear(ring)
+			if len(ring) >= 3 {
+				rings = append(rings, ring)
+			}
+		}
+	}
+	return &Region{Rings: rings}
+}
+
+// pickLeftmost chooses, among candidate next vertices from cur, the one that
+// turns most sharply left relative to the incoming direction prev→cur.
+func pickLeftmost(prev, cur vkey, nexts []vkey) vkey {
+	inDir := Vec2{float64(cur.x - prev.x), float64(cur.y - prev.y)}
+	if prev.x < -1<<29 { // no incoming direction yet
+		return nexts[0]
+	}
+	best := nexts[0]
+	bestScore := -math.MaxFloat64
+	for _, n := range nexts {
+		out := Vec2{float64(n.x - cur.x), float64(n.y - cur.y)}
+		// Left turns have positive cross; score by angle turned left.
+		score := math.Atan2(inDir.Cross(out), inDir.Dot(out))
+		if score > bestScore {
+			bestScore = score
+			best = n
+		}
+	}
+	return best
+}
+
+// collapseCollinear removes interior vertices that lie on a straight line
+// between their neighbours (axis-aligned grid output produces long runs).
+func collapseCollinear(ring Ring) Ring {
+	n := len(ring)
+	if n < 3 {
+		return ring
+	}
+	out := make(Ring, 0, n)
+	for i := 0; i < n; i++ {
+		a := ring[(i+n-1)%n]
+		b := ring[i]
+		c := ring[(i+1)%n]
+		if math.Abs(isLeft(a, c, b)) > 1e-12 {
+			out = append(out, b)
+		}
+	}
+	if len(out) < 3 {
+		return ring
+	}
+	return out
+}
+
+// RasterizeRegion computes the binary inside-mask of r on grid geometry.
+func (g *Grid) RasterizeRegion(r *Region) []bool {
+	inside := make([]bool, g.W*g.H)
+	if r == nil {
+		return inside
+	}
+	var buf []crossing
+	for y := 0; y < g.H; y++ {
+		row := y * g.W
+		buf = g.rowSpans(r, y, buf, func(x0, x1 int) {
+			for x := x0; x <= x1; x++ {
+				inside[row+x] = true
+			}
+		})
+	}
+	return inside
+}
+
+// rasterBool combines two regions with a boolean cell operation on a shared
+// grid and traces the result.
+func rasterBool(a, b *Region, cellKm float64, op func(x, y bool) bool) *Region {
+	min, max, ok := unionBBox(a, b)
+	if !ok {
+		// One or both empty.
+		if op(true, false) { // op keeps a-only cells: result is a (or b by symmetry)
+			if a != nil && !a.IsEmpty() {
+				return a.Clone()
+			}
+		}
+		if op(false, true) {
+			if b != nil && !b.IsEmpty() {
+				return b.Clone()
+			}
+		}
+		return EmptyRegion()
+	}
+	pad := cellKm * 2
+	min = Vec2{min.X - pad, min.Y - pad}
+	max = Vec2{max.X + pad, max.Y + pad}
+	g := NewGrid(min, max, cellKm)
+	ma := g.RasterizeRegion(a)
+	mb := g.RasterizeRegion(b)
+	out := make([]bool, len(ma))
+	any := false
+	for i := range out {
+		if op(ma[i], mb[i]) {
+			out[i] = true
+			any = true
+		}
+	}
+	if !any {
+		return EmptyRegion()
+	}
+	return g.traceBoundary(out)
+}
+
+// unionBBox returns the combined bounding box of two regions.
+func unionBBox(a, b *Region) (min, max Vec2, ok bool) {
+	amin, amax, aok := a.BoundingBox()
+	bmin, bmax, bok := b.BoundingBox()
+	switch {
+	case aok && bok:
+		return Vec2{math.Min(amin.X, bmin.X), math.Min(amin.Y, bmin.Y)},
+			Vec2{math.Max(amax.X, bmax.X), math.Max(amax.Y, bmax.Y)}, true
+	case aok:
+		return amin, amax, true
+	case bok:
+		return bmin, bmax, true
+	}
+	return Vec2{}, Vec2{}, false
+}

@@ -1,0 +1,82 @@
+package height
+
+import (
+	"math"
+	"testing"
+
+	"octant/internal/geo"
+)
+
+func TestEstimateInflationRecoversFactor(t *testing.T) {
+	// Landmarks on a grid; RTT = 1.6 × geodesic fiber RTT exactly.
+	var locs []geo.Point
+	for lat := 30.0; lat <= 45; lat += 5 {
+		for lon := -120.0; lon <= -75; lon += 15 {
+			locs = append(locs, geo.Pt(lat, lon))
+		}
+	}
+	n := len(locs)
+	rtt := make([][]float64, n)
+	for i := range rtt {
+		rtt[i] = make([]float64, n)
+		for j := range rtt[i] {
+			if i == j {
+				continue
+			}
+			rtt[i][j] = 1.6 * geo.DistanceToMinLatencyMs(locs[i].DistanceKm(locs[j]))
+		}
+	}
+	if got := EstimateInflation(rtt, locs, 0); math.Abs(got-1.6) > 0.01 {
+		t.Errorf("EstimateInflation = %v, want 1.6", got)
+	}
+}
+
+func TestEstimateInflationClamps(t *testing.T) {
+	locs := []geo.Point{geo.Pt(40, -100), geo.Pt(40, -80), geo.Pt(30, -90)}
+	mk := func(factor float64) [][]float64 {
+		n := len(locs)
+		rtt := make([][]float64, n)
+		for i := range rtt {
+			rtt[i] = make([]float64, n)
+			for j := range rtt[i] {
+				if i != j {
+					rtt[i][j] = factor * geo.DistanceToMinLatencyMs(locs[i].DistanceKm(locs[j]))
+				}
+			}
+		}
+		return rtt
+	}
+	// Sub-light measurements clamp to 1 (never model faster-than-fiber).
+	if got := EstimateInflation(mk(0.5), locs, 0); got != 1 {
+		t.Errorf("sub-light clamp = %v", got)
+	}
+	// Absurd inflation clamps to 3.
+	if got := EstimateInflation(mk(9), locs, 0); got != 3 {
+		t.Errorf("high clamp = %v", got)
+	}
+	// No qualifying pairs (all closer than minDist) → 1.
+	near := []geo.Point{geo.Pt(40, -100), geo.Pt(40.1, -100), geo.Pt(40.2, -100)}
+	if got := EstimateInflation(mk(2), near, 5000); got != 1 {
+		t.Errorf("no-pairs default = %v", got)
+	}
+}
+
+func TestQueuingDelayKReducesResidual(t *testing.T) {
+	a, b := geo.Pt(40, -100), geo.Pt(40, -80)
+	base := geo.DistanceToMinLatencyMs(a.DistanceKm(b))
+	rtt := 1.7*base + 2 // inflation + 2ms true queuing
+	// With κ=1 the residual absorbs inflation; with κ=1.7 only the 2ms
+	// remains.
+	q1 := QueuingDelayK(rtt, 1, a, b)
+	q17 := QueuingDelayK(rtt, 1.7, a, b)
+	if q17 >= q1 {
+		t.Errorf("κ should reduce residual: %v vs %v", q17, q1)
+	}
+	if math.Abs(q17-2) > 1e-9 {
+		t.Errorf("residual with true κ = %v, want 2", q17)
+	}
+	// Over-modelled κ clamps at 0.
+	if got := QueuingDelayK(rtt, 3, a, b); got != 0 {
+		t.Errorf("over-κ residual = %v, want 0", got)
+	}
+}

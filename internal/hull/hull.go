@@ -1,0 +1,174 @@
+// Package hull computes planar convex hulls and their upper/lower facets.
+// Octant's calibration step (§2.1 of the paper) builds, per landmark, the
+// convex hull of the (latency, distance) scatter of its peers; the upper
+// facet chain becomes the positive-constraint bound R_L(d) and the lower
+// facet chain the negative-constraint bound r_L(d).
+package hull
+
+import (
+	"math"
+	"sort"
+)
+
+// P is a 2-D point (x is typically latency in ms, y distance in km).
+type P struct {
+	X, Y float64
+}
+
+// cross returns the z of (b−a) × (c−a).
+func cross(a, b, c P) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// Convex returns the convex hull of pts in counter-clockwise order using
+// Andrew's monotone chain. Collinear boundary points are dropped. Inputs of
+// fewer than 3 distinct points return the distinct points sorted by (x, y).
+func Convex(pts []P) []P {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	sorted := append([]P(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	// Dedupe.
+	uniq := sorted[:1]
+	for _, p := range sorted[1:] {
+		if p != uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) < 3 {
+		return uniq
+	}
+	lower := make([]P, 0, len(uniq))
+	for _, p := range uniq {
+		for len(lower) >= 2 && cross(lower[len(lower)-2], lower[len(lower)-1], p) <= 0 {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, p)
+	}
+	upper := make([]P, 0, len(uniq))
+	for i := len(uniq) - 1; i >= 0; i-- {
+		p := uniq[i]
+		for len(upper) >= 2 && cross(upper[len(upper)-2], upper[len(upper)-1], p) <= 0 {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, p)
+	}
+	return append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+}
+
+// UpperFacets returns the upper hull chain of pts from the leftmost to the
+// rightmost point, sorted by increasing x. Evaluated as a function of x it
+// is the tightest concave upper bound on the scatter.
+func UpperFacets(pts []P) []P {
+	return monotoneChain(pts, true)
+}
+
+// LowerFacets returns the lower hull chain of pts from leftmost to
+// rightmost, sorted by increasing x: the tightest convex lower bound.
+func LowerFacets(pts []P) []P {
+	return monotoneChain(pts, false)
+}
+
+func monotoneChain(pts []P, upper bool) []P {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	sorted := append([]P(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		if upper {
+			return sorted[i].Y < sorted[j].Y
+		}
+		return sorted[i].Y > sorted[j].Y
+	})
+	// For equal x keep the extreme y only.
+	uniq := sorted[:0:0]
+	for _, p := range sorted {
+		if len(uniq) > 0 && uniq[len(uniq)-1].X == p.X {
+			uniq[len(uniq)-1] = p // later sorts to the extreme for this x
+			continue
+		}
+		uniq = append(uniq, p)
+	}
+	if len(uniq) < 3 {
+		return uniq
+	}
+	chain := make([]P, 0, len(uniq))
+	for _, p := range uniq {
+		for len(chain) >= 2 {
+			c := cross(chain[len(chain)-2], chain[len(chain)-1], p)
+			if (upper && c >= 0) || (!upper && c <= 0) {
+				chain = chain[:len(chain)-1]
+				continue
+			}
+			break
+		}
+		chain = append(chain, p)
+	}
+	return chain
+}
+
+// Chain is a piecewise-linear function defined by hull facet vertices with
+// strictly increasing x. Outside the vertex range it extends with the
+// nearest segment's slope unless overridden by the caller.
+type Chain []P
+
+// Eval evaluates the chain at x by linear interpolation. Beyond the ends it
+// extrapolates along the terminal segments (a single-point chain is
+// constant).
+func (c Chain) Eval(x float64) float64 {
+	n := len(c)
+	switch n {
+	case 0:
+		return math.NaN()
+	case 1:
+		return c[0].Y
+	}
+	if x <= c[0].X {
+		return extrapolate(c[0], c[1], x)
+	}
+	if x >= c[n-1].X {
+		return extrapolate(c[n-2], c[n-1], x)
+	}
+	i := sort.Search(n, func(i int) bool { return c[i].X >= x })
+	if c[i].X == x {
+		return c[i].Y
+	}
+	return extrapolate(c[i-1], c[i], x)
+}
+
+func extrapolate(a, b P, x float64) float64 {
+	if b.X == a.X {
+		return (a.Y + b.Y) / 2
+	}
+	t := (x - a.X) / (b.X - a.X)
+	return a.Y + t*(b.Y-a.Y)
+}
+
+// TruncateRight returns the sub-chain with x ≤ cutoff, always keeping at
+// least one vertex (the leftmost).
+func (c Chain) TruncateRight(cutoff float64) Chain {
+	if len(c) == 0 {
+		return nil
+	}
+	out := Chain{}
+	for _, p := range c {
+		if p.X <= cutoff {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		out = Chain{c[0]}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package hull
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvexSquarePlusInterior(t *testing.T) {
+	pts := []P{{0, 0}, {10, 0}, {10, 10}, {0, 10}, {5, 5}, {3, 7}, {2, 2}}
+	h := Convex(pts)
+	if len(h) != 4 {
+		t.Fatalf("hull size %d, want 4: %v", len(h), h)
+	}
+	for _, p := range []P{{5, 5}, {3, 7}} {
+		for _, hp := range h {
+			if hp == p {
+				t.Errorf("interior point %v on hull", p)
+			}
+		}
+	}
+}
+
+func TestConvexDegenerate(t *testing.T) {
+	if h := Convex(nil); h != nil {
+		t.Error("empty input should give nil")
+	}
+	if h := Convex([]P{{1, 1}}); len(h) != 1 {
+		t.Errorf("single point hull = %v", h)
+	}
+	if h := Convex([]P{{1, 1}, {1, 1}, {1, 1}}); len(h) != 1 {
+		t.Errorf("duplicate points hull = %v", h)
+	}
+	// Collinear points: hull is the two extremes.
+	if h := Convex([]P{{0, 0}, {1, 1}, {2, 2}, {3, 3}}); len(h) != 2 {
+		t.Errorf("collinear hull = %v", h)
+	}
+}
+
+func TestUpperLowerFacets(t *testing.T) {
+	// V-shaped scatter.
+	pts := []P{{0, 5}, {1, 2}, {2, 0}, {3, 2}, {4, 5}, {2, 3}}
+	up := UpperFacets(pts)
+	lo := LowerFacets(pts)
+	// Upper chain from (0,5) to (4,5) stays at the top.
+	if up[0] != (P{0, 5}) || up[len(up)-1] != (P{4, 5}) {
+		t.Errorf("upper facets = %v", up)
+	}
+	// Lower chain passes through the minimum.
+	foundMin := false
+	for _, p := range lo {
+		if p == (P{2, 0}) {
+			foundMin = true
+		}
+	}
+	if !foundMin {
+		t.Errorf("lower facets %v missing the minimum", lo)
+	}
+	// Every point lies between the chains.
+	for _, p := range pts {
+		if Chain(up).Eval(p.X) < p.Y-1e-9 {
+			t.Errorf("point %v above upper chain", p)
+		}
+		if Chain(lo).Eval(p.X) > p.Y+1e-9 {
+			t.Errorf("point %v below lower chain", p)
+		}
+	}
+}
+
+// Property: upper chain dominates all points; lower chain is dominated.
+func TestFacetsBoundScatter(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		n := 5 + rng.IntN(100)
+		pts := make([]P, n)
+		for i := range pts {
+			pts[i] = P{X: rng.Float64() * 100, Y: rng.Float64() * 4000}
+		}
+		up := Chain(UpperFacets(pts))
+		lo := Chain(LowerFacets(pts))
+		for _, p := range pts {
+			if up.Eval(p.X) < p.Y-1e-6 || lo.Eval(p.X) > p.Y+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hull contains all input points (winding test via sign of cross
+// products along CCW hull).
+func TestHullContainsAllPoints(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 9))
+		n := 10 + rng.IntN(80)
+		pts := make([]P, n)
+		for i := range pts {
+			pts[i] = P{X: rng.Float64() * 50, Y: rng.Float64() * 50}
+		}
+		h := Convex(pts)
+		if len(h) < 3 {
+			return true
+		}
+		for _, p := range pts {
+			for i := range h {
+				a, b := h[i], h[(i+1)%len(h)]
+				if cross(a, b, p) < -1e-7 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChainEval(t *testing.T) {
+	c := Chain{{0, 0}, {10, 10}, {20, 0}}
+	cases := map[float64]float64{0: 0, 5: 5, 10: 10, 15: 5, 20: 0, 25: -5, -5: -5}
+	for x, want := range cases {
+		if got := c.Eval(x); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Eval(%v) = %v, want %v", x, got, want)
+		}
+	}
+	if !math.IsNaN(Chain{}.Eval(1)) {
+		t.Error("empty chain should eval NaN")
+	}
+	if got := (Chain{{5, 7}}).Eval(99); got != 7 {
+		t.Errorf("single-point chain = %v, want 7", got)
+	}
+}
+
+func TestChainTruncateRight(t *testing.T) {
+	c := Chain{{0, 0}, {10, 10}, {20, 0}, {30, 5}}
+	tr := c.TruncateRight(15)
+	if len(tr) != 2 || tr[1] != (P{10, 10}) {
+		t.Errorf("TruncateRight = %v", tr)
+	}
+	if got := c.TruncateRight(-1); len(got) != 1 || got[0] != c[0] {
+		t.Errorf("TruncateRight below range = %v", got)
+	}
+	if got := (Chain{}).TruncateRight(5); got != nil {
+		t.Errorf("empty chain truncate = %v", got)
+	}
+}

@@ -1,0 +1,111 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// NelderMeadOpts configures the simplex minimizer.
+type NelderMeadOpts struct {
+	MaxIter int     // maximum iterations (default 400)
+	Tol     float64 // convergence tolerance on simplex f-spread (default 1e-9)
+	Step    float64 // initial simplex step per coordinate (default 1)
+}
+
+// NelderMead minimizes f starting from x0 using the Nelder–Mead downhill
+// simplex method (reflection/expansion/contraction/shrink with the standard
+// coefficients). It returns the best point found and its value. The method
+// is derivative-free, matching the paper's need to minimize the nonlinear
+// residual over (t′, t_long, t_lat) in §2.2.
+func NelderMead(f func([]float64) float64, x0 []float64, opts *NelderMeadOpts) ([]float64, float64) {
+	n := len(x0)
+	if n == 0 {
+		return nil, f(nil)
+	}
+	o := NelderMeadOpts{MaxIter: 400, Tol: 1e-9, Step: 1}
+	if opts != nil {
+		if opts.MaxIter > 0 {
+			o.MaxIter = opts.MaxIter
+		}
+		if opts.Tol > 0 {
+			o.Tol = opts.Tol
+		}
+		if opts.Step != 0 {
+			o.Step = opts.Step
+		}
+	}
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	simplex := make([]vertex, n+1)
+	simplex[0] = vertex{append([]float64(nil), x0...), f(x0)}
+	for i := 1; i <= n; i++ {
+		x := append([]float64(nil), x0...)
+		x[i-1] += o.Step
+		simplex[i] = vertex{x, f(x)}
+	}
+	centroid := make([]float64, n)
+	for iter := 0; iter < o.MaxIter; iter++ {
+		sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+		if math.Abs(simplex[n].f-simplex[0].f) < o.Tol {
+			break
+		}
+		// Centroid of all but worst.
+		for j := range centroid {
+			centroid[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				centroid[j] += simplex[i].x[j]
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(n)
+		}
+		worst := simplex[n]
+		refl := make([]float64, n)
+		for j := 0; j < n; j++ {
+			refl[j] = centroid[j] + alpha*(centroid[j]-worst.x[j])
+		}
+		fr := f(refl)
+		switch {
+		case fr < simplex[0].f:
+			exp := make([]float64, n)
+			for j := 0; j < n; j++ {
+				exp[j] = centroid[j] + gamma*(refl[j]-centroid[j])
+			}
+			if fe := f(exp); fe < fr {
+				simplex[n] = vertex{exp, fe}
+			} else {
+				simplex[n] = vertex{refl, fr}
+			}
+		case fr < simplex[n-1].f:
+			simplex[n] = vertex{refl, fr}
+		default:
+			contr := make([]float64, n)
+			for j := 0; j < n; j++ {
+				contr[j] = centroid[j] + rho*(worst.x[j]-centroid[j])
+			}
+			if fc := f(contr); fc < worst.f {
+				simplex[n] = vertex{contr, fc}
+			} else {
+				// Shrink toward best.
+				for i := 1; i <= n; i++ {
+					for j := 0; j < n; j++ {
+						simplex[i].x[j] = simplex[0].x[j] + sigma*(simplex[i].x[j]-simplex[0].x[j])
+					}
+					simplex[i].f = f(simplex[i].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+	return simplex[0].x, simplex[0].f
+}

@@ -1,0 +1,37 @@
+package netsim
+
+import "fmt"
+
+// Router naming. Real backbone routers encode their POP city in DNS names
+// ("sl-bb21-chi-14-0.sprintlink.net"); the paper's GeoTrack baseline and
+// Octant's piecewise localization both exploit this via undns-style rules.
+// The simulator emits the same shapes so the parsing path is exercised for
+// real.
+
+// backboneName formats a backbone router name for a POP city, e.g.
+// "so-0-1-0.bb1.chi.simnet.net".
+func backboneName(code string, index int) string {
+	return fmt.Sprintf("so-0-%d-0.bb%d.%s.simnet.net", index%4, index, code)
+}
+
+// backboneNameOpaque formats a backbone router name that carries no city
+// token (interface-numbered only). A meaningful fraction of real backbone
+// routers are named this way, which is what gives traceroute-based
+// localization its long error tail: when the last hop's name is opaque,
+// the technique falls back to a router one or more backbone hops upstream.
+func backboneNameOpaque(id int) string {
+	return fmt.Sprintf("p64-%d-0-0.r%d.simnet.net", id%8, 20+id)
+}
+
+// accessName formats an access/aggregation router name for an institution
+// homed at a POP, e.g. "ge-2-3.car1.cornell-gw.nyc.simnet.net".
+func accessName(inst, popCode string) string {
+	return fmt.Sprintf("ge-2-3.car1.%s-gw.%s.simnet.net", inst, popCode)
+}
+
+// accessNameOpaque formats a customer-named gateway with no geographic
+// token, e.g. "ge-2-3.car1.cornell-gw.simnet.net" — the common real-world
+// case undns cannot parse.
+func accessNameOpaque(inst string) string {
+	return fmt.Sprintf("ge-2-3.car1.%s-gw.simnet.net", inst)
+}

@@ -1,0 +1,156 @@
+package netsim
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"octant/internal/geo"
+)
+
+// Measurement simulation. An RTT sample between two hosts decomposes as
+//
+//	RTT = 2·(Σ link fiber propagation + Σ router min-queue)  [path base]
+//	    + height(src) + height(dst)                          [access delay]
+//	    + jitter                                             [per-probe ≥ 0]
+//
+// matching the paper's model: an inelastic per-host component (§2.2 heights)
+// on top of transmission delay over an indirect route (§2.3), plus elastic
+// queuing that min-filtering over time-dispersed probes mostly removes.
+
+// Hop is one traceroute step.
+type Hop struct {
+	NodeID int
+	Name   string // reverse-DNS name of the router
+	IP     string
+	RTTMs  float64 // cumulative round-trip time to this hop
+	Loc    geo.Point
+}
+
+// BaseRTTMs returns the deterministic floor RTT between two nodes: the
+// minimum any probe can observe.
+func (w *World) BaseRTTMs(src, dst int) float64 {
+	if src == dst {
+		return 0
+	}
+	path := w.Route(src, dst)
+	if path == nil {
+		return math.Inf(1)
+	}
+	return w.pathBaseRTT(path) + w.Nodes[src].accessMs + w.Nodes[dst].accessMs
+}
+
+// pathBaseRTT is the round-trip propagation plus min-queuing along a path,
+// excluding endpoint access heights.
+func (w *World) pathBaseRTT(path []int) float64 {
+	var oneWay float64
+	for i := 0; i+1 < len(path); i++ {
+		li := w.linkBetween(path[i], path[i+1])
+		if li < 0 {
+			return math.Inf(1)
+		}
+		oneWay += w.Links[li].FiberKm / geo.FiberSpeedKmPerMs
+	}
+	for _, id := range path[1 : len(path)-1] {
+		oneWay += w.Nodes[id].minQueueMs
+	}
+	return 2 * oneWay
+}
+
+// probeRNG returns a deterministic noise stream for ordered probe traffic
+// between two nodes.
+func (w *World) probeRNG(src, dst int, stream uint64) *rand.Rand {
+	k := w.seed ^ 0x9e3779b97f4a7c15
+	k ^= uint64(src+1) * 0xbf58476d1ce4e5b9
+	k ^= uint64(dst+1) * 0x94d049bb133111eb
+	return rand.New(rand.NewPCG(k, stream))
+}
+
+// jitter draws one per-probe elastic delay: exponential with a heavy tail
+// (10% of probes hit congested queues and see ~8× the mean).
+func jitter(rng *rand.Rand, meanMs float64) float64 {
+	j := rng.ExpFloat64() * meanMs
+	if rng.Float64() < 0.10 {
+		j += rng.ExpFloat64() * meanMs * 8
+	}
+	return j
+}
+
+// Ping returns n RTT samples (ms) between two nodes, simulating
+// time-dispersed ICMP probes. Samples are deterministic for a given
+// (world seed, src, dst) and independent of call order.
+func (w *World) Ping(src, dst, n int) []float64 {
+	if n <= 0 {
+		n = 1
+	}
+	out := make([]float64, n)
+	if src == dst {
+		return out
+	}
+	base := w.BaseRTTMs(src, dst)
+	rng := w.probeRNG(src, dst, 0xfeed)
+	for i := range out {
+		out[i] = base + jitter(rng, w.Cfg.JitterMeanMs)
+	}
+	return out
+}
+
+// MinPing returns the minimum of n time-dispersed RTT samples — the
+// standard latency estimator the paper's calibration consumes.
+func (w *World) MinPing(src, dst, n int) float64 {
+	samples := w.Ping(src, dst, n)
+	m := math.Inf(1)
+	for _, s := range samples {
+		if s < m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Traceroute returns the router-level path from src to dst with cumulative
+// per-hop RTTs (each hop measured with nProbe probes, min-filtered). The
+// destination host is the final hop. Router hops expose the DNS names that
+// the undns rules parse.
+func (w *World) Traceroute(src, dst, nProbe int) []Hop {
+	if nProbe <= 0 {
+		nProbe = 3
+	}
+	path := w.Route(src, dst)
+	if path == nil {
+		return nil
+	}
+	rng := w.probeRNG(src, dst, 0x7ace)
+	var hops []Hop
+	for i := 1; i < len(path); i++ {
+		sub := path[:i+1]
+		base := w.pathBaseRTT(sub) + w.Nodes[src].accessMs
+		node := w.Nodes[path[i]]
+		if node.Kind == KindHost {
+			base += node.accessMs
+		}
+		best := math.Inf(1)
+		for p := 0; p < nProbe; p++ {
+			if v := base + jitter(rng, w.Cfg.JitterMeanMs); v < best {
+				best = v
+			}
+		}
+		hops = append(hops, Hop{
+			NodeID: node.ID,
+			Name:   node.Name,
+			IP:     node.IP,
+			RTTMs:  best,
+			Loc:    node.Loc,
+		})
+	}
+	return hops
+}
+
+// ReverseDNS returns the DNS name for an IP address, or "" if unknown.
+func (w *World) ReverseDNS(ip string) string {
+	for _, n := range w.Nodes {
+		if n.IP == ip {
+			return n.Name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,177 @@
+// Package netsim implements the synthetic Internet that stands in for the
+// paper's PlanetLab testbed (51 nodes, §3). It builds a router-level
+// topology over real city coordinates, routes with policy-biased shortest
+// paths (producing the indirect routes §2.3 compensates for), and simulates
+// ICMP-style ping and traceroute with per-router queuing delay, per-host
+// access delay ("heights", §2.2), and heavy-tailed per-probe jitter.
+//
+// Everything is deterministic given the World seed: probe noise streams are
+// keyed by (seed, src, dst, probe index), so measurements are reproducible
+// regardless of call order.
+package netsim
+
+import "octant/internal/geo"
+
+// SiteSpec describes a landmark/target host site: a university campus with
+// externally known coordinates, mirroring the paper's setup where "no two
+// hosts reside in the same institution".
+type SiteSpec struct {
+	Host string // DNS host name of the PlanetLab-style node
+	Inst string // institution code (unique)
+	City string // city name
+	Zip  string // postal code (used for WHOIS records)
+	Lat  float64
+	Lon  float64
+}
+
+// Loc returns the site's geographic position.
+func (s SiteSpec) Loc() geo.Point { return geo.Pt(s.Lat, s.Lon) }
+
+// DefaultSites is the 51-site deployment used throughout the evaluation:
+// North American and European universities at their real coordinates, one
+// host per institution (matching §3 of the paper).
+var DefaultSites = []SiteSpec{
+	{"planetlab1.csail.mit.edu", "mit", "Cambridge", "02139", 42.3601, -71.0942},
+	{"planetlab2.cs.cornell.edu", "cornell", "Ithaca", "14853", 42.4534, -76.4735},
+	{"planetlab1.cs.rochester.edu", "rochester", "Rochester", "14627", 43.1566, -77.6088},
+	{"planetlab1.cs.cmu.edu", "cmu", "Pittsburgh", "15213", 40.4433, -79.9436},
+	{"planetlab1.cs.princeton.edu", "princeton", "Princeton", "08544", 40.3573, -74.6672},
+	{"planetlab1.cs.columbia.edu", "columbia", "New York", "10027", 40.8075, -73.9626},
+	{"planetlab1.seas.upenn.edu", "upenn", "Philadelphia", "19104", 39.9522, -75.1932},
+	{"planetlab1.cs.jhu.edu", "jhu", "Baltimore", "21218", 39.3299, -76.6205},
+	{"planetlab1.umiacs.umd.edu", "umd", "College Park", "20742", 38.9869, -76.9426},
+	{"planetlab1.cs.duke.edu", "duke", "Durham", "27708", 36.0014, -78.9382},
+	{"planetlab1.cc.gatech.edu", "gatech", "Atlanta", "30332", 33.7756, -84.3963},
+	{"planetlab1.cise.ufl.edu", "ufl", "Gainesville", "32611", 29.6436, -82.3549},
+	{"planetlab1.cs.utexas.edu", "utexas", "Austin", "78712", 30.2849, -97.7341},
+	{"planetlab1.cs.rice.edu", "rice", "Houston", "77005", 29.7174, -95.4018},
+	{"planetlab1.ucsd.edu", "ucsd", "La Jolla", "92093", 32.8801, -117.2340},
+	{"planetlab1.cs.ucla.edu", "ucla", "Los Angeles", "90095", 34.0689, -118.4452},
+	{"planetlab1.caltech.edu", "caltech", "Pasadena", "91125", 34.1377, -118.1253},
+	{"planetlab1.cs.ucsb.edu", "ucsb", "Santa Barbara", "93106", 34.4140, -119.8489},
+	{"planetlab1.stanford.edu", "stanford", "Stanford", "94305", 37.4275, -122.1697},
+	{"planetlab1.cs.berkeley.edu", "berkeley", "Berkeley", "94720", 37.8719, -122.2585},
+	{"planetlab1.cs.washington.edu", "uw", "Seattle", "98195", 47.6553, -122.3035},
+	{"planetlab1.cs.uoregon.edu", "uoregon", "Eugene", "97403", 44.0448, -123.0726},
+	{"planetlab1.cs.ubc.ca", "ubc", "Vancouver", "V6T1Z4", 49.2606, -123.2460},
+	{"planetlab1.cs.toronto.edu", "utoronto", "Toronto", "M5S1A1", 43.6629, -79.3957},
+	{"planetlab1.cs.mcgill.ca", "mcgill", "Montreal", "H3A0G4", 45.5048, -73.5772},
+	{"planetlab1.cs.uchicago.edu", "uchicago", "Chicago", "60637", 41.7886, -87.5987},
+	{"planetlab1.cs.northwestern.edu", "northwestern", "Evanston", "60208", 42.0565, -87.6753},
+	{"planetlab1.cs.uiuc.edu", "uiuc", "Urbana", "61801", 40.1020, -88.2272},
+	{"planetlab1.eecs.umich.edu", "umich", "Ann Arbor", "48109", 42.2780, -83.7382},
+	{"planetlab1.cs.wisc.edu", "wisc", "Madison", "53706", 43.0766, -89.4125},
+	{"planetlab1.cs.umn.edu", "umn", "Minneapolis", "55455", 44.9740, -93.2277},
+	{"planetlab1.cse.wustl.edu", "wustl", "St. Louis", "63130", 38.6488, -90.3108},
+	{"planetlab1.ittc.ku.edu", "ku", "Lawrence", "66045", 38.9543, -95.2558},
+	{"planetlab1.cs.colorado.edu", "colorado", "Boulder", "80309", 40.0076, -105.2659},
+	{"planetlab1.flux.utah.edu", "utah", "Salt Lake City", "84112", 40.7649, -111.8421},
+	{"planetlab1.eas.asu.edu", "asu", "Tempe", "85281", 33.4242, -111.9281},
+	{"planetlab1.cs.unm.edu", "unm", "Albuquerque", "87131", 35.0844, -106.6198},
+	{"planetlab1.cse.ohio-state.edu", "osu", "Columbus", "43210", 40.0067, -83.0305},
+	{"planetlab1.cs.purdue.edu", "purdue", "West Lafayette", "47907", 40.4237, -86.9212},
+	{"planetlab1.vuse.vanderbilt.edu", "vanderbilt", "Nashville", "37235", 36.1447, -86.8027},
+	{"planetlab1.eecs.tulane.edu", "tulane", "New Orleans", "70118", 29.9403, -90.1205},
+	{"planetlab1.cs.virginia.edu", "uva", "Charlottesville", "22904", 38.0336, -78.5080},
+	{"planetlab1.cs.vt.edu", "vt", "Blacksburg", "24061", 37.2284, -80.4234},
+	{"planetlab1.cs.dartmouth.edu", "dartmouth", "Hanover", "03755", 43.7044, -72.2887},
+	{"planetlab1.cs.yale.edu", "yale", "New Haven", "06520", 41.3163, -72.9223},
+	{"planetlab1.cs.brown.edu", "brown", "Providence", "02912", 41.8268, -71.4025},
+	{"planetlab1.cs.umass.edu", "umass", "Amherst", "01003", 42.3868, -72.5301},
+	{"planetlab1.cs.rpi.edu", "rpi", "Troy", "12180", 42.7298, -73.6789},
+	{"planetlab1.cl.cam.ac.uk", "cambridge", "Cambridge UK", "CB21TN", 52.2043, 0.1149},
+	{"planetlab1.ethz.ch", "ethz", "Zurich", "8092", 47.3769, 8.5417},
+	{"planetlab1.epfl.ch", "epfl", "Lausanne", "1015", 46.5191, 6.5668},
+}
+
+// City is a backbone point-of-presence location. Code is the airport-style
+// token that appears in router DNS names (the structure undns exploits).
+type City struct {
+	Name    string
+	Code    string // 3-letter token used in router names
+	Country string
+	Lat     float64
+	Lon     float64
+}
+
+// Loc returns the city's geographic position.
+func (c City) Loc() geo.Point { return geo.Pt(c.Lat, c.Lon) }
+
+// POPCities are the backbone point-of-presence cities. Every site attaches
+// to its nearest POP through an access router; backbone links interconnect
+// POPs (nearest-neighbour mesh plus explicit long-haul and transatlantic
+// links).
+var POPCities = []City{
+	{"New York", "nyc", "US", 40.7128, -74.0060},
+	{"Boston", "bos", "US", 42.3601, -71.0589},
+	{"Philadelphia", "phl", "US", 39.9526, -75.1652},
+	{"Washington", "wdc", "US", 38.9072, -77.0369},
+	{"Atlanta", "atl", "US", 33.7490, -84.3880},
+	{"Miami", "mia", "US", 25.7617, -80.1918},
+	{"Orlando", "orl", "US", 28.5383, -81.3792},
+	{"Charlotte", "clt", "US", 35.2271, -80.8431},
+	{"Raleigh", "rdu", "US", 35.7796, -78.6382},
+	{"Pittsburgh", "pit", "US", 40.4406, -79.9959},
+	{"Cleveland", "cle", "US", 41.4993, -81.6944},
+	{"Columbus", "cmh", "US", 39.9612, -82.9988},
+	{"Detroit", "dtw", "US", 42.3314, -83.0458},
+	{"Indianapolis", "ind", "US", 39.7684, -86.1581},
+	{"Chicago", "chi", "US", 41.8781, -87.6298},
+	{"Minneapolis", "msp", "US", 44.9778, -93.2650},
+	{"St. Louis", "stl", "US", 38.6270, -90.1994},
+	{"Kansas City", "mci", "US", 39.0997, -94.5786},
+	{"Nashville", "bna", "US", 36.1627, -86.7816},
+	{"Memphis", "mem", "US", 35.1495, -90.0490},
+	{"New Orleans", "msy", "US", 29.9511, -90.0715},
+	{"Houston", "iah", "US", 29.7604, -95.3698},
+	{"Dallas", "dfw", "US", 32.7767, -96.7970},
+	{"Austin", "aus", "US", 30.2672, -97.7431},
+	{"Denver", "den", "US", 39.7392, -104.9903},
+	{"Salt Lake City", "slc", "US", 40.7608, -111.8910},
+	{"Phoenix", "phx", "US", 33.4484, -112.0740},
+	{"Albuquerque", "abq", "US", 35.0844, -106.6504},
+	{"Las Vegas", "las", "US", 36.1699, -115.1398},
+	{"Los Angeles", "lax", "US", 34.0522, -118.2437},
+	{"San Diego", "san", "US", 32.7157, -117.1611},
+	{"San Jose", "sjc", "US", 37.3382, -121.8863},
+	{"San Francisco", "sfo", "US", 37.7749, -122.4194},
+	{"Sacramento", "smf", "US", 38.5816, -121.4944},
+	{"Portland", "pdx", "US", 45.5152, -122.6784},
+	{"Seattle", "sea", "US", 47.6062, -122.3321},
+	{"Vancouver", "yvr", "CA", 49.2827, -123.1207},
+	{"Toronto", "yyz", "CA", 43.6532, -79.3832},
+	{"Montreal", "yul", "CA", 45.5017, -73.5673},
+	{"Buffalo", "buf", "US", 42.8864, -78.8784},
+	{"Albany", "alb", "US", 42.6526, -73.7562},
+	{"London", "lon", "GB", 51.5074, -0.1278},
+	{"Amsterdam", "ams", "NL", 52.3676, 4.9041},
+	{"Frankfurt", "fra", "DE", 50.1109, 8.6821},
+	{"Paris", "par", "FR", 48.8566, 2.3522},
+	{"Zurich", "zrh", "CH", 47.3769, 8.5417},
+	{"Geneva", "gva", "CH", 46.2044, 6.1432},
+}
+
+// longHaulLinks are explicit backbone links guaranteeing realistic transit
+// corridors beyond the nearest-neighbour mesh (city code pairs).
+var longHaulLinks = [][2]string{
+	{"nyc", "chi"}, {"nyc", "wdc"}, {"nyc", "bos"}, {"nyc", "atl"},
+	{"wdc", "atl"}, {"atl", "dfw"}, {"atl", "mia"}, {"chi", "den"},
+	{"chi", "dfw"}, {"chi", "msp"}, {"den", "sfo"}, {"den", "slc"},
+	{"den", "dfw"}, {"dfw", "lax"}, {"dfw", "iah"}, {"slc", "sea"},
+	{"sfo", "sea"}, {"sfo", "lax"}, {"lax", "phx"}, {"sea", "yvr"},
+	{"chi", "yyz"}, {"yyz", "yul"}, {"nyc", "yyz"},
+	// Transatlantic and intra-European corridors.
+	{"nyc", "lon"}, {"wdc", "lon"}, {"lon", "ams"}, {"lon", "par"},
+	{"ams", "fra"}, {"par", "fra"}, {"fra", "zrh"}, {"par", "gva"},
+	{"zrh", "gva"},
+}
+
+// CityByCode returns the POP city with the given code, or nil.
+func CityByCode(code string) *City {
+	for i := range POPCities {
+		if POPCities[i].Code == code {
+			return &POPCities[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package probe
+
+import (
+	"fmt"
+
+	"octant/internal/geo"
+	"octant/internal/netsim"
+)
+
+// SimProber adapts a netsim.World to the Prober interface. Nodes are
+// addressed by DNS host name (hosts) or IP (any node).
+type SimProber struct {
+	World *netsim.World
+}
+
+// NewSimProber wraps a simulated world.
+func NewSimProber(w *netsim.World) *SimProber { return &SimProber{World: w} }
+
+var _ Prober = (*SimProber)(nil)
+
+// resolve maps a host name or IP to a node ID.
+func (p *SimProber) resolve(addr string) (int, error) {
+	if n, ok := p.World.HostByName(addr); ok {
+		return n.ID, nil
+	}
+	for _, n := range p.World.Nodes {
+		if n.IP == addr {
+			return n.ID, nil
+		}
+	}
+	return 0, fmt.Errorf("probe: unknown address %q", addr)
+}
+
+// Ping implements Prober.
+func (p *SimProber) Ping(src, dst string, n int) ([]float64, error) {
+	s, err := p.resolve(src)
+	if err != nil {
+		return nil, err
+	}
+	d, err := p.resolve(dst)
+	if err != nil {
+		return nil, err
+	}
+	return p.World.Ping(s, d, n), nil
+}
+
+// Traceroute implements Prober.
+func (p *SimProber) Traceroute(src, dst string) ([]Hop, error) {
+	s, err := p.resolve(src)
+	if err != nil {
+		return nil, err
+	}
+	d, err := p.resolve(dst)
+	if err != nil {
+		return nil, err
+	}
+	simHops := p.World.Traceroute(s, d, 3)
+	hops := make([]Hop, len(simHops))
+	for i, h := range simHops {
+		hops[i] = Hop{Addr: h.IP, Name: h.Name, RTTMs: h.RTTMs}
+	}
+	return hops, nil
+}
+
+// ReverseDNS implements Prober.
+func (p *SimProber) ReverseDNS(addr string) string {
+	if _, ok := p.World.HostByName(addr); ok {
+		return addr
+	}
+	return p.World.ReverseDNS(addr)
+}
+
+// Whois implements Prober.
+func (p *SimProber) Whois(addr string) (geo.Point, string, bool) {
+	id, err := p.resolve(addr)
+	if err != nil {
+		return geo.Point{}, "", false
+	}
+	rec, ok := p.World.Whois(p.World.Nodes[id].IP)
+	if !ok {
+		return geo.Point{}, "", false
+	}
+	return rec.Loc, rec.Zip, true
+}

@@ -1,0 +1,226 @@
+// Package octant is a from-scratch Go implementation of Octant, the
+// constraint-based framework for geolocalizing Internet hosts from network
+// measurements (Wong, Stoyanov, Sirer — NSDI).
+//
+// Octant poses geolocalization as error-minimizing constraint satisfaction:
+// landmarks with (at least partially) known positions convert latency
+// measurements into weighted positive constraints ("the target is within R
+// km of me") and negative constraints ("the target is farther than r km"),
+// plus constraints from router localization, WHOIS records, and geography.
+// The solver combines them geometrically and returns both a location region
+// — possibly non-convex and disconnected, bounded by Bezier curves — and a
+// point estimate.
+//
+// # Quick start
+//
+//	world := octant.NewWorld(octant.WorldConfig{Seed: 1})  // simulated Internet
+//	prober := octant.NewSimProber(world)
+//	hosts := world.HostNodes()
+//
+//	var landmarks []octant.Landmark
+//	for _, h := range hosts[1:] {
+//		landmarks = append(landmarks, octant.Landmark{Addr: h.Name, Name: h.Inst, Loc: h.Loc})
+//	}
+//	survey, _ := octant.NewSurvey(prober, landmarks, octant.SurveyOpts{UseHeights: true})
+//	loc := octant.NewLocalizer(prober, survey, octant.Config{})
+//	res, _ := loc.Localize(hosts[0].Name)
+//	fmt.Println(res.Point, res.AreaKm2)
+//
+// The same Localizer runs over any measurement source implementing Prober —
+// the bundled simulator, the TCP-handshake prober, or your own.
+package octant
+
+import (
+	"octant/internal/baselines"
+	"octant/internal/calib"
+	"octant/internal/core"
+	"octant/internal/eval"
+	"octant/internal/geo"
+	"octant/internal/netsim"
+	"octant/internal/probe"
+	"octant/internal/undns"
+)
+
+// Geometry substrate.
+type (
+	// Point is a geographic position in degrees.
+	Point = geo.Point
+	// Vec2 is a point in a localization's projection plane (km).
+	Vec2 = geo.Vec2
+	// Region is an area bounded by one or more rings; possibly
+	// non-convex and disconnected.
+	Region = geo.Region
+	// Ring is one closed boundary loop.
+	Ring = geo.Ring
+	// Projection maps geographic points to the plane and back.
+	Projection = geo.Projection
+	// BezierPath is a chain of cubic Bezier segments bounding a ring.
+	BezierPath = geo.BezierPath
+	// CubicBezier is a single cubic Bezier segment.
+	CubicBezier = geo.CubicBezier
+	// BoolOpts configures region boolean operations.
+	BoolOpts = geo.BoolOpts
+)
+
+// Framework types.
+type (
+	// Landmark is a node with known position that issues measurements.
+	Landmark = core.Landmark
+	// Survey is the calibrated inter-landmark measurement state.
+	Survey = core.Survey
+	// SurveyOpts configures survey construction.
+	SurveyOpts = core.SurveyOpts
+	// Config selects and tunes the Octant mechanisms.
+	Config = core.Config
+	// Localizer runs localizations.
+	Localizer = core.Localizer
+	// Result is a localization outcome.
+	Result = core.Result
+	// Constraint is one weighted positive or negative region statement.
+	Constraint = core.Constraint
+	// Calibration is a landmark's latency→distance model.
+	Calibration = calib.Calibration
+)
+
+// Measurement types.
+type (
+	// Prober is the measurement interface Octant consumes.
+	Prober = probe.Prober
+	// SimProber probes the simulated Internet.
+	SimProber = probe.SimProber
+	// TCPProber measures real RTTs via TCP handshakes.
+	TCPProber = probe.TCPProber
+	// Hop is a traceroute step.
+	Hop = probe.Hop
+	// World is the simulated Internet.
+	World = netsim.World
+	// WorldConfig configures the simulated Internet.
+	WorldConfig = netsim.Config
+	// SiteSpec describes one simulated host site.
+	SiteSpec = netsim.SiteSpec
+	// UndnsResolver maps router DNS names to locations.
+	UndnsResolver = undns.Resolver
+)
+
+// Baseline and evaluation types.
+type (
+	// GeoLim is the constraint-based geolocation baseline (CBG).
+	GeoLim = baselines.GeoLim
+	// GeoPing is the latency-signature baseline (IP2Geo).
+	GeoPing = baselines.GeoPing
+	// GeoTrack is the traceroute/DNS baseline (IP2Geo).
+	GeoTrack = baselines.GeoTrack
+	// Deployment is the paper's 51-node evaluation testbed.
+	Deployment = eval.Deployment
+)
+
+// Pt builds a Point from latitude and longitude in degrees.
+func Pt(lat, lon float64) Point { return geo.Pt(lat, lon) }
+
+// NewProjection returns an azimuthal equidistant projection centred at c.
+func NewProjection(c Point) *Projection { return geo.NewProjection(c) }
+
+// NewWorld builds a deterministic simulated Internet.
+func NewWorld(cfg WorldConfig) *World { return netsim.NewWorld(cfg) }
+
+// NewSimProber adapts a simulated world to the Prober interface.
+func NewSimProber(w *World) *SimProber { return probe.NewSimProber(w) }
+
+// NewTCPProber returns a prober measuring real RTTs via TCP handshakes.
+func NewTCPProber() *TCPProber { return probe.NewTCPProber() }
+
+// NewSurvey measures all landmark pairs and fits heights and calibrations.
+func NewSurvey(p Prober, landmarks []Landmark, opts SurveyOpts) (*Survey, error) {
+	return core.NewSurvey(p, landmarks, opts)
+}
+
+// NewLocalizer builds an Octant localizer over a calibrated survey.
+func NewLocalizer(p Prober, s *Survey, cfg Config) *Localizer {
+	return core.NewLocalizer(p, s, cfg)
+}
+
+// NewGeoLim builds the CBG baseline over a survey.
+func NewGeoLim(s *Survey) *GeoLim { return baselines.NewGeoLim(s) }
+
+// NewGeoPing builds the latency-signature baseline over a survey.
+func NewGeoPing(s *Survey) *GeoPing { return baselines.NewGeoPing(s) }
+
+// NewGeoTrack builds the traceroute/DNS baseline over a survey.
+func NewGeoTrack(s *Survey) *GeoTrack { return baselines.NewGeoTrack(s) }
+
+// NewDeployment builds the 51-node evaluation testbed from the paper's §3.
+func NewDeployment(seed uint64) (*Deployment, error) { return eval.NewDeployment(seed) }
+
+// NewUndnsResolver returns the router-DNS-name → city resolver.
+func NewUndnsResolver() *UndnsResolver { return undns.NewResolver() }
+
+// DefaultSites is the 51-site deployment used throughout the evaluation.
+var DefaultSites = netsim.DefaultSites
+
+// Region constructors and boolean operations, re-exported for building
+// custom constraints (Figure 1-style compositions).
+
+// Disk returns a circular region in the projection plane.
+func Disk(center Vec2, radiusKm float64, segments int) *Region {
+	return geo.Disk(center, radiusKm, segments)
+}
+
+// Annulus returns the region between two radii.
+func Annulus(center Vec2, rInner, rOuter float64, segments int) *Region {
+	return geo.Annulus(center, rInner, rOuter, segments)
+}
+
+// Intersect returns a ∩ b.
+func Intersect(a, b *Region, opts *BoolOpts) *Region { return geo.Intersect(a, b, opts) }
+
+// Union returns a ∪ b.
+func Union(a, b *Region, opts *BoolOpts) *Region { return geo.Union(a, b, opts) }
+
+// Subtract returns a \ b.
+func Subtract(a, b *Region, opts *BoolOpts) *Region { return geo.Subtract(a, b, opts) }
+
+// Buffer grows (d>0) or shrinks (d<0) a region by |d| km.
+func Buffer(r *Region, d, cellKm float64) *Region { return geo.Buffer(r, d, cellKm) }
+
+// LatencyToMaxDistanceKm converts a round-trip time to the maximal
+// geographic distance assuming propagation at 2/3 the speed of light
+// (§2.1's conservative bound).
+func LatencyToMaxDistanceKm(rttMs float64) float64 { return geo.LatencyToMaxDistanceKm(rttMs) }
+
+// DistanceToMinLatencyMs is the inverse of LatencyToMaxDistanceKm.
+func DistanceToMinLatencyMs(distKm float64) float64 { return geo.DistanceToMinLatencyMs(distKm) }
+
+// Constraint builders (§2 of the paper).
+
+// PositiveDisk asserts the target is within radiusKm of a known point.
+func PositiveDisk(pr *Projection, center Point, radiusKm, weight float64, source string) Constraint {
+	return core.PositiveDisk(pr, center, radiusKm, weight, source)
+}
+
+// NegativeDisk asserts the target is farther than radiusKm from a point.
+func NegativeDisk(pr *Projection, center Point, radiusKm, weight float64, source string) Constraint {
+	return core.NegativeDisk(pr, center, radiusKm, weight, source)
+}
+
+// PositiveFromRegion dilates a secondary landmark's region by radiusKm.
+func PositiveFromRegion(beta *Region, radiusKm, weight float64, source string) Constraint {
+	return core.PositiveFromRegion(beta, radiusKm, weight, source)
+}
+
+// NegativeFromRegion intersects radiusKm-disks over a secondary landmark's
+// region.
+func NegativeFromRegion(beta *Region, radiusKm, weight float64, source string) Constraint {
+	return core.NegativeFromRegion(beta, radiusKm, weight, source)
+}
+
+// Solve runs the weighted constraint solver directly (most callers use
+// Localizer instead).
+func Solve(constraints []Constraint, opts SolverOpts) (*Solution, error) {
+	return core.Solve(constraints, opts)
+}
+
+// SolverOpts configures a direct Solve call.
+type SolverOpts = core.SolverOpts
+
+// Solution is the outcome of a direct Solve call.
+type Solution = core.Solution
