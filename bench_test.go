@@ -8,11 +8,15 @@
 package octant_test
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"octant/internal/baselines"
+	"octant/internal/batch"
 	"octant/internal/core"
 	"octant/internal/eval"
 	"octant/internal/geo"
@@ -201,6 +205,95 @@ func BenchmarkAblationSolverEngine(b *testing.B) {
 		if _, err := loc.Localize(target.Addr); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// pacedProber adds a fixed delay to every Ping call, emulating the
+// wire-time a real measurement spends waiting on the network (the
+// simulator itself answers instantly). This is the latency the batch
+// engine exists to overlap: with it in place, worker scaling reflects
+// deployment behavior instead of single-core solver throughput.
+type pacedProber struct {
+	probe.Prober
+	delay time.Duration
+}
+
+func (p pacedProber) Ping(src, dst string, n int) ([]float64, error) {
+	time.Sleep(p.delay)
+	return p.Prober.Ping(src, dst, n)
+}
+
+var (
+	batchFixOnce    sync.Once
+	batchFixLoc     *core.Localizer
+	batchFixTargets []string
+	batchFixErr     error
+)
+
+// batchFixture holds 8 hosts out of the survey as targets and builds a
+// localizer whose prober pays 5 ms of wire time per ping train.
+func batchFixture(b *testing.B) (*core.Localizer, []string) {
+	b.Helper()
+	batchFixOnce.Do(func() {
+		world := netsim.NewWorld(netsim.Config{Seed: 1})
+		prober := probe.NewSimProber(world)
+		hosts := world.HostNodes()
+		const nTargets = 8
+		targets := make([]string, nTargets)
+		for i := 0; i < nTargets; i++ {
+			targets[i] = hosts[i].Name
+		}
+		var lms []core.Landmark
+		for _, h := range hosts[nTargets:] {
+			lms = append(lms, core.Landmark{Addr: h.Name, Name: h.Inst, Loc: h.Loc})
+		}
+		// The survey itself builds on the unpaced prober (its O(n²) pings
+		// are not what this benchmark measures).
+		survey, err := core.NewSurvey(prober, lms, core.SurveyOpts{UseHeights: true})
+		if err != nil {
+			batchFixErr = err
+			return
+		}
+		paced := pacedProber{Prober: prober, delay: 5 * time.Millisecond}
+		batchFixLoc = core.NewLocalizer(paced, survey, core.Config{})
+		batchFixTargets = targets
+	})
+	if batchFixErr != nil {
+		b.Fatal(batchFixErr)
+	}
+	return batchFixLoc, batchFixTargets
+}
+
+// BenchmarkBatchLocalize compares sequential Localize against the batch
+// engine at 1, 4, and 8 workers over the same 8 held-out targets, under
+// realistic per-probe wire time. The reported targets/s metric is the
+// serving throughput; the engine's cache is disabled so every iteration
+// measures real localizations.
+func BenchmarkBatchLocalize(b *testing.B) {
+	loc, targets := batchFixture(b)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, t := range targets {
+				if _, err := loc.Localize(t); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(targets)*b.N)/b.Elapsed().Seconds(), "targets/s")
+	})
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			eng := batch.New(loc, batch.Options{Workers: workers, CacheSize: -1})
+			for i := 0; i < b.N; i++ {
+				_, errs := eng.Collect(context.Background(), targets)
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(targets)*b.N)/b.Elapsed().Seconds(), "targets/s")
+		})
 	}
 }
 

@@ -1,0 +1,142 @@
+// Command octant-serve is the Octant localization daemon: it builds a
+// calibrated landmark survey once at startup, then serves localizations
+// over HTTP from a concurrent batch engine with an LRU result cache.
+//
+// Endpoints:
+//
+//	POST /v1/localize        {"target": "host"}            → JSON result
+//	POST /v1/localize/batch  {"targets": ["h1", "h2", …]}  → NDJSON stream
+//	GET  /v1/healthz                                       → liveness + survey size
+//	GET  /v1/stats                                         → cache hit rate, in-flight, p50/p99 latency
+//
+// Usage (simulated Internet, first 8 hosts held out as targets):
+//
+//	octant-serve -addr :8080 -seed 1 -holdout 8 -workers 8
+//
+// Against real networks, swap the prober and supply landmarks yourself:
+//
+//	octant-serve -prober tcp -landmarks landmarks.csv
+//
+// where landmarks.csv lines are "addr,name,lat,lon" (addr is host:port
+// for TCP handshake probing).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"octant/internal/batch"
+	"octant/internal/core"
+	"octant/internal/geo"
+	"octant/internal/netsim"
+	"octant/internal/probe"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("octant-serve: ")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		proberKnd = flag.String("prober", "sim", "measurement source: sim|tcp")
+		seed      = flag.Uint64("seed", 1, "world seed (sim prober)")
+		holdout   = flag.Int("holdout", 8, "sim hosts excluded from the survey so they stay localizable targets")
+		lmFile    = flag.String("landmarks", "", "landmark CSV for -prober tcp: addr,name,lat,lon per line")
+		probes    = flag.Int("probes", 10, "ping probes per measurement")
+		workers   = flag.Int("workers", 8, "concurrent localizations")
+		cacheSize = flag.Int("cache", 1024, "LRU result-cache entries (negative disables)")
+		cacheTTL  = flag.Duration("cache-ttl", 0, "result-cache entry lifetime (0 = no expiry)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-target localization timeout (0 = none)")
+		maxBatch  = flag.Int("max-batch", 1024, "maximum targets per batch request")
+	)
+	flag.Parse()
+
+	prober, landmarks, err := buildProber(*proberKnd, *seed, *holdout, *lmFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("surveying %d landmarks (O(n²) pings + calibration)…", len(landmarks))
+	start := time.Now()
+	survey, err := core.NewSurvey(prober, landmarks, core.SurveyOpts{Probes: *probes, UseHeights: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("survey ready in %v (κ=%.2f)", time.Since(start).Round(time.Millisecond), survey.Kappa)
+
+	loc := core.NewLocalizer(prober, survey, core.Config{Probes: *probes})
+	engine := batch.New(loc, batch.Options{
+		Workers:       *workers,
+		CacheSize:     *cacheSize,
+		TTL:           *cacheTTL,
+		TargetTimeout: *timeout,
+	})
+	srv := newServer(engine, survey, *maxBatch)
+	log.Printf("listening on %s (%d workers, cache %d)", *addr, *workers, *cacheSize)
+	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
+}
+
+// buildProber assembles the measurement source and its landmark set.
+func buildProber(kind string, seed uint64, holdout int, lmFile string) (probe.Prober, []core.Landmark, error) {
+	switch kind {
+	case "sim":
+		world := netsim.NewWorld(netsim.Config{Seed: seed})
+		hosts := world.HostNodes()
+		if holdout < 0 || holdout > len(hosts)-3 {
+			return nil, nil, fmt.Errorf("holdout %d leaves fewer than 3 landmarks", holdout)
+		}
+		var landmarks []core.Landmark
+		for _, h := range hosts[holdout:] {
+			landmarks = append(landmarks, core.Landmark{Addr: h.Name, Name: h.Inst, Loc: h.Loc})
+		}
+		return probe.NewSimProber(world), landmarks, nil
+	case "tcp":
+		if lmFile == "" {
+			return nil, nil, fmt.Errorf("-prober tcp requires -landmarks")
+		}
+		landmarks, err := loadLandmarks(lmFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		return probe.NewTCPProber(), landmarks, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown prober %q (want sim|tcp)", kind)
+	}
+}
+
+// loadLandmarks parses "addr,name,lat,lon" lines ('#' comments allowed).
+func loadLandmarks(path string) ([]core.Landmark, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []core.Landmark
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("%s:%d: want addr,name,lat,lon", path, ln+1)
+		}
+		lat, err1 := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		lon, err2 := strconv.ParseFloat(strings.TrimSpace(parts[3]), 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%s:%d: bad coordinates", path, ln+1)
+		}
+		out = append(out, core.Landmark{
+			Addr: strings.TrimSpace(parts[0]),
+			Name: strings.TrimSpace(parts[1]),
+			Loc:  geo.Pt(lat, lon),
+		})
+	}
+	if len(out) < 3 {
+		return nil, fmt.Errorf("%s: need ≥ 3 landmarks, have %d", path, len(out))
+	}
+	return out, nil
+}

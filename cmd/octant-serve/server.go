@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"octant/internal/batch"
+	"octant/internal/core"
+)
+
+// server is the HTTP surface over a batch engine. All state it touches is
+// either immutable (the survey) or internally synchronized (the engine),
+// so the handlers need no locking of their own.
+type server struct {
+	engine  *batch.Engine
+	survey  *core.Survey
+	started time.Time
+	// maxBatch bounds targets per batch request (0 = default 1024).
+	maxBatch int
+}
+
+func newServer(engine *batch.Engine, survey *core.Survey, maxBatch int) *server {
+	if maxBatch <= 0 {
+		maxBatch = 1024
+	}
+	return &server{engine: engine, survey: survey, started: time.Now(), maxBatch: maxBatch}
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/localize", s.handleLocalize)
+	mux.HandleFunc("/v1/localize/batch", s.handleBatch)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+// targetResult is the wire form of one localization outcome. Latitude and
+// longitude are pointers because an empty estimated region has no point
+// (NaN is not representable in JSON).
+type targetResult struct {
+	Target      string   `json:"target"`
+	Lat         *float64 `json:"lat,omitempty"`
+	Lon         *float64 `json:"lon,omitempty"`
+	AreaKm2     float64  `json:"area_km2,omitempty"`
+	HeightMs    float64  `json:"height_ms,omitempty"`
+	Constraints int      `json:"constraints,omitempty"`
+	EmptyRegion bool     `json:"empty_region,omitempty"`
+	Cached      bool     `json:"cached,omitempty"`
+	ElapsedMs   float64  `json:"elapsed_ms,omitempty"`
+	Error       string   `json:"error,omitempty"`
+}
+
+func toTargetResult(item batch.Item) targetResult {
+	tr := targetResult{Target: item.Target}
+	if item.Err != nil {
+		tr.Error = item.Err.Error()
+		return tr
+	}
+	res := item.Result
+	tr.AreaKm2 = res.AreaKm2
+	tr.HeightMs = res.TargetHeightMs
+	tr.Constraints = len(res.Constraints)
+	tr.Cached = item.Cached
+	tr.ElapsedMs = float64(item.Elapsed) / float64(time.Millisecond)
+	if math.IsNaN(res.Point.Lat) {
+		tr.EmptyRegion = true
+	} else {
+		lat, lon := res.Point.Lat, res.Point.Lon
+		tr.Lat, tr.Lon = &lat, &lon
+	}
+	return tr
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleLocalize serves POST /v1/localize: {"target": "..."} → one result.
+func (s *server) handleLocalize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req struct {
+		Target string `json:"target"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Target == "" {
+		writeError(w, http.StatusBadRequest, "missing target")
+		return
+	}
+	// r.Context() cancels on client disconnect, aborting the measurement
+	// at its next probe.
+	item := s.engine.LocalizeItem(r.Context(), req.Target)
+	if item.Err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", item.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toTargetResult(item))
+}
+
+// handleBatch serves POST /v1/localize/batch: {"targets": [...]} → one
+// NDJSON line per target, streamed in completion order as the worker pool
+// drains the batch.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req struct {
+		Targets []string `json:"targets"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Targets) == 0 {
+		writeError(w, http.StatusBadRequest, "missing targets")
+		return
+	}
+	if len(req.Targets) > s.maxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"%d targets exceeds the %d per-request limit", len(req.Targets), s.maxBatch)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	items := s.engine.Run(r.Context(), req.Targets)
+	for item := range items {
+		if err := enc.Encode(toTargetResult(item)); err != nil {
+			// Client went away. The engine still owns worker goroutines
+			// blocked on this channel; drain it so they can exit (fast,
+			// because r.Context() is already cancelled).
+			for range items {
+			}
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// handleHealthz serves GET /v1/healthz.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"landmarks": s.survey.N(),
+		"uptime_s":  time.Since(s.started).Seconds(),
+	})
+}
+
+// handleStats serves GET /v1/stats: the engine's counters, cache hit
+// rate, in-flight count, and latency quantiles.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Stats())
+}

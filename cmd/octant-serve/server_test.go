@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"octant/internal/batch"
+	"octant/internal/core"
+	"octant/internal/probe"
+)
+
+// testServer builds a serve stack over the simulated world with the first
+// 32 hosts held out as targets, mirroring what main() wires up.
+type testStack struct {
+	srv     *server
+	targets []string
+	seq     map[string]*core.Result // sequential ground truth per target
+}
+
+var (
+	stackOnce sync.Once
+	stack     testStack
+	stackErr  error
+)
+
+func sharedStack(t *testing.T) testStack {
+	t.Helper()
+	stackOnce.Do(func() {
+		prober, landmarks, err := buildProber("sim", 3, 32, "")
+		if err != nil {
+			stackErr = err
+			return
+		}
+		world := prober.(*probe.SimProber).World
+		targets := make([]string, 0, 32)
+		for _, h := range world.HostNodes()[:32] {
+			targets = append(targets, h.Name)
+		}
+		survey, err := core.NewSurvey(prober, landmarks, core.SurveyOpts{UseHeights: true})
+		if err != nil {
+			stackErr = err
+			return
+		}
+		loc := core.NewLocalizer(prober, survey, core.Config{})
+		seq := make(map[string]*core.Result, len(targets))
+		for _, tgt := range targets {
+			res, err := loc.Localize(tgt)
+			if err != nil {
+				stackErr = err
+				return
+			}
+			seq[tgt] = res
+		}
+		engine := batch.New(loc, batch.Options{Workers: 8})
+		stack = testStack{srv: newServer(engine, survey, 256), targets: targets, seq: seq}
+	})
+	if stackErr != nil {
+		t.Fatal(stackErr)
+	}
+	return stack
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(b))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestBatchEndpointEndToEnd drives POST /v1/localize/batch with all 32
+// held-out targets and checks every NDJSON line against the sequential
+// Localize ground truth.
+func TestBatchEndpointEndToEnd(t *testing.T) {
+	s := sharedStack(t)
+	h := s.srv.handler()
+
+	rec := postJSON(t, h, "/v1/localize/batch", map[string]any{"targets": s.targets})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(rec.Body)
+	for sc.Scan() {
+		var tr targetResult
+		if err := json.Unmarshal(sc.Bytes(), &tr); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if tr.Error != "" {
+			t.Fatalf("%s: %s", tr.Target, tr.Error)
+		}
+		want, ok := s.seq[tr.Target]
+		if !ok {
+			t.Fatalf("unrequested target %q in response", tr.Target)
+		}
+		if seen[tr.Target] {
+			t.Fatalf("target %q answered twice", tr.Target)
+		}
+		seen[tr.Target] = true
+		if tr.Lat == nil || tr.Lon == nil {
+			t.Fatalf("%s: missing point", tr.Target)
+		}
+		if *tr.Lat != want.Point.Lat || *tr.Lon != want.Point.Lon {
+			t.Errorf("%s: served (%v,%v) != sequential %v", tr.Target, *tr.Lat, *tr.Lon, want.Point)
+		}
+		if tr.AreaKm2 != want.AreaKm2 {
+			t.Errorf("%s: area %v != %v", tr.Target, tr.AreaKm2, want.AreaKm2)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(s.targets) {
+		t.Errorf("answered %d of %d targets", len(seen), len(s.targets))
+	}
+}
+
+func TestSingleLocalizeAndCacheFlag(t *testing.T) {
+	s := sharedStack(t)
+	h := s.srv.handler()
+	tgt := s.targets[0]
+
+	var trs [2]targetResult
+	for i := range trs {
+		rec := postJSON(t, h, "/v1/localize", map[string]string{"target": tgt})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &trs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := s.seq[tgt]
+	for i, tr := range trs {
+		if tr.Lat == nil || *tr.Lat != want.Point.Lat {
+			t.Errorf("call %d: wrong point", i)
+		}
+	}
+	// The batch endpoint already localized every target, so this is a hit
+	// both times.
+	if !trs[0].Cached || !trs[1].Cached {
+		t.Errorf("expected cached repeats, got %v / %v", trs[0].Cached, trs[1].Cached)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	s := sharedStack(t)
+	h := s.srv.handler()
+
+	if rec := postJSON(t, h, "/v1/localize", map[string]string{}); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing target: status %d", rec.Code)
+	}
+	if rec := postJSON(t, h, "/v1/localize", map[string]string{"target": "no.such.host"}); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("unknown target: status %d", rec.Code)
+	}
+	if rec := postJSON(t, h, "/v1/localize/batch", map[string]any{"targets": []string{}}); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d", rec.Code)
+	}
+	big := make([]string, 257)
+	for i := range big {
+		big[i] = "x"
+	}
+	if rec := postJSON(t, h, "/v1/localize/batch", map[string]any{"targets": big}); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch: status %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/localize", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET localize: status %d", rec.Code)
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	s := sharedStack(t)
+	h := s.srv.handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", rec.Code)
+	}
+	var hz struct {
+		Status    string `json:"status"`
+		Landmarks int    `json:"landmarks"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "ok" || hz.Landmarks != s.srv.survey.N() {
+		t.Errorf("healthz = %+v", hz)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status %d", rec.Code)
+	}
+	var st batch.Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests == 0 {
+		t.Error("stats report zero requests after traffic")
+	}
+	if st.Workers != 8 {
+		t.Errorf("workers = %d, want 8", st.Workers)
+	}
+}
+
+func TestLoadLandmarksParsing(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/lm.csv"
+	csv := strings.Join([]string{
+		"# comment",
+		"host-a:80, Site A, 42.44, -76.50",
+		"host-b:80, Site B, 40.71, -74.01",
+		"host-c:80, Site C, 37.77, -122.42",
+		"",
+	}, "\n")
+	if err := writeFile(path, csv); err != nil {
+		t.Fatal(err)
+	}
+	lms, err := loadLandmarks(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lms) != 3 || lms[0].Addr != "host-a:80" || lms[2].Loc.Lon != -122.42 {
+		t.Errorf("parsed %+v", lms)
+	}
+	if err := writeFile(path, "one,two,three\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadLandmarks(path); err == nil {
+		t.Error("malformed line should error")
+	}
+}
+
+// writeFile is a tiny helper so the parsing test reads naturally.
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

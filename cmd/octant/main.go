@@ -6,15 +6,22 @@
 //
 //	octant -target planetlab2.cs.cornell.edu [-seed 1] [-probes 10]
 //	       [-geojson out.json] [-disable heights,negative,piecewise,whois,oceans]
+//
+// Multiple comma-separated targets run through the concurrent batch
+// engine:
+//
+//	octant -targets host1,host2,host3 -parallel 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
 
+	"octant/internal/batch"
 	"octant/internal/core"
 	"octant/internal/netsim"
 	"octant/internal/probe"
@@ -24,12 +31,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("octant: ")
 	var (
-		target  = flag.String("target", "planetlab2.cs.cornell.edu", "host name of the target (one of the simulated sites)")
-		seed    = flag.Uint64("seed", 1, "world seed")
-		probes  = flag.Int("probes", 10, "ping probes per measurement")
-		geoOut  = flag.String("geojson", "", "write the estimated region as GeoJSON to this file")
-		disable = flag.String("disable", "", "comma-separated mechanisms to disable: heights,negative,piecewise,whois,oceans")
-		list    = flag.Bool("list", false, "list available target hosts and exit")
+		target   = flag.String("target", "planetlab2.cs.cornell.edu", "host name of the target (one of the simulated sites)")
+		targets  = flag.String("targets", "", "comma-separated target list; overrides -target and runs the batch engine")
+		parallel = flag.Int("parallel", 4, "concurrent localizations for multi-target runs")
+		seed     = flag.Uint64("seed", 1, "world seed")
+		probes   = flag.Int("probes", 10, "ping probes per measurement")
+		geoOut   = flag.String("geojson", "", "write the estimated region as GeoJSON to this file")
+		disable  = flag.String("disable", "", "comma-separated mechanisms to disable: heights,negative,piecewise,whois,oceans")
+		list     = flag.Bool("list", false, "list available target hosts and exit")
 	)
 	flag.Parse()
 
@@ -61,6 +70,13 @@ func main() {
 		default:
 			log.Fatalf("unknown mechanism %q (want heights|negative|piecewise|whois|oceans)", d)
 		}
+	}
+
+	// Multi-target mode: hold every requested target out of the survey and
+	// fan the batch across the worker-pool engine.
+	if *targets != "" {
+		runBatch(world, prober, cfg, strings.Split(*targets, ","), *probes, *parallel)
+		return
 	}
 
 	var truth *netsim.Node
@@ -113,4 +129,56 @@ func main() {
 		}
 		fmt.Printf("geojson         %s (%d bytes)\n", *geoOut, len(js))
 	}
+}
+
+// runBatch localizes several targets concurrently: the targets are held
+// out of the survey, the remaining hosts become landmarks, and the batch
+// engine fans the work across -parallel workers. One line per target, in
+// submission order, with per-target errors inline.
+func runBatch(world *netsim.World, prober probe.Prober, cfg core.Config, targetList []string, probes, parallel int) {
+	want := make(map[string]bool, len(targetList))
+	targets := targetList[:0]
+	for _, t := range targetList {
+		t = strings.TrimSpace(t)
+		if t == "" || want[t] {
+			continue
+		}
+		want[t] = true
+		targets = append(targets, t)
+	}
+	if len(targets) == 0 {
+		log.Fatal("no targets")
+	}
+	truthByName := make(map[string]*netsim.Node, len(targets))
+	var landmarks []core.Landmark
+	for _, h := range world.HostNodes() {
+		if want[h.Name] {
+			truthByName[h.Name] = h
+			continue
+		}
+		landmarks = append(landmarks, core.Landmark{Addr: h.Name, Name: h.Inst, Loc: h.Loc})
+	}
+	for _, t := range targets {
+		if truthByName[t] == nil {
+			log.Fatalf("unknown target %q (use -list to see hosts)", t)
+		}
+	}
+	survey, err := core.NewSurvey(prober, landmarks, core.SurveyOpts{Probes: probes, UseHeights: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := batch.New(core.NewLocalizer(prober, survey, cfg), batch.Options{Workers: parallel})
+	results, errs := eng.Collect(context.Background(), targets)
+	for i, t := range targets {
+		if errs[i] != nil {
+			fmt.Printf("%-40s ERROR %v\n", t, errs[i])
+			continue
+		}
+		res, truth := results[i], truthByName[t]
+		fmt.Printf("%-40s %s  err %6.1f mi  area %8.0f km²  contains %v\n",
+			t, res.Point, res.Point.DistanceMiles(truth.Loc), res.AreaKm2, res.ContainsTruth(truth.Loc))
+	}
+	s := eng.Stats()
+	fmt.Printf("\n%d targets, %d workers, %d landmarks, p50 %.0f ms, p99 %.0f ms\n",
+		len(targets), s.Workers, survey.N(), s.P50Ms, s.P99Ms)
 }

@@ -1,6 +1,7 @@
 package octant_test
 
 import (
+	"context"
 	"fmt"
 
 	"octant"
@@ -39,6 +40,35 @@ func Example() {
 	// landmarks: 50
 	// region is non-empty: true
 	// error under 350 miles: true
+}
+
+// ExampleBatchEngine localizes several targets concurrently through the
+// public facade: the batch engine fans them across a worker pool sharing
+// one survey, and results come back in submission order via Collect.
+func ExampleBatchEngine() {
+	world := octant.NewWorld(octant.WorldConfig{Seed: 1})
+	prober := octant.NewSimProber(world)
+	hosts := world.HostNodes()
+
+	targets := []string{hosts[0].Name, hosts[1].Name, hosts[2].Name}
+	var landmarks []octant.Landmark
+	for _, h := range hosts[3:] {
+		landmarks = append(landmarks, octant.Landmark{Addr: h.Name, Name: h.Inst, Loc: h.Loc})
+	}
+	survey, err := octant.NewSurvey(prober, landmarks, octant.SurveyOpts{UseHeights: true})
+	if err != nil {
+		panic(err)
+	}
+	loc := octant.NewLocalizer(prober, survey, octant.Config{})
+
+	results, errs := octant.LocalizeAll(context.Background(), loc, targets, 4)
+	for i, t := range targets {
+		fmt.Printf("%s ok: %v\n", t, errs[i] == nil && !results[i].Region.IsEmpty())
+	}
+	// Output:
+	// planetlab1.csail.mit.edu ok: true
+	// planetlab2.cs.cornell.edu ok: true
+	// planetlab1.cs.rochester.edu ok: true
 }
 
 // ExampleSolve shows the constraint algebra directly: an annulus around a

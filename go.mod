@@ -1,0 +1,3 @@
+module octant
+
+go 1.22

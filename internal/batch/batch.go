@@ -1,0 +1,305 @@
+// Package batch runs many Octant localizations concurrently over one
+// shared Survey.
+//
+// The core Localizer measures and solves one target at a time. Deployed
+// geolocation workloads are batch-shaped — hint-driven measurement
+// campaigns over large target sets, continuous re-localization of a
+// serving population — and their wall-clock cost is dominated by
+// measurement latency, which overlaps perfectly across targets. Engine
+// provides that overlap: a bounded worker pool fans a target list across
+// N goroutines that share one immutable Survey, with per-target
+// timeout/cancellation, result streaming, an LRU cache of recent results,
+// and coalescing of concurrent duplicate requests (only one worker probes
+// a given target; the others wait and share its outcome).
+//
+// Safety: Survey, Calibration, and the undns Resolver are immutable after
+// construction, and netsim.World guards its route cache internally, so
+// concurrent Localize calls are safe as long as the Prober is (both
+// bundled probers are). Engine never mutates the Localizer it wraps.
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"octant/internal/core"
+	"octant/internal/geo"
+	"octant/internal/probe"
+)
+
+// Options configures an Engine. The zero value is usable: 4 workers,
+// a 1024-entry cache, no per-target timeout.
+type Options struct {
+	// Workers is the number of concurrent localizations (default 4).
+	Workers int
+	// CacheSize is the LRU capacity in results (default 1024; negative
+	// disables caching entirely).
+	CacheSize int
+	// TargetTimeout bounds each localization, measurement included
+	// (0 = no limit). Cancellation is enforced between probe calls, so
+	// an expired target stops measuring at the next landmark.
+	TargetTimeout time.Duration
+	// TTL expires cache entries after this age (0 = never). Latency to a
+	// host drifts as routes change, so long-running daemons should set it.
+	TTL time.Duration
+}
+
+func (o *Options) fillDefaults() {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 1024
+	}
+}
+
+// Engine is a concurrent batch-localization front end over a Localizer.
+// Construct with New; all methods are safe for concurrent use.
+type Engine struct {
+	loc     *core.Localizer
+	opts    Options
+	cache   *lruCache
+	flight  flightGroup
+	metrics metrics
+}
+
+// New wraps a Localizer in a batch engine. The Localizer (and everything
+// it references) is treated as read-only from this point on.
+func New(loc *core.Localizer, opts Options) *Engine {
+	opts.fillDefaults()
+	e := &Engine{loc: loc, opts: opts}
+	if opts.CacheSize > 0 {
+		e.cache = newLRU(opts.CacheSize, opts.TTL)
+	}
+	e.flight.calls = make(map[string]*flightCall)
+	return e
+}
+
+// Item is one streamed batch outcome. Exactly one of Result/Err is set.
+type Item struct {
+	// Index is the position of Target in the submitted slice.
+	Index  int
+	Target string
+	Result *core.Result
+	Err    error
+	// Cached reports the result was served from the LRU without probing.
+	Cached bool
+	// Elapsed is the wall time this target took inside the engine.
+	Elapsed time.Duration
+}
+
+// Localize runs (or serves from cache) a single localization. Concurrent
+// calls for the same target are coalesced onto one measurement.
+func (e *Engine) Localize(ctx context.Context, target string) (*core.Result, error) {
+	item := e.localize(ctx, target, 0)
+	return item.Result, item.Err
+}
+
+// LocalizeItem is Localize with the full item metadata (cache status,
+// elapsed time) that serving front ends report per response.
+func (e *Engine) LocalizeItem(ctx context.Context, target string) Item {
+	return e.localize(ctx, target, 0)
+}
+
+// Run streams localizations of targets over the returned channel, using
+// up to Options.Workers goroutines. Items arrive in completion order (use
+// Item.Index to restore submission order) and the channel closes after the
+// last one. Cancelling ctx stops the batch early: in-flight targets abort
+// at their next probe and queued ones are reported with ctx's error.
+func (e *Engine) Run(ctx context.Context, targets []string) <-chan Item {
+	out := make(chan Item, e.opts.Workers)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < e.opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out <- e.localize(ctx, targets[i], i)
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for i := range targets {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				// Report the rest as cancelled rather than dropping
+				// them silently.
+				for j := i; j < len(targets); j++ {
+					out <- Item{Index: j, Target: targets[j], Err: ctx.Err()}
+				}
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// Collect runs a batch and returns results in submission order. The error
+// slice is parallel to targets; results[i] is nil exactly when errs[i] is
+// non-nil.
+func (e *Engine) Collect(ctx context.Context, targets []string) (results []*core.Result, errs []error) {
+	results = make([]*core.Result, len(targets))
+	errs = make([]error, len(targets))
+	for item := range e.Run(ctx, targets) {
+		results[item.Index] = item.Result
+		errs[item.Index] = item.Err
+	}
+	return results, errs
+}
+
+// localize is the single-target path shared by Localize and Run workers.
+func (e *Engine) localize(ctx context.Context, target string, idx int) Item {
+	start := time.Now()
+	e.metrics.begin()
+	defer e.metrics.end()
+	item := Item{Index: idx, Target: target}
+
+	if err := ctx.Err(); err != nil {
+		item.Err = err
+		return item
+	}
+	if e.cache != nil {
+		if res, ok := e.cache.get(target); ok {
+			e.metrics.hit()
+			item.Result, item.Cached, item.Elapsed = res, true, time.Since(start)
+			return item
+		}
+	}
+	e.metrics.miss()
+
+	res, err, shared := e.flight.do(ctx, target, func() (*core.Result, error) {
+		return e.measure(ctx, target)
+	})
+	if shared {
+		e.metrics.coalesce()
+	}
+	if err != nil {
+		e.metrics.fail()
+		item.Err = err
+		return item
+	}
+	if e.cache != nil && !shared {
+		e.cache.put(target, res)
+	}
+	item.Result = res
+	item.Elapsed = time.Since(start)
+	e.metrics.observe(item.Elapsed)
+	return item
+}
+
+// measure runs one uncached localization under the per-target deadline.
+func (e *Engine) measure(ctx context.Context, target string) (*core.Result, error) {
+	if e.opts.TargetTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.opts.TargetTimeout)
+		defer cancel()
+	}
+	// Shallow-copy the Localizer and interpose a context-checking prober:
+	// a cancelled target then stops at its next measurement call instead
+	// of probing all remaining landmarks.
+	loc := *e.loc
+	loc.Prober = &ctxProber{ctx: ctx, p: e.loc.Prober}
+	res, err := loc.Localize(target)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("batch: %s: %w", target, cerr)
+		}
+		return nil, err
+	}
+	return res, nil
+}
+
+// Stats returns a snapshot of the engine's counters and latency quantiles.
+func (e *Engine) Stats() Stats {
+	s := e.metrics.snapshot()
+	if e.cache != nil {
+		s.CacheLen = e.cache.len()
+	}
+	s.Workers = e.opts.Workers
+	return s
+}
+
+// ctxProber wraps a Prober so every measurement call observes context
+// cancellation. Ping and Traceroute dominate localization wall time; the
+// metadata lookups stay pass-through.
+type ctxProber struct {
+	ctx context.Context
+	p   probe.Prober
+}
+
+func (c *ctxProber) Ping(src, dst string, n int) ([]float64, error) {
+	if err := c.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.p.Ping(src, dst, n)
+}
+
+func (c *ctxProber) Traceroute(src, dst string) ([]probe.Hop, error) {
+	if err := c.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.p.Traceroute(src, dst)
+}
+
+func (c *ctxProber) ReverseDNS(addr string) string { return c.p.ReverseDNS(addr) }
+
+func (c *ctxProber) Whois(addr string) (geo.Point, string, bool) { return c.p.Whois(addr) }
+
+// flightGroup coalesces concurrent calls for the same key onto one
+// execution (the classic singleflight shape, scoped to what the engine
+// needs). Followers share the leader's result and error — except
+// cancellation: a follower waits under its own context, and a leader
+// whose context was cancelled does not poison healthy followers (they
+// retry, one of them becoming the new leader).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*core.Result, error)) (res *core.Result, err error, shared bool) {
+	for {
+		g.mu.Lock()
+		if c, ok := g.calls[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return nil, ctx.Err(), true
+			}
+			if c.err != nil && (errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded)) {
+				// The leader was cancelled or timed out under its own
+				// context; that says nothing about this caller. Loop and
+				// run (or re-coalesce) under our own context instead.
+				continue
+			}
+			return c.res, c.err, true
+		}
+		c := &flightCall{done: make(chan struct{})}
+		g.calls[key] = c
+		g.mu.Unlock()
+
+		c.res, c.err = fn()
+
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+		return c.res, c.err, false
+	}
+}

@@ -1,0 +1,314 @@
+package batch_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"octant/internal/batch"
+	"octant/internal/core"
+	"octant/internal/netsim"
+	"octant/internal/probe"
+)
+
+// fixture builds one simulated world with the first nTargets hosts held
+// out as targets and the rest surveyed as landmarks.
+type fixture struct {
+	prober  probe.Prober
+	survey  *core.Survey
+	targets []string
+}
+
+var (
+	fixOnce sync.Once
+	fix     fixture
+	fixErr  error
+)
+
+func sharedFixture(t *testing.T) fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		world := netsim.NewWorld(netsim.Config{Seed: 7})
+		prober := probe.NewSimProber(world)
+		hosts := world.HostNodes()
+		const nTargets = 32
+		var landmarks []core.Landmark
+		targets := make([]string, 0, nTargets)
+		for i, h := range hosts {
+			if i < nTargets {
+				targets = append(targets, h.Name)
+				continue
+			}
+			landmarks = append(landmarks, core.Landmark{Addr: h.Name, Name: h.Inst, Loc: h.Loc})
+		}
+		survey, err := core.NewSurvey(prober, landmarks, core.SurveyOpts{UseHeights: true})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fix = fixture{prober: prober, survey: survey, targets: targets}
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fix
+}
+
+// TestEngineMatchesSequential is the concurrency-correctness gate: 32
+// simulated targets through an 8-worker engine must produce exactly the
+// point estimates sequential Localize produces (the sim world is
+// deterministic, so any divergence is a shared-state bug).
+func TestEngineMatchesSequential(t *testing.T) {
+	f := sharedFixture(t)
+	loc := core.NewLocalizer(f.prober, f.survey, core.Config{})
+
+	want := make([]*core.Result, len(f.targets))
+	for i, tgt := range f.targets {
+		res, err := loc.Localize(tgt)
+		if err != nil {
+			t.Fatalf("sequential %s: %v", tgt, err)
+		}
+		want[i] = res
+	}
+
+	eng := batch.New(loc, batch.Options{Workers: 8})
+	got, errs := eng.Collect(context.Background(), f.targets)
+	for i, tgt := range f.targets {
+		if errs[i] != nil {
+			t.Fatalf("batch %s: %v", tgt, errs[i])
+		}
+		if got[i].Point != want[i].Point {
+			t.Errorf("%s: batch point %v != sequential %v", tgt, got[i].Point, want[i].Point)
+		}
+		if got[i].AreaKm2 != want[i].AreaKm2 {
+			t.Errorf("%s: batch area %v != sequential %v", tgt, got[i].AreaKm2, want[i].AreaKm2)
+		}
+	}
+}
+
+func TestRunStreamsAllTargetsWithIndexes(t *testing.T) {
+	f := sharedFixture(t)
+	loc := core.NewLocalizer(f.prober, f.survey, core.Config{})
+	eng := batch.New(loc, batch.Options{Workers: 4})
+
+	seen := make(map[int]bool)
+	for item := range eng.Run(context.Background(), f.targets[:8]) {
+		if item.Err != nil {
+			t.Fatalf("%s: %v", item.Target, item.Err)
+		}
+		if item.Target != f.targets[item.Index] {
+			t.Errorf("index %d reports target %q, want %q", item.Index, item.Target, f.targets[item.Index])
+		}
+		if seen[item.Index] {
+			t.Errorf("index %d delivered twice", item.Index)
+		}
+		seen[item.Index] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("delivered %d items, want 8", len(seen))
+	}
+}
+
+// countingProber counts Ping calls so tests can assert how many real
+// measurements happened beneath the cache and the flight group.
+type countingProber struct {
+	probe.Prober
+	pings atomic.Int64
+	delay time.Duration
+}
+
+func (c *countingProber) Ping(src, dst string, n int) ([]float64, error) {
+	c.pings.Add(1)
+	if c.delay > 0 {
+		time.Sleep(c.delay)
+	}
+	return c.Prober.Ping(src, dst, n)
+}
+
+func TestCacheServesRepeatsWithoutProbing(t *testing.T) {
+	f := sharedFixture(t)
+	cp := &countingProber{Prober: f.prober}
+	loc := core.NewLocalizer(cp, f.survey, core.Config{})
+	eng := batch.New(loc, batch.Options{Workers: 2})
+
+	first, err := eng.Localize(context.Background(), f.targets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	probed := cp.pings.Load()
+	if probed == 0 {
+		t.Fatal("first localization issued no probes")
+	}
+	second, err := eng.Localize(context.Background(), f.targets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.pings.Load() != probed {
+		t.Errorf("cached repeat issued %d extra probes", cp.pings.Load()-probed)
+	}
+	if second != first {
+		t.Error("cache should return the same *Result")
+	}
+	s := eng.Stats()
+	if s.CacheHits != 1 || s.CacheMisses != 1 || s.Requests != 2 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 2 requests", s)
+	}
+	if s.HitRate != 0.5 {
+		t.Errorf("hit rate %v, want 0.5", s.HitRate)
+	}
+}
+
+func TestCoalescingDeduplicatesConcurrentTargets(t *testing.T) {
+	f := sharedFixture(t)
+	cp := &countingProber{Prober: f.prober, delay: time.Millisecond}
+	loc := core.NewLocalizer(cp, f.survey, core.Config{})
+	// Cache disabled so every request reaches the flight group.
+	eng := batch.New(loc, batch.Options{Workers: 8, CacheSize: -1})
+
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([]*core.Result, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := eng.Localize(context.Background(), f.targets[1])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	s := eng.Stats()
+	if s.Coalesced == 0 {
+		t.Errorf("no coalescing across %d concurrent identical requests (stats %+v)", n, s)
+	}
+	for i := 1; i < n; i++ {
+		if results[i] != nil && results[0] != nil && results[i].Point != results[0].Point {
+			t.Errorf("request %d got a different point than request 0", i)
+		}
+	}
+}
+
+// TestCancelledLeaderDoesNotPoisonFollowers: when the goroutine that is
+// actually measuring a target has its context cancelled, a healthy
+// concurrent request for the same target must still succeed (by retrying
+// as the new leader), not inherit the cancellation error.
+func TestCancelledLeaderDoesNotPoisonFollowers(t *testing.T) {
+	f := sharedFixture(t)
+	cp := &countingProber{Prober: f.prober, delay: 2 * time.Millisecond}
+	loc := core.NewLocalizer(cp, f.survey, core.Config{})
+	eng := batch.New(loc, batch.Options{Workers: 4, CacheSize: -1})
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := eng.Localize(leaderCtx, f.targets[3])
+		leaderDone <- err
+	}()
+	// Give the leader time to enter the flight group, then join as a
+	// healthy follower and cancel the leader mid-measurement.
+	time.Sleep(5 * time.Millisecond)
+	followerDone := make(chan error, 1)
+	go func() {
+		_, err := eng.Localize(context.Background(), f.targets[3])
+		followerDone <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancelLeader()
+
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Errorf("leader err = %v, want context.Canceled", err)
+	}
+	if err := <-followerDone; err != nil {
+		t.Errorf("healthy follower err = %v, want success", err)
+	}
+}
+
+func TestContextCancelAbortsBatch(t *testing.T) {
+	f := sharedFixture(t)
+	cp := &countingProber{Prober: f.prober, delay: 2 * time.Millisecond}
+	loc := core.NewLocalizer(cp, f.survey, core.Config{})
+	eng := batch.New(loc, batch.Options{Workers: 2, CacheSize: -1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	items := eng.Run(ctx, f.targets)
+	<-items // let the batch get going
+	cancel()
+
+	var cancelled int
+	for item := range items {
+		if errors.Is(item.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("cancel produced no context.Canceled items")
+	}
+}
+
+func TestTargetTimeout(t *testing.T) {
+	f := sharedFixture(t)
+	cp := &countingProber{Prober: f.prober, delay: 5 * time.Millisecond}
+	loc := core.NewLocalizer(cp, f.survey, core.Config{})
+	eng := batch.New(loc, batch.Options{Workers: 1, CacheSize: -1, TargetTimeout: time.Millisecond})
+
+	_, err := eng.Localize(context.Background(), f.targets[2])
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+	if s := eng.Stats(); s.Errors != 1 {
+		t.Errorf("errors = %d, want 1", s.Errors)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	f := sharedFixture(t)
+	cp := &countingProber{Prober: f.prober}
+	loc := core.NewLocalizer(cp, f.survey, core.Config{})
+	eng := batch.New(loc, batch.Options{Workers: 1, CacheSize: 2})
+	ctx := context.Background()
+
+	for _, tgt := range []string{f.targets[0], f.targets[1], f.targets[2]} {
+		if _, err := eng.Localize(ctx, tgt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := eng.Stats().CacheLen; n != 2 {
+		t.Errorf("cache length %d, want 2 after eviction", n)
+	}
+	before := cp.pings.Load()
+	// targets[0] was evicted (LRU), so this must re-probe.
+	if _, err := eng.Localize(ctx, f.targets[0]); err != nil {
+		t.Fatal(err)
+	}
+	if cp.pings.Load() == before {
+		t.Error("evicted entry served without probing")
+	}
+	// targets[2] is fresh and must not re-probe.
+	before = cp.pings.Load()
+	if _, err := eng.Localize(ctx, f.targets[2]); err != nil {
+		t.Fatal(err)
+	}
+	if cp.pings.Load() != before {
+		t.Error("fresh entry re-probed")
+	}
+}
+
+func TestUnknownTargetReportsError(t *testing.T) {
+	f := sharedFixture(t)
+	loc := core.NewLocalizer(f.prober, f.survey, core.Config{})
+	eng := batch.New(loc, batch.Options{Workers: 2})
+	_, errs := eng.Collect(context.Background(), []string{"no.such.host"})
+	if errs[0] == nil {
+		t.Error("unknown target should error")
+	}
+	if s := eng.Stats(); s.Errors != 1 {
+		t.Errorf("errors = %d, want 1", s.Errors)
+	}
+}

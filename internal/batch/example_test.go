@@ -1,0 +1,82 @@
+package batch_test
+
+import (
+	"context"
+	"fmt"
+
+	"octant/internal/batch"
+	"octant/internal/core"
+	"octant/internal/netsim"
+	"octant/internal/probe"
+)
+
+// ExampleEngine localizes a batch of simulated hosts through an 8-worker
+// engine: the first four hosts are held out as targets and the rest form
+// the landmark survey the workers share.
+func ExampleEngine() {
+	world := netsim.NewWorld(netsim.Config{Seed: 1})
+	prober := probe.NewSimProber(world)
+	hosts := world.HostNodes()
+
+	targets := make([]string, 4)
+	for i := range targets {
+		targets[i] = hosts[i].Name
+	}
+	var landmarks []core.Landmark
+	for _, h := range hosts[4:] {
+		landmarks = append(landmarks, core.Landmark{Addr: h.Name, Name: h.Inst, Loc: h.Loc})
+	}
+	survey, err := core.NewSurvey(prober, landmarks, core.SurveyOpts{UseHeights: true})
+	if err != nil {
+		panic(err)
+	}
+
+	loc := core.NewLocalizer(prober, survey, core.Config{})
+	engine := batch.New(loc, batch.Options{Workers: 8})
+	results, errs := engine.Collect(context.Background(), targets)
+
+	ok := 0
+	for i := range targets {
+		if errs[i] == nil && !results[i].Region.IsEmpty() {
+			ok++
+		}
+	}
+	fmt.Printf("localized %d/%d targets concurrently\n", ok, len(targets))
+	// Output:
+	// localized 4/4 targets concurrently
+}
+
+// ExampleEngine_cache shows the LRU result cache: the second request for
+// a target is served without probing, and /v1/stats-style counters track
+// the hit rate.
+func ExampleEngine_cache() {
+	world := netsim.NewWorld(netsim.Config{Seed: 1})
+	prober := probe.NewSimProber(world)
+	hosts := world.HostNodes()
+
+	var landmarks []core.Landmark
+	for _, h := range hosts[1:] {
+		landmarks = append(landmarks, core.Landmark{Addr: h.Name, Name: h.Inst, Loc: h.Loc})
+	}
+	survey, err := core.NewSurvey(prober, landmarks, core.SurveyOpts{UseHeights: true})
+	if err != nil {
+		panic(err)
+	}
+
+	engine := batch.New(core.NewLocalizer(prober, survey, core.Config{}), batch.Options{Workers: 2})
+	ctx := context.Background()
+	first := engine.LocalizeItem(ctx, hosts[0].Name)
+	second := engine.LocalizeItem(ctx, hosts[0].Name)
+	if first.Err != nil || second.Err != nil {
+		panic("localization failed")
+	}
+
+	stats := engine.Stats()
+	fmt.Printf("first cached: %v, repeat cached: %v\n", first.Cached, second.Cached)
+	fmt.Printf("identical estimate: %v\n", first.Result.Point == second.Result.Point)
+	fmt.Printf("hits %d / requests %d (hit rate %.2f)\n", stats.CacheHits, stats.Requests, stats.HitRate)
+	// Output:
+	// first cached: false, repeat cached: true
+	// identical estimate: true
+	// hits 1 / requests 2 (hit rate 0.50)
+}

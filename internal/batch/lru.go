@@ -1,0 +1,75 @@
+package batch
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"octant/internal/core"
+)
+
+// lruCache is a mutex-guarded LRU of localization results keyed by target
+// address, with optional entry TTL. Results are cached by pointer — they
+// are never mutated after Localize returns, so sharing is safe.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ttl   time.Duration
+	order *list.List // front = most recent
+	byKey map[string]*list.Element
+}
+
+type lruEntry struct {
+	key     string
+	res     *core.Result
+	created time.Time
+}
+
+func newLRU(capacity int, ttl time.Duration) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		ttl:   ttl,
+		order: list.New(),
+		byKey: make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *lruCache) get(key string) (*core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	ent := el.Value.(*lruEntry)
+	if c.ttl > 0 && time.Since(ent.created) > c.ttl {
+		c.order.Remove(el)
+		delete(c.byKey, key)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return ent.res, true
+}
+
+func (c *lruCache) put(key string, res *core.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		ent := el.Value.(*lruEntry)
+		ent.res, ent.created = res, time.Now()
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, res: res, created: time.Now()})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

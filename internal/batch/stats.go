@@ -1,0 +1,92 @@
+package batch
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"octant/internal/stats"
+	"time"
+)
+
+// Stats is a point-in-time snapshot of engine activity, shaped for the
+// octant-serve /v1/stats endpoint.
+type Stats struct {
+	Workers   int    `json:"workers"`
+	Requests  uint64 `json:"requests"`
+	CacheHits uint64 `json:"cache_hits"`
+	// CacheMisses counts requests that had to measure (or wait on a
+	// coalesced measurement).
+	CacheMisses uint64 `json:"cache_misses"`
+	// Coalesced counts misses that piggybacked on an identical in-flight
+	// request instead of probing themselves.
+	Coalesced uint64 `json:"coalesced"`
+	Errors    uint64 `json:"errors"`
+	InFlight  int64  `json:"in_flight"`
+	CacheLen  int    `json:"cache_len"`
+	// HitRate is CacheHits / Requests (0 when idle).
+	HitRate float64 `json:"hit_rate"`
+	// P50Ms / P99Ms are localization latency quantiles over a sliding
+	// window of recent uncached measurements.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// latWindow is how many recent measurement latencies the quantile window
+// retains.
+const latWindow = 2048
+
+// metrics holds the engine's live counters: lock-free atomics for the hot
+// counts, a small mutex-guarded ring for the latency window.
+type metrics struct {
+	requests  atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	errors    atomic.Uint64
+	inFlight  atomic.Int64
+
+	mu    sync.Mutex
+	ring  [latWindow]float64 // latencies, ms
+	next  int
+	count int
+}
+
+func (m *metrics) begin()    { m.requests.Add(1); m.inFlight.Add(1) }
+func (m *metrics) end()      { m.inFlight.Add(-1) }
+func (m *metrics) hit()      { m.hits.Add(1) }
+func (m *metrics) miss()     { m.misses.Add(1) }
+func (m *metrics) coalesce() { m.coalesced.Add(1) }
+func (m *metrics) fail()     { m.errors.Add(1) }
+
+func (m *metrics) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.mu.Lock()
+	m.ring[m.next] = ms
+	m.next = (m.next + 1) % latWindow
+	if m.count < latWindow {
+		m.count++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) snapshot() Stats {
+	s := Stats{
+		Requests:    m.requests.Load(),
+		CacheHits:   m.hits.Load(),
+		CacheMisses: m.misses.Load(),
+		Coalesced:   m.coalesced.Load(),
+		Errors:      m.errors.Load(),
+		InFlight:    m.inFlight.Load(),
+	}
+	if s.Requests > 0 {
+		s.HitRate = float64(s.CacheHits) / float64(s.Requests)
+	}
+	m.mu.Lock()
+	window := append([]float64(nil), m.ring[:m.count]...)
+	m.mu.Unlock()
+	if len(window) > 0 {
+		s.P50Ms = stats.Percentile(window, 50)
+		s.P99Ms = stats.Percentile(window, 99)
+	}
+	return s
+}

@@ -137,6 +137,12 @@ func (c *Config) fillDefaults() {
 
 // Localizer runs Octant localizations against a prober using a calibrated
 // landmark survey.
+//
+// A Localizer is safe for concurrent use by multiple goroutines provided
+// its Prober is (both bundled probers are): Localize reads but never
+// writes the Localizer, the Survey, and the Resolver. Concurrent callers
+// wanting bounded parallelism, caching, and cancellation should use the
+// batch engine rather than raw goroutines.
 type Localizer struct {
 	Prober   probe.Prober
 	Survey   *Survey

@@ -23,6 +23,12 @@ type Landmark struct {
 // per-landmark heights, and each landmark's latency→distance calibration.
 // It is shared by Octant and the baselines so all techniques see identical
 // measurements, as in the paper's evaluation.
+//
+// A Survey is immutable after NewSurvey (or Subset) returns: no method
+// writes to it, and every Calibration read path is pure. Any number of
+// goroutines may therefore localize against one Survey concurrently
+// without locking — the batch engine and octant-serve rely on this.
+// Callers must not mutate the exported fields after construction.
 type Survey struct {
 	Landmarks []Landmark
 	RTT       [][]float64 // [i][j] min RTT between landmarks i and j, ms

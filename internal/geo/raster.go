@@ -306,12 +306,11 @@ func (g *Grid) traceBoundary(inside []bool) *Region {
 	}
 	var rings []Ring
 	for len(edges) > 0 {
-		// Pick any starting edge.
-		var start vkey
-		for k := range edges {
-			start = k
-			break
-		}
+		// Start from the smallest keyed vertex so ring order and vertex
+		// rotation are deterministic: map iteration order would otherwise
+		// vary the float accumulation order of Area/centroid sums between
+		// runs, making identical localizations differ in low-order bits.
+		start := minVkey(edges)
 		var loop []vkey
 		cur := start
 		prev := vkey{-1 << 30, -1 << 30}
@@ -362,6 +361,18 @@ func (g *Grid) traceBoundary(inside []bool) *Region {
 		}
 	}
 	return &Region{Rings: rings}
+}
+
+// minVkey returns the smallest start vertex present (row-major order).
+func minVkey(edges map[vkey][]vkey) vkey {
+	first := true
+	var min vkey
+	for k := range edges {
+		if first || k.y < min.y || (k.y == min.y && k.x < min.x) {
+			min, first = k, false
+		}
+	}
+	return min
 }
 
 // pickLeftmost chooses, among candidate next vertices from cur, the one that

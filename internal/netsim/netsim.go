@@ -109,7 +109,10 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-// World is the simulated Internet.
+// World is the simulated Internet. After NewWorld returns, the topology
+// and every lookup table are read-only; the lazily filled Dijkstra route
+// cache is a sync.Map, so all measurement methods (Ping, Traceroute,
+// Route, Whois, ReverseDNS) are safe to call from many goroutines.
 type World struct {
 	Cfg     Config
 	Nodes   []*Node

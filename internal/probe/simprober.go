@@ -9,6 +9,10 @@ import (
 
 // SimProber adapts a netsim.World to the Prober interface. Nodes are
 // addressed by DNS host name (hosts) or IP (any node).
+//
+// SimProber is safe for concurrent use: the world's topology is immutable
+// after NewWorld, its route cache is internally synchronized, and each
+// measurement derives its noise from a stateless per-pair RNG.
 type SimProber struct {
 	World *netsim.World
 }

@@ -29,7 +29,9 @@ type Location struct {
 	Loc     geo.Point
 }
 
-// Resolver parses router names against a city-code table.
+// Resolver parses router names against a city-code table. Resolve is a
+// pure lookup, so a Resolver is safe for concurrent use once populated;
+// call Add only before sharing it across goroutines.
 type Resolver struct {
 	byCode map[string]Location
 	// extra name fragments → code, for city-name style tokens

@@ -28,10 +28,31 @@
 //
 // The same Localizer runs over any measurement source implementing Prober —
 // the bundled simulator, the TCP-handshake prober, or your own.
+//
+// # Serving
+//
+// For batch and serving workloads, wrap a Localizer in a BatchEngine: a
+// bounded worker pool that fans targets across goroutines sharing one
+// immutable Survey, with per-target timeout/cancellation, streamed
+// results, an LRU cache of recent localizations, and coalescing of
+// concurrent duplicate requests.
+//
+//	engine := octant.NewBatchEngine(loc, octant.BatchOptions{Workers: 8})
+//	for item := range engine.Run(ctx, targets) {
+//		fmt.Println(item.Target, item.Result.Point)
+//	}
+//
+// cmd/octant-serve exposes the same engine over HTTP (POST /v1/localize,
+// POST /v1/localize/batch streaming NDJSON, GET /v1/healthz, GET
+// /v1/stats), and the octant CLI's -parallel flag uses it for multi-target
+// runs.
 package octant
 
 import (
+	"context"
+
 	"octant/internal/baselines"
+	"octant/internal/batch"
 	"octant/internal/calib"
 	"octant/internal/core"
 	"octant/internal/eval"
@@ -102,6 +123,19 @@ type (
 	UndnsResolver = undns.Resolver
 )
 
+// Batch and serving types.
+type (
+	// BatchEngine runs many localizations concurrently over one Survey,
+	// with caching, coalescing, and per-target cancellation.
+	BatchEngine = batch.Engine
+	// BatchOptions configures a BatchEngine.
+	BatchOptions = batch.Options
+	// BatchItem is one streamed batch outcome.
+	BatchItem = batch.Item
+	// BatchStats is a snapshot of engine counters and latency quantiles.
+	BatchStats = batch.Stats
+)
+
 // Baseline and evaluation types.
 type (
 	// GeoLim is the constraint-based geolocation baseline (CBG).
@@ -137,6 +171,18 @@ func NewSurvey(p Prober, landmarks []Landmark, opts SurveyOpts) (*Survey, error)
 // NewLocalizer builds an Octant localizer over a calibrated survey.
 func NewLocalizer(p Prober, s *Survey, cfg Config) *Localizer {
 	return core.NewLocalizer(p, s, cfg)
+}
+
+// NewBatchEngine wraps a Localizer in a concurrent batch engine.
+func NewBatchEngine(l *Localizer, opts BatchOptions) *BatchEngine {
+	return batch.New(l, opts)
+}
+
+// LocalizeAll is the one-call batch convenience: localize every target
+// with the given parallelism and return results in submission order
+// (errs[i] is non-nil exactly where results[i] is nil).
+func LocalizeAll(ctx context.Context, l *Localizer, targets []string, workers int) ([]*Result, []error) {
+	return NewBatchEngine(l, BatchOptions{Workers: workers}).Collect(ctx, targets)
 }
 
 // NewGeoLim builds the CBG baseline over a survey.
