@@ -272,6 +272,7 @@ func batchFixture(b *testing.B) (*core.Localizer, []string) {
 func BenchmarkBatchLocalize(b *testing.B) {
 	loc, targets := batchFixture(b)
 	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, t := range targets {
 				if _, err := loc.Localize(t); err != nil {
@@ -283,6 +284,7 @@ func BenchmarkBatchLocalize(b *testing.B) {
 	})
 	for _, workers := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			eng := batch.New(loc, batch.Options{Workers: workers, CacheSize: -1})
 			for i := 0; i < b.N; i++ {
 				_, errs := eng.Collect(context.Background(), targets)

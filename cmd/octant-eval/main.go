@@ -8,12 +8,24 @@
 //
 // Flags -seed, -step (Fig. 3 target stride) and -trials (Fig. 4 subsets per
 // count) trade fidelity for speed.
+//
+// It also converts `go test -bench` text output into the JSON the CI bench
+// job archives per commit, seeding the performance trajectory:
+//
+//	go test -run '^$' -bench . -benchmem ./... | octant-eval -bench-json - -commit $SHA -out BENCH_$SHA.json
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
 
 	"octant/internal/core"
 	"octant/internal/eval"
@@ -24,13 +36,23 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("octant-eval: ")
 	var (
-		fig      = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, or all")
-		seed     = flag.Uint64("seed", 1, "world seed")
-		step     = flag.Int("step", 1, "Figure 3: localize every step-th node (1 = all 51)")
-		trials   = flag.Int("trials", 2, "Figure 4: random landmark subsets per count")
-		landmark = flag.String("landmark", "rochester", "Figure 2: landmark to calibrate (the paper uses rochester)")
+		fig       = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, or all")
+		seed      = flag.Uint64("seed", 1, "world seed")
+		step      = flag.Int("step", 1, "Figure 3: localize every step-th node (1 = all 51)")
+		trials    = flag.Int("trials", 2, "Figure 4: random landmark subsets per count")
+		landmark  = flag.String("landmark", "rochester", "Figure 2: landmark to calibrate (the paper uses rochester)")
+		benchJSON = flag.String("bench-json", "", "convert 'go test -bench' output (file path or - for stdin) to JSON and exit")
+		commit    = flag.String("commit", "", "commit hash recorded in -bench-json output")
+		out       = flag.String("out", "", "output path for -bench-json (default stdout)")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := emitBenchJSON(*benchJSON, *commit, *out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	fmt.Printf("building deployment (seed %d)...\n", *seed)
 	d, err := eval.NewDeployment(*seed)
@@ -72,4 +94,94 @@ func main() {
 		}
 		fmt.Println(eval.FormatFig4(pts))
 	}
+}
+
+// benchResult is one parsed benchmark line. Metrics maps unit → value for
+// every "value unit" pair the line reports (ns/op, B/op, allocs/op, plus
+// any custom b.ReportMetric units like targets/s).
+type benchResult struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// benchReport is the archived BENCH_<sha>.json payload.
+type benchReport struct {
+	Commit  string        `json:"commit,omitempty"`
+	Go      string        `json:"go"`
+	GOOS    string        `json:"goos"`
+	GOARCH  string        `json:"goarch"`
+	Results []benchResult `json:"results"`
+}
+
+// emitBenchJSON parses `go test -bench` text from src ("-" = stdin) and
+// writes the JSON report to outPath (empty = stdout).
+func emitBenchJSON(src, commit, outPath string) error {
+	var r io.Reader = os.Stdin
+	if src != "-" {
+		f, err := os.Open(src)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	report := benchReport{
+		Commit: commit,
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		res, ok := parseBenchLine(sc.Text())
+		if ok {
+			report.Results = append(report.Results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(report.Results) == 0 {
+		return fmt.Errorf("no benchmark lines found in %s", src)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(outPath, data, 0o644)
+}
+
+// parseBenchLine parses one "BenchmarkX-8  100  123 ns/op  4 B/op …" line.
+func parseBenchLine(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return benchResult{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	res := benchResult{
+		Name:    strings.TrimPrefix(fields[0], "Benchmark"),
+		Iters:   iters,
+		Metrics: make(map[string]float64, (len(fields)-2)/2),
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	if len(res.Metrics) == 0 {
+		return benchResult{}, false
+	}
+	return res, true
 }

@@ -8,6 +8,7 @@
 //	POST /v1/localize/batch  {"targets": ["h1", "h2", …]}  → NDJSON stream
 //	GET  /v1/healthz                                       → liveness + survey size
 //	GET  /v1/stats                                         → cache hit rate, in-flight, p50/p99 latency
+//	GET  /debug/pprof/…                                    → live profiling (only with -pprof)
 //
 // Usage (simulated Internet, first 8 hosts held out as targets):
 //
@@ -53,6 +54,7 @@ func main() {
 		cacheTTL  = flag.Duration("cache-ttl", 0, "result-cache entry lifetime (0 = no expiry)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-target localization timeout (0 = none)")
 		maxBatch  = flag.Int("max-batch", 1024, "maximum targets per batch request")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ for live profiling")
 	)
 	flag.Parse()
 
@@ -76,6 +78,10 @@ func main() {
 		TargetTimeout: *timeout,
 	})
 	srv := newServer(engine, survey, *maxBatch)
+	srv.pprof = *pprofOn
+	if *pprofOn {
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
 	log.Printf("listening on %s (%d workers, cache %d)", *addr, *workers, *cacheSize)
 	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
 }

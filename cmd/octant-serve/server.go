@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"octant/internal/batch"
@@ -20,6 +21,9 @@ type server struct {
 	started time.Time
 	// maxBatch bounds targets per batch request (0 = default 1024).
 	maxBatch int
+	// pprof mounts the net/http/pprof handlers under /debug/pprof/ so
+	// production hot paths can be profiled live.
+	pprof bool
 }
 
 func newServer(engine *batch.Engine, survey *core.Survey, maxBatch int) *server {
@@ -36,6 +40,16 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/localize/batch", s.handleBatch)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	if s.pprof {
+		// Explicit registration: the daemon serves its own mux, so the
+		// side-effect registrations on http.DefaultServeMux from importing
+		// net/http/pprof never reach clients unless mounted here.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

@@ -220,6 +220,37 @@ func TestHealthzAndStats(t *testing.T) {
 	if st.Workers != 8 {
 		t.Errorf("workers = %d, want 8", st.Workers)
 	}
+	if st.LandMasks.Misses == 0 {
+		t.Error("stats report no land-mask masters built after localizations")
+	}
+	if st.LandMasks.Hits == 0 {
+		t.Error("stats report no land-mask reuse across localizations")
+	}
+}
+
+// TestPprofGating verifies /debug/pprof/ is served only behind the -pprof
+// flag.
+func TestPprofGating(t *testing.T) {
+	s := sharedStack(t)
+
+	rec := httptest.NewRecorder()
+	s.srv.handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("pprof disabled: status %d, want 404", rec.Code)
+	}
+
+	enabled := *s.srv
+	enabled.pprof = true
+	rec = httptest.NewRecorder()
+	enabled.handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("pprof enabled: status %d, want 200", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	enabled.handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/cmdline", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("pprof cmdline: status %d, want 200", rec.Code)
+	}
 }
 
 func TestLoadLandmarksParsing(t *testing.T) {

@@ -12,6 +12,11 @@
 // and coalescing of concurrent duplicate requests (only one worker probes
 // a given target; the others wait and share its outcome).
 //
+// Workers also share the Localizer's land-mask cache: the §2.5 ocean mask
+// is rasterized once per (projection, cell size) and every target's
+// coarse and fine solver passes reuse it, instead of each solve
+// re-rasterizing the fixed land polygons. Stats reports its hit rate.
+//
 // Safety: Survey, Calibration, and the undns Resolver are immutable after
 // construction, and netsim.World guards its route cache internally, so
 // concurrent Localize calls are safe as long as the Prober is (both
@@ -226,6 +231,7 @@ func (e *Engine) Stats() Stats {
 		s.CacheLen = e.cache.len()
 	}
 	s.Workers = e.opts.Workers
+	s.LandMasks = e.loc.LandMasks().Stats()
 	return s
 }
 

@@ -3,9 +3,10 @@ package batch
 import (
 	"sync"
 	"sync/atomic"
-
-	"octant/internal/stats"
 	"time"
+
+	"octant/internal/core"
+	"octant/internal/stats"
 )
 
 // Stats is a point-in-time snapshot of engine activity, shaped for the
@@ -29,6 +30,10 @@ type Stats struct {
 	// window of recent uncached measurements.
 	P50Ms float64 `json:"p50_ms"`
 	P99Ms float64 `json:"p99_ms"`
+	// LandMasks reports the solver's land-mask cache, which all workers
+	// share through the one Localizer: masters built (misses), reuses
+	// (hits), and resident masters.
+	LandMasks core.LandMaskStats `json:"land_masks"`
 }
 
 // latWindow is how many recent measurement latencies the quantile window

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"octant/internal/geo"
+)
+
+// The §2.5 ocean/land mask is a fixed input: the same coarse landmass
+// polygons, projected once per survey, rasterized at whatever cell size
+// the solver is using. Before this cache existed every solveOnGrid call
+// re-rasterized the polygons from scratch — twice per localization
+// (coarse + fine pass) and once more for every target in a batch, all
+// producing near-identical masks.
+//
+// LandMaskCache rasterizes each (land-region set, cell size) pair once
+// onto a master lattice covering the land bounding box, then answers any
+// solve grid at that cell size by sampling the master. Combined with the
+// solver quantizing coarse-pass cell sizes onto the {FineCellKm · 2^k}
+// lattice, the handful of masters built for the first target serve every
+// subsequent pass and every other target sharing the Survey.
+
+// maxMasterCells bounds one master mask; a region set whose bounding box
+// exceeds this at the requested resolution is not cached (the solver falls
+// back to direct rasterization).
+const maxMasterCells = 1 << 23
+
+// defaultMaskCap is how many (region set, cell size) masters are retained.
+const defaultMaskCap = 16
+
+// maskKey fingerprints a land-region set at one cell size. The regions are
+// already projected, so the projection's identity is captured by the
+// region geometry itself: ring/vertex counts plus the exact bounding box.
+type maskKey struct {
+	cellKm                 float64
+	nRegions, nVerts       int
+	minX, minY, maxX, maxY float64
+}
+
+// maskEntry is one rasterized master. The mask covers [minX, minX+w·cell)
+// × [minY, minY+h·cell) row-major; once built it is immutable.
+type maskEntry struct {
+	once       sync.Once
+	minX, minY float64
+	w, h       int
+	mask       []bool
+	lastUse    uint64
+}
+
+// LandMaskCache caches rasterized land masks across solver passes and
+// across localizations sharing a Survey. Safe for concurrent use; the
+// batch engine's workers all hit the one cache their shared Localizer
+// carries. A nil *LandMaskCache is valid and caches nothing.
+type LandMaskCache struct {
+	mu      sync.Mutex
+	entries map[maskKey]*maskEntry
+	cap     int
+	tick    uint64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+// NewLandMaskCache returns an empty cache retaining up to 16 masters.
+func NewLandMaskCache() *LandMaskCache {
+	return &LandMaskCache{entries: make(map[maskKey]*maskEntry), cap: defaultMaskCap}
+}
+
+// LandMaskStats is a snapshot of cache effectiveness, surfaced through
+// batch.Stats and octant-serve /v1/stats.
+type LandMaskStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// Stats returns the cache's hit/miss counters and resident master count.
+func (c *LandMaskCache) Stats() LandMaskStats {
+	if c == nil {
+		return LandMaskStats{}
+	}
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return LandMaskStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}
+
+// keyFor fingerprints the region set; ok is false for an empty set.
+func keyFor(regions []*geo.Region, cellKm float64) (maskKey, bool) {
+	k := maskKey{cellKm: cellKm, nRegions: len(regions)}
+	first := true
+	for _, r := range regions {
+		k.nVerts += r.VertexCount()
+		lo, hi, bok := r.BoundingBox()
+		if !bok {
+			continue
+		}
+		if first {
+			k.minX, k.minY, k.maxX, k.maxY = lo.X, lo.Y, hi.X, hi.Y
+			first = false
+			continue
+		}
+		k.minX = math.Min(k.minX, lo.X)
+		k.minY = math.Min(k.minY, lo.Y)
+		k.maxX = math.Max(k.maxX, hi.X)
+		k.maxY = math.Max(k.maxY, hi.Y)
+	}
+	return k, !first
+}
+
+// entryFor returns the built master for (regions, cellKm), creating it on
+// first use. Returns nil when the set is empty or too large to cache.
+func (c *LandMaskCache) entryFor(regions []*geo.Region, cellKm float64) *maskEntry {
+	key, ok := keyFor(regions, cellKm)
+	if !ok {
+		return nil
+	}
+	c.mu.Lock()
+	e, found := c.entries[key]
+	if !found {
+		e = &maskEntry{}
+		if len(c.entries) >= c.cap {
+			c.evictLocked()
+		}
+		c.entries[key] = e
+	}
+	c.tick++
+	e.lastUse = c.tick
+	c.mu.Unlock()
+	// Build outside the cache lock (a master rasterization can take
+	// milliseconds); per-entry Once keeps concurrent first users from
+	// duplicating the work without blocking other keys.
+	e.once.Do(func() { e.build(key, regions) })
+	if e.mask == nil {
+		// Unbuildable (bounding box too large at this resolution): drop
+		// the entry so it neither occupies LRU capacity nor reads as a
+		// hit while every solve falls back to direct rasterization.
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil
+	}
+	if found {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e
+}
+
+// evictLocked drops the least-recently-used master. Caller holds c.mu.
+func (c *LandMaskCache) evictLocked() {
+	var oldest maskKey
+	var oldestUse uint64 = math.MaxUint64
+	for k, e := range c.entries {
+		if e.lastUse < oldestUse {
+			oldest, oldestUse = k, e.lastUse
+		}
+	}
+	delete(c.entries, oldest)
+}
+
+// build rasterizes the master lattice: the region set's bounding box
+// padded by one cell, at the key's cell size.
+func (e *maskEntry) build(key maskKey, regions []*geo.Region) {
+	cell := key.cellKm
+	minX := key.minX - cell
+	minY := key.minY - cell
+	w := int(math.Ceil((key.maxX+cell-minX)/cell)) + 1
+	h := int(math.Ceil((key.maxY+cell-minY)/cell)) + 1
+	if w < 1 || h < 1 || w*h > maxMasterCells {
+		return // leave mask nil: callers fall back to direct rasterization
+	}
+	// A weightless Grid carries just the lattice geometry for the fill.
+	g := &geo.Grid{Min: geo.V2(minX, minY), CellKm: cell, W: w, H: h}
+	mask := make([]bool, w*h)
+	for _, r := range regions {
+		g.RasterizeRegionInto(r, mask)
+	}
+	e.minX, e.minY, e.w, e.h, e.mask = minX, minY, w, h, mask
+}
+
+// Apply writes excluded into every cell of g whose centre does not fall on
+// land, resolving membership against the cached master for g's cell size.
+// Returns false (grid untouched) when the master cannot be built, in which
+// case the caller should rasterize directly.
+//
+// Each grid cell centre is mapped to the master cell containing it, so
+// grids of any origin and extent share one master; the mask can differ
+// from a direct rasterization by at most the master-cell quantization of
+// the coastline, well inside the deliberate coarseness of the §2.5
+// outlines.
+func (c *LandMaskCache) Apply(g *geo.Grid, regions []*geo.Region, excluded float64) bool {
+	if c == nil {
+		return false
+	}
+	e := c.entryFor(regions, g.CellKm)
+	if e == nil {
+		return false
+	}
+	invCell := 1 / g.CellKm
+	for y := 0; y < g.H; y++ {
+		cy := g.Min.Y + (float64(y)+0.5)*g.CellKm
+		my := int(math.Floor((cy - e.minY) * invCell))
+		row := g.Weight[y*g.W : (y+1)*g.W]
+		if my < 0 || my >= e.h {
+			for x := range row {
+				row[x] = excluded
+			}
+			continue
+		}
+		mrow := e.mask[my*e.w : (my+1)*e.w]
+		// (cx-minX)/cell for x=0, advancing by exactly 1 per cell.
+		fx := (g.Min.X - e.minX + 0.5*g.CellKm) * invCell
+		for x := range row {
+			mx := int(math.Floor(fx + float64(x)))
+			if mx < 0 || mx >= e.w || !mrow[mx] {
+				row[x] = excluded
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"octant/internal/geo"
+)
+
+// TestLandMaskCacheMatchesDirect checks the cached master-lattice mask
+// against direct per-grid rasterization: interior land and open ocean must
+// agree everywhere; disagreement is tolerated only on the thin coastline
+// band where master-cell quantization can differ by one cell.
+func TestLandMaskCacheMatchesDirect(t *testing.T) {
+	pr := geo.NewProjection(geo.Pt(41.0, -87.0))
+	regions := LandRegions(pr)
+	c := NewLandMaskCache()
+	const cellKm = 16.0
+	const excluded = -math.MaxFloat64
+
+	g := geo.NewGrid(geo.V2(-2500, -1800), geo.V2(2500, 1800), cellKm)
+	defer g.Release()
+	if !c.Apply(g, regions, excluded) {
+		t.Fatal("Apply returned false for a cacheable region set")
+	}
+
+	direct := geo.NewGrid(geo.V2(-2500, -1800), geo.V2(2500, 1800), cellKm)
+	defer direct.Release()
+	land := make([]bool, direct.W*direct.H)
+	for _, lr := range regions {
+		direct.RasterizeRegionInto(lr, land)
+	}
+
+	disagree := 0
+	for i := range land {
+		cachedLand := g.Weight[i] != excluded
+		if cachedLand != land[i] {
+			disagree++
+		}
+	}
+	if frac := float64(disagree) / float64(len(land)); frac > 0.02 {
+		t.Errorf("cached mask disagrees with direct rasterization on %.1f%% of cells", frac*100)
+	}
+	// Deep interior (the projection centre is in the US midwest) must be
+	// land; the mid-Atlantic must be masked.
+	cx, cy := g.CellAt(geo.V2(0, 0))
+	if g.Weight[cy*g.W+cx] == excluded {
+		t.Error("projection centre (US interior) masked as ocean")
+	}
+	ax, ay := g.CellAt(pr.Forward(geo.Pt(40.0, -40.0)))
+	if ax >= 0 && ax < g.W && ay >= 0 && ay < g.H && g.Weight[ay*g.W+ax] != excluded {
+		t.Error("mid-Atlantic cell not masked")
+	}
+}
+
+// TestLandMaskCacheReuse verifies that repeated applies at one cell size
+// hit the cached master, and that distinct cell sizes build distinct
+// masters.
+func TestLandMaskCacheReuse(t *testing.T) {
+	pr := geo.NewProjection(geo.Pt(41.0, -87.0))
+	regions := LandRegions(pr)
+	c := NewLandMaskCache()
+	const excluded = -math.MaxFloat64
+
+	for i := 0; i < 3; i++ {
+		// Different extents and origins each round — only cellKm matters.
+		off := float64(i) * 37.5
+		g := geo.NewGrid(geo.V2(-900+off, -700), geo.V2(900+off, 700), 8)
+		c.Apply(g, regions, excluded)
+		g.Release()
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 2 || s.Entries != 1 {
+		t.Errorf("after 3 applies at one cell size: %+v, want 1 miss / 2 hits / 1 entry", s)
+	}
+	g := geo.NewGrid(geo.V2(-900, -700), geo.V2(900, 700), 16)
+	c.Apply(g, regions, excluded)
+	g.Release()
+	if s := c.Stats(); s.Entries != 2 || s.Misses != 2 {
+		t.Errorf("second cell size should build a second master: %+v", s)
+	}
+	// A nil cache is inert.
+	var nilCache *LandMaskCache
+	g2 := geo.NewGrid(geo.V2(-10, -10), geo.V2(10, 10), 4)
+	if nilCache.Apply(g2, regions, excluded) {
+		t.Error("nil cache must report not-applied")
+	}
+	g2.Release()
+}
+
+// TestQuantizeCellKm pins the coarse-cell lattice the land-mask cache
+// relies on: outputs are fine·2^k, never below fine, nearest in log space.
+func TestQuantizeCellKm(t *testing.T) {
+	cases := []struct{ raw, fine, want float64 }{
+		{2.5, 4, 4},   // below fine clamps up
+		{4, 4, 4},     // exact
+		{5, 4, 4},     // nearest is 2^0
+		{6.1, 4, 8},   // nearest is 2^1
+		{13, 4, 16},   // 13/4=3.25 → 2^2
+		{11, 4, 8},    // 11/4=2.75 → 2^1.46… rounds to 2^1? log2(2.75)=1.46 → 1 → 8
+		{100, 4, 128}, // log2(25)=4.64 → 2^5
+	}
+	for _, tc := range cases {
+		if got := quantizeCellKm(tc.raw, tc.fine); got != tc.want {
+			t.Errorf("quantizeCellKm(%v, %v) = %v, want %v", tc.raw, tc.fine, got, tc.want)
+		}
+	}
+}
+
+// TestSolveSharesLandMasks runs two full solves with a shared cache and
+// confirms the second re-uses the first's masters.
+func TestSolveSharesLandMasks(t *testing.T) {
+	pr := geo.NewProjection(geo.Pt(41.8, -74.0))
+	cons := []Constraint{
+		PositiveDisk(pr, geo.Pt(42.44, -76.50), 300, 1.0, "a"),
+		PositiveDisk(pr, geo.Pt(40.71, -74.01), 280, 0.9, "b"),
+	}
+	cache := NewLandMaskCache()
+	opts := SolverOpts{MinAreaKm2: 1500, LandRegions: LandRegions(pr), Masks: cache}
+	if _, err := Solve(cons, opts); err != nil {
+		t.Fatal(err)
+	}
+	after1 := cache.Stats()
+	if after1.Misses == 0 {
+		t.Fatal("first solve should build at least one master")
+	}
+	if _, err := Solve(cons, opts); err != nil {
+		t.Fatal(err)
+	}
+	after2 := cache.Stats()
+	if after2.Misses != after1.Misses {
+		t.Errorf("second solve rebuilt masters: %d misses, want %d", after2.Misses, after1.Misses)
+	}
+	if after2.Hits <= after1.Hits {
+		t.Errorf("second solve should hit the cache: hits %d → %d", after1.Hits, after2.Hits)
+	}
+}

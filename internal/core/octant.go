@@ -148,13 +148,29 @@ type Localizer struct {
 	Survey   *Survey
 	Cfg      Config
 	Resolver *undns.Resolver // router-name resolver; defaults to undns.NewResolver()
+
+	// masks caches rasterized §2.5 land masks across the solver's coarse
+	// and fine passes and across every localization sharing this
+	// Localizer (the batch engine's workers shallow-copy the Localizer,
+	// so they all share this one cache).
+	masks *LandMaskCache
 }
 
 // NewLocalizer builds a Localizer with the given configuration.
 func NewLocalizer(p probe.Prober, s *Survey, cfg Config) *Localizer {
 	cfg.fillDefaults()
-	return &Localizer{Prober: p, Survey: s, Cfg: cfg, Resolver: undns.NewResolver()}
+	return &Localizer{
+		Prober:   p,
+		Survey:   s,
+		Cfg:      cfg,
+		Resolver: undns.NewResolver(),
+		masks:    NewLandMaskCache(),
+	}
 }
+
+// LandMasks returns the localizer's shared land-mask cache (nil for a
+// zero-value Localizer built without NewLocalizer).
+func (l *Localizer) LandMasks() *LandMaskCache { return l.masks }
 
 // Result is one localization outcome.
 type Result struct {
@@ -288,6 +304,7 @@ func (l *Localizer) Localize(targetAddr string) (*Result, error) {
 	sopts := SolverOpts{
 		MinAreaKm2: cfg.MinRegionAreaKm2,
 		Exact:      cfg.Exact,
+		Masks:      l.masks,
 	}
 	if !cfg.DisableOceans {
 		sopts.LandRegions = LandRegions(pr)
@@ -426,7 +443,7 @@ func (l *Localizer) LocalizeWithSecondary(targetAddr string, beta *geo.Region, r
 			cons = append(cons, neg)
 		}
 	}
-	sopts := SolverOpts{MinAreaKm2: cfg.MinRegionAreaKm2, Exact: cfg.Exact}
+	sopts := SolverOpts{MinAreaKm2: cfg.MinRegionAreaKm2, Exact: cfg.Exact, Masks: l.masks}
 	if !cfg.DisableOceans {
 		sopts.LandRegions = LandRegions(res.Projection)
 	}

@@ -42,6 +42,11 @@ type SolverOpts struct {
 	// these regions (the §2.5 ocean/uninhabitable negative constraint,
 	// applied as a hard mask).
 	LandRegions []*geo.Region
+	// Masks, when non-nil, caches rasterized LandRegions masks so the
+	// coarse pass, the fine pass, and every other solve sharing the cache
+	// (all targets of a batch run against one Survey) skip re-rasterizing
+	// the fixed land polygons. Nil falls back to direct rasterization.
+	Masks *LandMaskCache
 }
 
 func (o *SolverOpts) fillDefaults() {
@@ -86,12 +91,14 @@ func Solve(constraints []Constraint, opts SolverOpts) (*Solution, error) {
 	}
 
 	// Pass 1: coarse grid over the union of positive-constraint extents.
+	// The raw cell size span/CoarseCells is quantized onto the
+	// {FineCellKm · 2^k} lattice the fine pass already uses, so the land
+	// masks rasterized at coarse resolution are shared across targets
+	// (each target's constraint extent differs, but the handful of
+	// quantized cell sizes repeat).
 	min, max := constraintExtent(positives)
 	span := math.Max(max.X-min.X, max.Y-min.Y)
-	coarse := span / float64(opts.CoarseCells)
-	if coarse < opts.FineCellKm {
-		coarse = opts.FineCellKm
-	}
+	coarse := quantizeCellKm(span/float64(opts.CoarseCells), opts.FineCellKm)
 	sol := solveOnGrid(constraints, min, max, coarse, opts)
 	if sol.Region.IsEmpty() {
 		return sol, nil
@@ -120,6 +127,21 @@ func Solve(constraints []Constraint, opts SolverOpts) (*Solution, error) {
 	return refined, nil
 }
 
+// quantizeCellKm snaps a raw cell size to the nearest power-of-two
+// multiple of the fine resolution (never below it). Solve grids then draw
+// their cell sizes from a small shared set instead of a per-target
+// continuum — the property the land-mask cache keys on.
+func quantizeCellKm(raw, fine float64) float64 {
+	if raw <= fine || fine <= 0 {
+		return fine
+	}
+	k := math.Round(math.Log2(raw / fine))
+	if k < 0 {
+		k = 0
+	}
+	return fine * math.Exp2(k)
+}
+
 // constraintExtent returns the union bounding box of constraint regions.
 func constraintExtent(cs []Constraint) (min, max geo.Vec2) {
 	first := true
@@ -144,6 +166,7 @@ func constraintExtent(cs []Constraint) (min, max geo.Vec2) {
 // best level set exceeding the size threshold.
 func solveOnGrid(constraints []Constraint, min, max geo.Vec2, cellKm float64, opts SolverOpts) *Solution {
 	g := geo.NewGrid(min, max, cellKm)
+	defer g.Release()
 	for _, c := range constraints {
 		if c.Region.IsEmpty() {
 			continue
@@ -157,25 +180,25 @@ func solveOnGrid(constraints []Constraint, min, max geo.Vec2, cellKm float64, op
 	}
 	const excluded = -math.MaxFloat64
 	if len(opts.LandRegions) > 0 {
-		// Hard mask: zero out everything outside land. Build the land
-		// mask on the same grid.
-		land := make([]bool, g.W*g.H)
-		for _, lr := range opts.LandRegions {
-			for i, in := range g.RasterizeRegion(lr) {
-				if in {
-					land[i] = true
-				}
+		// Hard mask: zero out everything outside land, resolving land
+		// membership from the shared mask cache when one is available.
+		if !opts.Masks.Apply(g, opts.LandRegions, excluded) {
+			land := make([]bool, g.W*g.H)
+			for _, lr := range opts.LandRegions {
+				g.RasterizeRegionInto(lr, land)
 			}
-		}
-		for i := range g.Weight {
-			if !land[i] {
-				g.Weight[i] = excluded
+			for i := range g.Weight {
+				if !land[i] {
+					g.Weight[i] = excluded
+				}
 			}
 		}
 	}
 
 	// Union weight levels in descending order until the size threshold.
-	levels := g.WeightLevels()
+	// LevelSets delivers every level's population in one census, replacing
+	// the per-level AreaAtOrAbove rescans of the whole grid.
+	levels, cells := g.LevelSets()
 	if len(levels) == 0 {
 		return &Solution{Region: geo.EmptyRegion(), CellKm: cellKm}
 	}
@@ -184,12 +207,12 @@ func solveOnGrid(constraints []Constraint, min, max geo.Vec2, cellKm float64, op
 		return &Solution{Region: geo.EmptyRegion(), CellKm: cellKm}
 	}
 	level := best
-	for _, l := range levels {
+	for i, l := range levels {
 		if l <= 0 {
 			break
 		}
 		level = l
-		if g.AreaAtOrAbove(l) >= opts.MinAreaKm2 {
+		if float64(cells[i])*g.CellArea() >= opts.MinAreaKm2 {
 			break
 		}
 	}
@@ -198,9 +221,11 @@ func solveOnGrid(constraints []Constraint, min, max geo.Vec2, cellKm float64, op
 	// threshold grows the reported region (for containment guarantees)
 	// without diluting the point estimate.
 	var sw, sx, sy float64
+	i := 0
 	for y := 0; y < g.H; y++ {
 		for x := 0; x < g.W; x++ {
-			w := g.Weight[y*g.W+x]
+			w := g.Weight[i]
+			i++
 			if w < best {
 				continue
 			}

@@ -3,6 +3,7 @@ package geo
 import (
 	"math"
 	"sort"
+	"sync"
 )
 
 // Grid is a uniform weight-accumulation grid over a rectangle of the
@@ -10,11 +11,54 @@ import (
 // weighted constraint solver (§2.4): constraint regions add (or mask)
 // weight, and a level set of the accumulated weight field is extracted back
 // into a Region by boundary tracing.
+//
+// Region fills run on the active-edge-table scanline engine (edgetable.go);
+// grids above a size threshold fill row-parallel. Weight buffers come from
+// a pool — callers that are done with a grid should Release it so the next
+// solve reuses the allocation.
 type Grid struct {
 	Min    Vec2      // lower-left corner of cell (0,0)
 	CellKm float64   // cell edge length
 	W, H   int       // cells in x and y
 	Weight []float64 // W*H weights, row-major (y*W + x)
+}
+
+// weightPool and maskPool recycle the two large per-solve buffers (a 1M-cell
+// fine-pass grid is an 8 MB weight buffer). Both store pointers to slices so
+// Put does not allocate.
+var (
+	weightPool sync.Pool // *[]float64
+	maskPool   sync.Pool // *[]bool
+)
+
+func getWeightBuf(n int) []float64 {
+	if v := weightPool.Get(); v != nil {
+		buf := *v.(*[]float64)
+		if cap(buf) >= n {
+			buf = buf[:n]
+			clear(buf)
+			return buf
+		}
+	}
+	return make([]float64, n)
+}
+
+func getMaskBuf(n int) []bool {
+	if v := maskPool.Get(); v != nil {
+		buf := *v.(*[]bool)
+		if cap(buf) >= n {
+			buf = buf[:n]
+			clear(buf)
+			return buf
+		}
+	}
+	return make([]bool, n)
+}
+
+func putMaskBuf(buf []bool) {
+	if buf != nil {
+		maskPool.Put(&buf)
+	}
 }
 
 // NewGrid creates a grid covering [min, max] with the given cell size.
@@ -43,7 +87,19 @@ func NewGrid(min, max Vec2, cellKm float64) *Grid {
 			h = 1
 		}
 	}
-	return &Grid{Min: min, CellKm: cellKm, W: w, H: h, Weight: make([]float64, w*h)}
+	return &Grid{Min: min, CellKm: cellKm, W: w, H: h, Weight: getWeightBuf(w * h)}
+}
+
+// Release returns the grid's weight buffer to the pool. The grid must not
+// be used afterwards. Releasing is optional (an unreleased buffer is
+// ordinary garbage) and idempotent.
+func (g *Grid) Release() {
+	if g == nil || g.Weight == nil {
+		return
+	}
+	buf := g.Weight
+	g.Weight = nil
+	weightPool.Put(&buf)
 }
 
 // CellCenter returns the plane coordinate of the centre of cell (x, y).
@@ -69,7 +125,13 @@ type crossing struct {
 }
 
 // scanRow collects winding crossings of all rings of r with the horizontal
-// line y=yc, appending to buf, and returns the result sorted by x.
+// line y=yc, appending to buf, and returns the result sorted by (x, dir).
+//
+// This is the naive reference rasterizer: it touches every edge of every
+// ring for the row, so filling a grid with it is O(rows × edges). The
+// production fills go through the edge table (forEachSpan); scanRow is
+// retained because the equivalence property test checks the edge table
+// cell-for-cell against it.
 func scanRow(r *Region, yc float64, buf []crossing) []crossing {
 	buf = buf[:0]
 	for _, ring := range r.Rings {
@@ -92,115 +154,38 @@ func scanRow(r *Region, yc float64, buf []crossing) []crossing {
 			buf = append(buf, crossing{x: a.X + t*(b.X-a.X), dir: dir})
 		}
 	}
-	sort.Slice(buf, func(i, j int) bool { return buf[i].x < buf[j].x })
+	sortCrossings(buf)
 	return buf
 }
 
 // rowSpans invokes fn(x0, x1) for every maximal run of cells in row y whose
-// centres are inside region r (non-zero winding).
+// centres are inside region r (non-zero winding), using the naive scanRow.
 func (g *Grid) rowSpans(r *Region, y int, buf []crossing, fn func(x0, x1 int)) []crossing {
 	yc := g.Min.Y + (float64(y)+0.5)*g.CellKm
 	buf = scanRow(r, yc, buf)
-	if len(buf) == 0 {
-		return buf
-	}
-	wind := 0
-	for i := 0; i < len(buf); i++ {
-		prev := wind
-		wind += buf[i].dir
-		if prev == 0 && wind != 0 {
-			// span opens at buf[i].x
-			continue
-		}
-		if prev != 0 && wind == 0 {
-			// span closes: from the x where it opened to here
-			openX := buf[spanOpenIndex(buf, i)].x
-			x0 := int(math.Ceil((openX-g.Min.X)/g.CellKm - 0.5))
-			x1 := int(math.Floor((buf[i].x-g.Min.X)/g.CellKm - 0.5))
-			if x0 < 0 {
-				x0 = 0
-			}
-			if x1 >= g.W {
-				x1 = g.W - 1
-			}
-			if x0 <= x1 {
-				fn(x0, x1)
-			}
-		}
-	}
+	emitSpans(g, buf, y, func(_, x0, x1 int) { fn(x0, x1) })
 	return buf
-}
-
-// spanOpenIndex walks backwards from close index i to find where the winding
-// became non-zero.
-func spanOpenIndex(buf []crossing, i int) int {
-	wind := 0
-	open := 0
-	for j := 0; j <= i; j++ {
-		prev := wind
-		wind += buf[j].dir
-		if prev == 0 && wind != 0 {
-			open = j
-		}
-	}
-	return open
 }
 
 // AddRegion adds weight w to every cell whose centre lies inside r.
 func (g *Grid) AddRegion(r *Region, w float64) {
-	if r == nil || len(r.Rings) == 0 {
-		return
-	}
-	min, max, ok := r.BoundingBox()
-	if !ok {
-		return
-	}
-	y0 := int(math.Floor((min.Y - g.Min.Y) / g.CellKm))
-	y1 := int(math.Ceil((max.Y - g.Min.Y) / g.CellKm))
-	if y0 < 0 {
-		y0 = 0
-	}
-	if y1 > g.H-1 {
-		y1 = g.H - 1
-	}
-	var buf []crossing
-	for y := y0; y <= y1; y++ {
-		row := y * g.W
-		buf = g.rowSpans(r, y, buf, func(x0, x1 int) {
-			for x := x0; x <= x1; x++ {
-				g.Weight[row+x] += w
-			}
-		})
-	}
+	g.forEachSpan(r, func(y, x0, x1 int) {
+		row := g.Weight[y*g.W+x0 : y*g.W+x1+1]
+		for i := range row {
+			row[i] += w
+		}
+	})
 }
 
 // MaskRegion forces the weight of every cell inside r to the given value
 // (used for hard negative constraints: cells ruled out entirely).
 func (g *Grid) MaskRegion(r *Region, value float64) {
-	if r == nil || len(r.Rings) == 0 {
-		return
-	}
-	min, max, ok := r.BoundingBox()
-	if !ok {
-		return
-	}
-	y0 := int(math.Floor((min.Y - g.Min.Y) / g.CellKm))
-	y1 := int(math.Ceil((max.Y - g.Min.Y) / g.CellKm))
-	if y0 < 0 {
-		y0 = 0
-	}
-	if y1 > g.H-1 {
-		y1 = g.H - 1
-	}
-	var buf []crossing
-	for y := y0; y <= y1; y++ {
-		row := y * g.W
-		buf = g.rowSpans(r, y, buf, func(x0, x1 int) {
-			for x := x0; x <= x1; x++ {
-				g.Weight[row+x] = value
-			}
-		})
-	}
+	g.forEachSpan(r, func(y, x0, x1 int) {
+		row := g.Weight[y*g.W+x0 : y*g.W+x1+1]
+		for i := range row {
+			row[i] = value
+		}
+	})
 }
 
 // MaxWeight returns the maximum cell weight (0 for an empty grid).
@@ -215,18 +200,86 @@ func (g *Grid) MaxWeight() float64 {
 	return m
 }
 
+// LevelSets returns the distinct quantized cell weights in descending
+// order and, parallel to it, the number of cells with raw weight at or
+// above each level — cells[i] equals AreaAtOrAbove(levels[i])/CellArea(),
+// computed for every level in two grid passes instead of one scan per
+// level. Because fills write constant-weight spans, consecutive cells
+// usually repeat and cost a single comparison each.
+func (g *Grid) LevelSets() (levels []float64, cells []int) {
+	// Pass 1: distinct quantized weights, kept ascending. The raw-value
+	// cache makes span-constant runs skip the quantization rounding too.
+	lastRaw := math.NaN()
+	last := math.NaN()
+	for _, w := range g.Weight {
+		if w == lastRaw {
+			continue
+		}
+		lastRaw = w
+		q := quantizeWeight(w)
+		if q == last {
+			continue
+		}
+		last = q
+		lo, hi := 0, len(levels)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if levels[mid] < q {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(levels) && levels[lo] == q {
+			continue
+		}
+		levels = append(levels, 0)
+		copy(levels[lo+1:], levels[lo:])
+		levels[lo] = q
+	}
+	// Pass 2: census with the RAW >= comparison Threshold and
+	// AreaAtOrAbove use (a raw 0.89999… quantizes to the 0.9 level but
+	// does not clear it). Each cell is binned at the highest level its raw
+	// weight reaches; a descending prefix sum then yields the cumulative
+	// populations.
+	exact := make([]int, len(levels))
+	lastW := math.NaN()
+	lastIdx := -2
+	for _, w := range g.Weight {
+		if w == lastW {
+			if lastIdx >= 0 {
+				exact[lastIdx]++
+			}
+			continue
+		}
+		lo, hi := 0, len(levels)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if levels[mid] <= w {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		lastW, lastIdx = w, lo-1
+		if lastIdx >= 0 {
+			exact[lastIdx]++
+		}
+	}
+	for i, j := 0, len(levels)-1; i < j; i, j = i+1, j-1 {
+		levels[i], levels[j] = levels[j], levels[i]
+		exact[i], exact[j] = exact[j], exact[i]
+	}
+	for i := 1; i < len(exact); i++ {
+		exact[i] += exact[i-1]
+	}
+	return levels, exact
+}
+
 // WeightLevels returns the distinct weight values present, descending.
 func (g *Grid) WeightLevels() []float64 {
-	seen := make(map[float64]struct{})
-	for _, w := range g.Weight {
-		seen[quantizeWeight(w)] = struct{}{}
-	}
-	out := make([]float64, 0, len(seen))
-	for w := range seen {
-		out = append(out, w)
-	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
-	return out
+	levels, _ := g.LevelSets()
+	return levels
 }
 
 // quantizeWeight collapses floating-point dust so that equal-weight cells
@@ -238,7 +291,8 @@ func quantizeWeight(w float64) float64 {
 // Threshold extracts the region of all cells with weight ≥ level, tracing
 // the cell boundary into properly oriented rings (outer CCW, holes CW).
 func (g *Grid) Threshold(level float64) *Region {
-	inside := make([]bool, len(g.Weight))
+	inside := getMaskBuf(len(g.Weight))
+	defer putMaskBuf(inside)
 	any := false
 	for i, w := range g.Weight {
 		if w >= level {
@@ -269,21 +323,32 @@ func (g *Grid) AreaAtOrAbove(level float64) float64 {
 // vkey is an integer grid-vertex coordinate in [0..W]x[0..H].
 type vkey struct{ x, y int32 }
 
+// dirEdge is one directed boundary edge between grid vertices.
+type dirEdge struct{ from, to vkey }
+
+// vkeyLess orders vertices row-major (y, then x).
+func vkeyLess(a, b vkey) bool {
+	return a.y < b.y || (a.y == b.y && a.x < b.x)
+}
+
 // traceBoundary converts a binary cell mask into a Region. Directed
 // boundary edges are emitted with the inside on the left, then linked into
 // loops, producing CCW outer rings and CW holes without post-processing.
+//
+// Edges live in one flat slice sorted by start vertex (a map of per-vertex
+// adjacency lists costs an allocation per boundary vertex, which dominated
+// the solver's allocation profile); tracing consumes them via binary search
+// over the sorted slice plus a used bitmap.
 func (g *Grid) traceBoundary(inside []bool) *Region {
-	// Directed edges keyed by start vertex.
-	edges := make(map[vkey][]vkey)
-	add := func(x0, y0, x1, y1 int) {
-		k := vkey{int32(x0), int32(y0)}
-		edges[k] = append(edges[k], vkey{int32(x1), int32(y1)})
-	}
 	in := func(x, y int) bool {
 		if x < 0 || y < 0 || x >= g.W || y >= g.H {
 			return false
 		}
 		return inside[y*g.W+x]
+	}
+	var edges []dirEdge
+	add := func(x0, y0, x1, y1 int) {
+		edges = append(edges, dirEdge{vkey{int32(x0), int32(y0)}, vkey{int32(x1), int32(y1)}})
 	}
 	for y := 0; y < g.H; y++ {
 		for x := 0; x < g.W; x++ {
@@ -304,44 +369,78 @@ func (g *Grid) traceBoundary(inside []bool) *Region {
 			}
 		}
 	}
+	// Stable sort keeps edges sharing a start vertex in emission order, so
+	// saddle resolution sees candidates in the same order the adjacency-map
+	// representation produced (and ring output stays byte-identical).
+	sort.SliceStable(edges, func(i, j int) bool { return vkeyLess(edges[i].from, edges[j].from) })
+	// findFrom returns the [i, j) range of edges starting at v.
+	findFrom := func(v vkey) (int, int) {
+		i := sort.Search(len(edges), func(k int) bool { return !vkeyLess(edges[k].from, v) })
+		j := i
+		for j < len(edges) && edges[j].from == v {
+			j++
+		}
+		return i, j
+	}
+	used := make([]bool, len(edges))
+	remaining := len(edges)
+	cursor := 0 // edges before cursor are all used
 	var rings []Ring
-	for len(edges) > 0 {
-		// Start from the smallest keyed vertex so ring order and vertex
-		// rotation are deterministic: map iteration order would otherwise
-		// vary the float accumulation order of Area/centroid sums between
-		// runs, making identical localizations differ in low-order bits.
-		start := minVkey(edges)
-		var loop []vkey
+	var loop []vkey
+	for remaining > 0 {
+		for used[cursor] {
+			cursor++
+		}
+		// Sorted order makes edges[cursor].from the smallest keyed vertex
+		// remaining, so ring order and vertex rotation are deterministic:
+		// varying start points would vary the float accumulation order of
+		// Area/centroid sums between runs, making identical localizations
+		// differ in low-order bits.
+		start := edges[cursor].from
 		cur := start
 		prev := vkey{-1 << 30, -1 << 30}
+		loop = loop[:0]
 		for {
-			nexts := edges[cur]
-			if len(nexts) == 0 {
+			i, j := findFrom(cur)
+			pick := -1
+			nc := 0
+			var cands [4]int
+			for k := i; k < j; k++ {
+				if !used[k] {
+					cands[nc] = k
+					nc++
+				}
+			}
+			if nc == 0 {
 				break // should not happen on a well-formed mask
 			}
-			var next vkey
-			if len(nexts) == 1 {
-				next = nexts[0]
-				delete(edges, cur)
+			if nc == 1 {
+				pick = cands[0]
 			} else {
 				// Saddle: prefer the sharpest left turn relative to the
 				// incoming direction to keep loops from merging.
-				next = pickLeftmost(prev, cur, nexts)
-				rest := nexts[:0]
-				for _, n := range nexts {
-					if n != next {
-						rest = append(rest, n)
+				pick = cands[0]
+				if prev.x >= -1<<29 {
+					inDir := Vec2{float64(cur.x - prev.x), float64(cur.y - prev.y)}
+					bestScore := -math.MaxFloat64
+					for _, k := range cands[:nc] {
+						n := edges[k].to
+						out := Vec2{float64(n.x - cur.x), float64(n.y - cur.y)}
+						// Left turns have positive cross; score by angle
+						// turned left.
+						score := math.Atan2(inDir.Cross(out), inDir.Dot(out))
+						if score > bestScore {
+							bestScore = score
+							pick = k
+						}
 					}
 				}
-				if len(rest) == 0 {
-					delete(edges, cur)
-				} else {
-					edges[cur] = rest
-				}
 			}
+			used[pick] = true
+			remaining--
 			loop = append(loop, cur)
 			prev = cur
-			cur = next
+			cur = edges[pick].to
 			if cur == start {
 				break
 			}
@@ -361,39 +460,6 @@ func (g *Grid) traceBoundary(inside []bool) *Region {
 		}
 	}
 	return &Region{Rings: rings}
-}
-
-// minVkey returns the smallest start vertex present (row-major order).
-func minVkey(edges map[vkey][]vkey) vkey {
-	first := true
-	var min vkey
-	for k := range edges {
-		if first || k.y < min.y || (k.y == min.y && k.x < min.x) {
-			min, first = k, false
-		}
-	}
-	return min
-}
-
-// pickLeftmost chooses, among candidate next vertices from cur, the one that
-// turns most sharply left relative to the incoming direction prev→cur.
-func pickLeftmost(prev, cur vkey, nexts []vkey) vkey {
-	inDir := Vec2{float64(cur.x - prev.x), float64(cur.y - prev.y)}
-	if prev.x < -1<<29 { // no incoming direction yet
-		return nexts[0]
-	}
-	best := nexts[0]
-	bestScore := -math.MaxFloat64
-	for _, n := range nexts {
-		out := Vec2{float64(n.x - cur.x), float64(n.y - cur.y)}
-		// Left turns have positive cross; score by angle turned left.
-		score := math.Atan2(inDir.Cross(out), inDir.Dot(out))
-		if score > bestScore {
-			bestScore = score
-			best = n
-		}
-	}
-	return best
 }
 
 // collapseCollinear removes interior vertices that lie on a straight line
@@ -421,19 +487,23 @@ func collapseCollinear(ring Ring) Ring {
 // RasterizeRegion computes the binary inside-mask of r on grid geometry.
 func (g *Grid) RasterizeRegion(r *Region) []bool {
 	inside := make([]bool, g.W*g.H)
-	if r == nil {
-		return inside
-	}
-	var buf []crossing
-	for y := 0; y < g.H; y++ {
-		row := y * g.W
-		buf = g.rowSpans(r, y, buf, func(x0, x1 int) {
-			for x := x0; x <= x1; x++ {
-				inside[row+x] = true
-			}
-		})
-	}
+	g.RasterizeRegionInto(r, inside)
 	return inside
+}
+
+// RasterizeRegionInto sets mask[i] = true for every cell whose centre lies
+// inside r, leaving other entries untouched (so masks of several regions
+// can be OR-combined without temporaries). mask must have length W*H.
+func (g *Grid) RasterizeRegionInto(r *Region, mask []bool) {
+	if r == nil {
+		return
+	}
+	g.forEachSpan(r, func(y, x0, x1 int) {
+		row := mask[y*g.W+x0 : y*g.W+x1+1]
+		for i := range row {
+			row[i] = true
+		}
+	})
 }
 
 // rasterBool combines two regions with a boolean cell operation on a shared
@@ -458,9 +528,15 @@ func rasterBool(a, b *Region, cellKm float64, op func(x, y bool) bool) *Region {
 	min = Vec2{min.X - pad, min.Y - pad}
 	max = Vec2{max.X + pad, max.Y + pad}
 	g := NewGrid(min, max, cellKm)
-	ma := g.RasterizeRegion(a)
-	mb := g.RasterizeRegion(b)
-	out := make([]bool, len(ma))
+	defer g.Release()
+	ma := getMaskBuf(g.W * g.H)
+	defer putMaskBuf(ma)
+	mb := getMaskBuf(g.W * g.H)
+	defer putMaskBuf(mb)
+	g.RasterizeRegionInto(a, ma)
+	g.RasterizeRegionInto(b, mb)
+	out := getMaskBuf(len(ma))
+	defer putMaskBuf(out)
 	any := false
 	for i := range out {
 		if op(ma[i], mb[i]) {
