@@ -66,6 +66,48 @@ func BenchmarkFig1RegionCombination(b *testing.B) {
 	}
 }
 
+// TestFig1AllocRegression pins the allocation budget of the Figure 1
+// solve: the edge-table rewrite landed at 148 allocs/op and the pooled
+// rasterizer buffers of the unit-vector PR cut it further; any climb back
+// above the 148 mark is a regression.
+func TestFig1AllocRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("testing.Benchmark run is not short")
+	}
+	res := testing.Benchmark(BenchmarkFig1RegionCombination)
+	const maxAllocs = 148
+	if a := res.AllocsPerOp(); a > maxAllocs {
+		t.Errorf("Fig1RegionCombination allocates %d allocs/op, budget is %d", a, maxAllocs)
+	}
+}
+
+// BenchmarkConstraintBuild measures bare disk-constraint construction —
+// the unit-vector fast path plus adaptive polygonalization — across the
+// radius regimes that occur in practice: 30 km city pins, 300 km metro
+// bounds, 3000 km continental latency disks.
+func BenchmarkConstraintBuild(b *testing.B) {
+	pr := geo.NewProjection(geo.Pt(41.8, -74.0))
+	lm := geo.Pt(42.44, -76.50)
+	for _, radius := range []float64{30, 300, 3000} {
+		b.Run(fmt.Sprintf("PositiveDisk-%.0fkm", radius), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if core.PositiveDisk(pr, lm, radius, 1, "bench").Region.IsEmpty() {
+					b.Fatal("empty disk")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("NegativeDisk-%.0fkm", radius), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if core.NegativeDisk(pr, lm, radius, 1, "bench").Region.IsEmpty() {
+					b.Fatal("empty disk")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFig2Calibration measures one landmark's §2.1 calibration build
 // and reports the hull/percentile/spline series of Figure 2.
 func BenchmarkFig2Calibration(b *testing.B) {

@@ -13,6 +13,13 @@
 // job archives per commit, seeding the performance trajectory:
 //
 //	go test -run '^$' -bench . -benchmem ./... | octant-eval -bench-json - -commit $SHA -out BENCH_$SHA.json
+//
+// and gates perf regressions between two archived reports — CI compares a
+// commit against its parent's artifact and fails on a >20% ns/op slowdown
+// of the named benchmarks:
+//
+//	octant-eval -bench-old BENCH_parent.json -bench-new BENCH_head.json \
+//	    -bench-names Fig1RegionCombination,Localize -max-regress 0.20
 package main
 
 import (
@@ -44,11 +51,25 @@ func main() {
 		benchJSON = flag.String("bench-json", "", "convert 'go test -bench' output (file path or - for stdin) to JSON and exit")
 		commit    = flag.String("commit", "", "commit hash recorded in -bench-json output")
 		out       = flag.String("out", "", "output path for -bench-json (default stdout)")
+
+		benchOld   = flag.String("bench-old", "", "baseline BENCH_<sha>.json for -bench-new comparison")
+		benchNew   = flag.String("bench-new", "", "candidate BENCH_<sha>.json compared against -bench-old")
+		benchNames = flag.String("bench-names", "Fig1RegionCombination,Localize", "comma-separated benchmark names gated by the comparison")
+		maxRegress = flag.Float64("max-regress", 0.20, "fail when a gated benchmark's ns/op regresses by more than this fraction")
 	)
 	flag.Parse()
 
 	if *benchJSON != "" {
 		if err := emitBenchJSON(*benchJSON, *commit, *out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *benchOld != "" || *benchNew != "" {
+		if *benchOld == "" || *benchNew == "" {
+			log.Fatal("-bench-old and -bench-new must be given together")
+		}
+		if err := compareBench(*benchOld, *benchNew, strings.Split(*benchNames, ","), *maxRegress); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -156,6 +177,74 @@ func emitBenchJSON(src, commit, outPath string) error {
 		return err
 	}
 	return os.WriteFile(outPath, data, 0o644)
+}
+
+// compareBench loads two archived bench reports and fails when any gated
+// benchmark's ns/op regressed by more than maxRegress. Names absent from
+// either report are skipped with a note (benchmarks come and go), so the
+// gate never blocks a commit for renaming or adding benches.
+func compareBench(oldPath, newPath string, names []string, maxRegress float64) error {
+	oldNs, err := loadBenchNs(oldPath)
+	if err != nil {
+		return err
+	}
+	newNs, err := loadBenchNs(newPath)
+	if err != nil {
+		return err
+	}
+	var failures []string
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		was, okOld := oldNs[name]
+		now, okNew := newNs[name]
+		if !okOld || !okNew {
+			fmt.Printf("bench-compare: %-24s skipped (missing from %s)\n", name,
+				map[bool]string{true: "baseline", false: "candidate"}[!okOld])
+			continue
+		}
+		change := now/was - 1
+		fmt.Printf("bench-compare: %-24s %12.0f → %12.0f ns/op  (%+.1f%%)\n", name, was, now, 100*change)
+		if change > maxRegress {
+			failures = append(failures, fmt.Sprintf("%s regressed %.1f%% (budget %.0f%%)", name, 100*change, 100*maxRegress))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench regression: %s", strings.Join(failures, "; "))
+	}
+	return nil
+}
+
+// loadBenchNs maps base benchmark names (GOMAXPROCS suffix stripped) to
+// their best observed ns/op in a report.
+func loadBenchNs(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64)
+	for _, r := range report.Results {
+		ns, ok := r.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		name := r.Name
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if prev, ok := out[name]; !ok || ns < prev {
+			out[name] = ns
+		}
+	}
+	return out, nil
 }
 
 // parseBenchLine parses one "BenchmarkX-8  100  123 ns/op  4 B/op …" line.

@@ -12,10 +12,14 @@
 // and coalescing of concurrent duplicate requests (only one worker probes
 // a given target; the others wait and share its outcome).
 //
-// Workers also share the Localizer's land-mask cache: the §2.5 ocean mask
-// is rasterized once per (projection, cell size) and every target's
-// coarse and fine solver passes reuse it, instead of each solve
-// re-rasterizing the fixed land polygons. Stats reports its hit rate.
+// Workers also share the Localizer's per-survey state through their
+// shallow Localizer copies: the projection context (survey-centroid
+// frame, per-landmark tangent frames, land outlines projected once per
+// survey) and the land-mask cache, under which the §2.5 ocean mask is
+// rasterized once per (projection, cell size) and every target's coarse
+// and fine solver passes reuse it, instead of each solve re-projecting
+// and re-rasterizing the fixed land polygons. Stats reports the mask
+// cache's hit rate.
 //
 // Safety: Survey, Calibration, and the undns Resolver are immutable after
 // construction, and netsim.World guards its route cache internally, so

@@ -48,30 +48,45 @@ func (c Constraint) String() string {
 	return fmt.Sprintf("%s[%s w=%.3f area=%.0fkm²]", c.Kind, c.Source, c.Weight, c.Region.Area())
 }
 
-// circleSegments is the polygonalization density for constraint disks.
+// circleSegments is the polygonalization cap for constraint disks; small
+// disks use fewer vertices, chosen per radius by the chord-error bound
+// below.
 const circleSegments = 96
+
+// circleChordTolKm is the chord-error (sagitta) budget that picks each
+// disk's vertex count: max(0.25 km, FineCellKm/4) = 1 km for the 4 km
+// fine pass Localize always solves at (SolverOpts.FineCellKm is not
+// user-configurable through Config; a caller driving Solve directly at a
+// custom resolution builds its own rings). A 60 km WHOIS/router disk
+// polygonalized to this tolerance needs 24 vertices, not 96;
+// continent-scale latency disks keep full density.
+const circleChordTolKm = 1.0
+
+// diskConstraint builds a disk constraint through the unit-vector fast
+// path: the ring is generated directly at its adaptive size (no oversized
+// scratch, no clone) and handed to the region whole.
+func diskConstraint(kind Kind, cf, lf geo.Frame, radiusKm, weight float64, source string) Constraint {
+	n := geo.CircleSegments(radiusKm, circleChordTolKm)
+	ring := geo.Ring(cf.AppendGeoCircle(make([]geo.Vec2, 0, n), lf, radiusKm, n))
+	return Constraint{
+		Kind:   kind,
+		Region: geo.NewRegion(ring),
+		Weight: weight,
+		Source: source,
+	}
+}
 
 // PositiveDisk builds a positive constraint: target within radiusKm of a
 // pinpoint-known landmark at center.
 func PositiveDisk(pr *geo.Projection, center geo.Point, radiusKm, weight float64, source string) Constraint {
-	return Constraint{
-		Kind:   Positive,
-		Region: geo.RegionFromRing(pr.GeoCircle(center, radiusKm, circleSegments)),
-		Weight: weight,
-		Source: source,
-	}
+	return diskConstraint(Positive, pr.Frame(), geo.NewFrame(center), radiusKm, weight, source)
 }
 
 // NegativeDisk builds a negative constraint: target further than radiusKm
 // from a pinpoint-known landmark at center (the excluded region is the
 // disk itself).
 func NegativeDisk(pr *geo.Projection, center geo.Point, radiusKm, weight float64, source string) Constraint {
-	return Constraint{
-		Kind:   Negative,
-		Region: geo.RegionFromRing(pr.GeoCircle(center, radiusKm, circleSegments)),
-		Weight: weight,
-		Source: source,
-	}
+	return diskConstraint(Negative, pr.Frame(), geo.NewFrame(center), radiusKm, weight, source)
 }
 
 // PositiveFromRegion builds the positive constraint induced by a secondary

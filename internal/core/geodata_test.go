@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"octant/internal/geo"
+)
+
+// TestOnLandMatchesProjectedReference sweeps a lat/lon lattice and compares
+// the spherical OnLand against the previous implementation (project the
+// outlines into a fresh azimuthal plane centred at the query point, test
+// planar containment). The comparison only applies on the outlines' own
+// hemispheres: near the antipode of an outline the old path was simply
+// wrong — the azimuthal projection inflates the far-away outline into a
+// near-circumference ring that can swallow the query point, which is how
+// stretches of the Southern Ocean used to test as "on land". Off the
+// hemispheres the new implementation must report ocean, full stop.
+//
+// On the hemispheres the two draw polygon edges differently — great
+// circles versus projected straight lines — so isolated disagreements may
+// occur right at outline boundaries, but they must stay rare.
+func TestOnLandMatchesProjectedReference(t *testing.T) {
+	reference := func(p geo.Point) bool {
+		pr := geo.NewProjection(p)
+		v := pr.Forward(p)
+		for _, r := range LandRegions(pr) {
+			if r.Contains(v) {
+				return true
+			}
+		}
+		return false
+	}
+	hemiCenters := []geo.Vec3{
+		geo.UnitVec(geo.Pt(42, -95)), // North America outline
+		geo.UnitVec(geo.Pt(49, 10)),  // Europe outline
+	}
+	checked, mismatches := 0, 0
+	for lat := -60.0; lat <= 72.0; lat += 1.5 {
+		for lon := -180.0; lon < 180.0; lon += 1.5 {
+			p := geo.Pt(lat, lon)
+			u := geo.UnitVec(p)
+			nearLand := false
+			for _, c := range hemiCenters {
+				if c.Dot(u) > 0 {
+					nearLand = true
+				}
+			}
+			if !nearLand {
+				if OnLand(p) {
+					t.Fatalf("%v is in the outlines' far hemisphere and must be ocean", p)
+				}
+				continue
+			}
+			checked++
+			if OnLand(p) != reference(p) {
+				mismatches++
+			}
+		}
+	}
+	if mismatches > checked/400 { // 0.25%: boundary-edge discretization only
+		t.Errorf("OnLand disagrees with projected reference at %d of %d lattice points", mismatches, checked)
+	}
+}
+
+// TestOnLandAntipode guards the winding-sum degeneracy: the antipode of a
+// continental interior point must stay ocean.
+func TestOnLandAntipode(t *testing.T) {
+	denver := geo.Pt(39.74, -104.99)
+	if !OnLand(denver) {
+		t.Fatal("Denver should be on land")
+	}
+	antipode := geo.Pt(-39.74, 75.01) // southern Indian Ocean
+	if OnLand(antipode) {
+		t.Error("Denver's antipode should be ocean")
+	}
+}

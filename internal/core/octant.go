@@ -154,18 +154,28 @@ type Localizer struct {
 	// Localizer (the batch engine's workers shallow-copy the Localizer,
 	// so they all share this one cache).
 	masks *LandMaskCache
+
+	// pctx carries the per-survey projection state (centroid frame,
+	// landmark frames, projected land outlines), built once and shared by
+	// Localize, LocalizeWithSecondary, and all batch workers — the same
+	// shallow-copy sharing discipline as masks.
+	pctx *ProjectionContext
 }
 
 // NewLocalizer builds a Localizer with the given configuration.
 func NewLocalizer(p probe.Prober, s *Survey, cfg Config) *Localizer {
 	cfg.fillDefaults()
-	return &Localizer{
+	l := &Localizer{
 		Prober:   p,
 		Survey:   s,
 		Cfg:      cfg,
 		Resolver: undns.NewResolver(),
 		masks:    NewLandMaskCache(),
 	}
+	if s != nil && s.N() > 0 {
+		l.pctx = NewProjectionContext(s)
+	}
+	return l
 }
 
 // LandMasks returns the localizer's shared land-mask cache (nil for a
@@ -210,7 +220,9 @@ func (l *Localizer) Localize(targetAddr string) (*Result, error) {
 	if s == nil || s.N() < 3 {
 		return nil, fmt.Errorf("core: localizer needs a survey with ≥ 3 landmarks")
 	}
-	pr := geo.NewProjection(s.Centroid())
+	pctx := l.projContext()
+	pr := pctx.Proj
+	cf := pctx.Center
 
 	// 1. Measure the target from every landmark.
 	rtts := make([]float64, s.N())
@@ -274,13 +286,14 @@ func (l *Localizer) Localize(targetAddr string) (*Result, error) {
 		if maxKm <= 0 {
 			continue
 		}
-		constraints = append(constraints, PositiveDisk(pr, lm.Loc, maxKm, w, lm.Name))
+		lf := pctx.LandmarkFrames[i]
+		constraints = append(constraints, diskConstraint(Positive, cf, lf, maxKm, w, lm.Name))
 		if !cfg.DisableNegative && minKm > 0 && minKm < maxKm {
 			wn := w * cfg.NegativeWeightFactor
 			if cfg.Unweighted {
 				wn = 1
 			}
-			constraints = append(constraints, NegativeDisk(pr, lm.Loc, minKm, wn, lm.Name+"/neg"))
+			constraints = append(constraints, diskConstraint(Negative, cf, lf, minKm, wn, lm.Name+"/neg"))
 		}
 	}
 	if len(constraints) == 0 {
@@ -289,14 +302,14 @@ func (l *Localizer) Localize(targetAddr string) (*Result, error) {
 
 	// 4. Piecewise router localization (§2.3).
 	if !cfg.DisablePiecewise {
-		constraints = append(constraints, l.routerConstraints(pr, targetAddr, rtts, tHeight, cfg)...)
+		constraints = append(constraints, l.routerConstraints(cf, targetAddr, rtts, tHeight, cfg)...)
 	}
 
 	// 5. WHOIS positive constraint (§2.5).
 	if !cfg.DisableWhois {
 		if loc, _, ok := l.Prober.Whois(targetAddr); ok && loc.Valid() {
 			constraints = append(constraints,
-				PositiveDisk(pr, loc, cfg.WhoisRadiusKm, cfg.WhoisWeight, "whois"))
+				diskConstraint(Positive, cf, geo.NewFrame(loc), cfg.WhoisRadiusKm, cfg.WhoisWeight, "whois"))
 		}
 	}
 
@@ -307,7 +320,7 @@ func (l *Localizer) Localize(targetAddr string) (*Result, error) {
 		Masks:      l.masks,
 	}
 	if !cfg.DisableOceans {
-		sopts.LandRegions = LandRegions(pr)
+		sopts.LandRegions = pctx.Land
 	}
 	if cfg.Unweighted {
 		// Discrete semantics: negatives are absolute vetoes.
@@ -350,7 +363,7 @@ func (l *Localizer) Localize(targetAddr string) (*Result, error) {
 // removed from the residual before the distance lookup: the last router
 // before a campus is often one metro away, and without the height
 // deflation its constraint would be hundreds of km too loose.
-func (l *Localizer) routerConstraints(pr *geo.Projection, targetAddr string, rtts []float64, tHeight float64, cfg Config) []Constraint {
+func (l *Localizer) routerConstraints(cf geo.Frame, targetAddr string, rtts []float64, tHeight float64, cfg Config) []Constraint {
 	s := l.Survey
 	// Rank landmarks by latency to the target.
 	type lmDist struct {
@@ -415,7 +428,7 @@ func (l *Localizer) routerConstraints(pr *geo.Projection, targetAddr string, rtt
 		if cfg.Unweighted {
 			w = 1
 		}
-		out = append(out, PositiveDisk(pr, rc.loc.Loc, rc.maxKm, w, "router:"+code))
+		out = append(out, diskConstraint(Positive, cf, geo.NewFrame(rc.loc.Loc), rc.maxKm, w, "router:"+code))
 	}
 	return out
 }
@@ -445,7 +458,9 @@ func (l *Localizer) LocalizeWithSecondary(targetAddr string, beta *geo.Region, r
 	}
 	sopts := SolverOpts{MinAreaKm2: cfg.MinRegionAreaKm2, Exact: cfg.Exact, Masks: l.masks}
 	if !cfg.DisableOceans {
-		sopts.LandRegions = LandRegions(res.Projection)
+		// res.Projection is the shared per-survey projection, so the
+		// context's pre-projected land outlines apply as-is.
+		sopts.LandRegions = l.projContext().Land
 	}
 	sol, err := Solve(cons, sopts)
 	if err != nil {

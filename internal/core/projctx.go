@@ -1,0 +1,60 @@
+package core
+
+import "octant/internal/geo"
+
+// ProjectionContext is the projection-dependent state that is fixed for a
+// Survey: the centroid projection and its tangent frame, each landmark's
+// precomputed frame and projected position, and the §2.5 land outlines
+// projected into the survey's plane. All of it used to be rebuilt per
+// Localize call — the land regions twice per LocalizeWithSecondary — even
+// though none of it can change while the (immutable) Survey is in use.
+//
+// A context is immutable after NewProjectionContext and safe to share: the
+// Localizer caches one, and the batch engine's workers inherit it through
+// their shallow Localizer copies, exactly like the LandMaskCache.
+type ProjectionContext struct {
+	// Proj is the shared azimuthal equidistant projection centred at the
+	// survey centroid. Results of every localization against the survey
+	// reference this one projection.
+	Proj *geo.Projection
+	// Center is Proj's tangent frame, the constraint-construction fast
+	// path's projection target.
+	Center geo.Frame
+	// LandmarkFrames[i] is the precomputed tangent frame of landmark i —
+	// the per-disk frame build cost paid once per survey instead of twice
+	// per landmark per target. A landmark's projected position, when
+	// needed, is Center.ForwardVec(LandmarkFrames[i].U).
+	LandmarkFrames []geo.Frame
+	// Land holds the §2.5 landmass outlines projected into Proj's plane,
+	// built once and passed to every solve as SolverOpts.LandRegions.
+	Land []*geo.Region
+
+	survey *Survey // identity guard for the Localizer's cache
+}
+
+// NewProjectionContext builds the shared projection state for s.
+func NewProjectionContext(s *Survey) *ProjectionContext {
+	pr := geo.NewProjection(s.Centroid())
+	cf := pr.Frame()
+	ctx := &ProjectionContext{
+		Proj:           pr,
+		Center:         cf,
+		LandmarkFrames: make([]geo.Frame, s.N()),
+		Land:           LandRegions(pr),
+		survey:         s,
+	}
+	for i, lm := range s.Landmarks {
+		ctx.LandmarkFrames[i] = geo.NewFrame(lm.Loc)
+	}
+	return ctx
+}
+
+// projContext returns the Localizer's cached context, rebuilding it only if
+// the Localizer was constructed without NewLocalizer or its Survey was
+// swapped afterwards.
+func (l *Localizer) projContext() *ProjectionContext {
+	if l.pctx != nil && l.pctx.survey == l.Survey {
+		return l.pctx
+	}
+	return NewProjectionContext(l.Survey)
+}

@@ -167,17 +167,22 @@ func constraintExtent(cs []Constraint) (min, max geo.Vec2) {
 func solveOnGrid(constraints []Constraint, min, max geo.Vec2, cellKm float64, opts SolverOpts) *Solution {
 	g := geo.NewGrid(min, max, cellKm)
 	defer g.Release()
+	// Batched fills: each constraint writes two difference entries per
+	// span, and one prefix-sum pass resolves the whole overlay — the
+	// hundred-odd disks mostly cover most of the grid, so per-cell adds
+	// were the solver's dominant write cost.
 	for _, c := range constraints {
 		if c.Region.IsEmpty() {
 			continue
 		}
 		switch c.Kind {
 		case Positive:
-			g.AddRegion(c.Region, c.Weight)
+			g.AddRegionBatched(c.Region, c.Weight)
 		case Negative:
-			g.AddRegion(c.Region, -c.Weight)
+			g.AddRegionBatched(c.Region, -c.Weight)
 		}
 	}
+	g.FlushAdds()
 	const excluded = -math.MaxFloat64
 	if len(opts.LandRegions) > 0 {
 		// Hard mask: zero out everything outside land, resolving land

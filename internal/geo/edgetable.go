@@ -41,11 +41,34 @@ type tableEdge struct {
 // a table costs a handful of allocations no matter how many rows it spans.
 // A table is immutable once built; concurrent sweeps over disjoint row
 // ranges share it freely (the row-parallel fill path does exactly that).
+//
+// Tables are drawn from a sync.Pool: a localization rasterizes a hundred-odd
+// constraint rings per solver pass, and before pooling those per-fill table
+// buffers were the dominant allocation of the whole pipeline. release
+// returns a table (and the build scratch it carries) for reuse.
 type EdgeTable struct {
 	edges  []tableEdge
 	starts []int32 // CSR offsets into items, len rows+1
 	items  []int32 // edge indices grouped by first eligible row
 	y0, y1 int     // inclusive sweep row range
+
+	rowOf []int32 // build scratch: first eligible row per edge
+	next  []int32 // build scratch: counting-sort placement cursor
+}
+
+var edgeTablePool = sync.Pool{New: func() any { return new(EdgeTable) }}
+
+// release returns the table's buffers to the pool. The caller must not use
+// the table afterwards; sweeps (including parallel workers) must be done.
+func (t *EdgeTable) release() { edgeTablePool.Put(t) }
+
+// resize32 reslices s to length n, reallocating only when capacity falls
+// short. Contents are unspecified.
+func resize32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
 }
 
 // bucket returns the edges first eligible at row y.
@@ -59,8 +82,10 @@ func (t *EdgeTable) bucket(y int) []int32 {
 // the sweep re-checks the exact crossing predicate every row, so the
 // bounds only have to never be late.
 func newEdgeTable(r *Region, g *Grid, y0, y1 int) *EdgeTable {
-	t := &EdgeTable{y0: y0, y1: y1}
-	var rowOf []int32 // first eligible row per edge, relative to y0
+	t := edgeTablePool.Get().(*EdgeTable)
+	t.y0, t.y1 = y0, y1
+	t.edges = t.edges[:0]
+	rowOf := t.rowOf[:0] // first eligible row per edge, relative to y0
 	inv := 1 / g.CellKm
 	for _, ring := range r.Rings {
 		n := len(ring)
@@ -91,16 +116,21 @@ func newEdgeTable(r *Region, g *Grid, y0, y1 int) *EdgeTable {
 			rowOf = append(rowOf, int32(first-y0))
 		}
 	}
+	t.rowOf = rowOf
 	rows := y1 - y0 + 1
-	t.starts = make([]int32, rows+1)
+	t.starts = resize32(t.starts, rows+1)
+	clear(t.starts)
 	for _, ri := range rowOf {
 		t.starts[ri+1]++
 	}
 	for i := 1; i <= rows; i++ {
 		t.starts[i] += t.starts[i-1]
 	}
-	t.items = make([]int32, len(t.edges))
-	next := append([]int32(nil), t.starts[:rows]...)
+	// items and next are fully overwritten below, so reused capacity needs
+	// no clearing: the counting sort writes every items slot exactly once.
+	t.items = resize32(t.items, len(t.edges))
+	t.next = append(t.next[:0], t.starts[:rows]...)
+	next := t.next
 	// Counting-sort placement preserves edge order within a bucket, so the
 	// active list admits edges in the same order per-row append buckets
 	// would — keeping crossing order, and therefore output, deterministic.
@@ -116,12 +146,13 @@ func newEdgeTable(r *Region, g *Grid, y0, y1 int) *EdgeTable {
 // inside the region. Rows ascend; the active list admits edges from their
 // buckets and retires them once the scanline passes their upper end.
 func (t *EdgeTable) sweep(g *Grid, r0, r1 int, fn func(y, x0, x1 int)) {
-	active := make([]int32, 0, 32)
+	sc := sweepPool.Get().(*sweepScratch)
+	active := sc.active[:0]
 	// A sweep starting mid-grid (a parallel worker) must consider edges
 	// bucketed at earlier rows that may still span r0; the per-row
 	// predicate discards the dead ones on the first iteration.
 	active = append(active, t.items[:t.starts[r0-t.y0]]...)
-	var cross []crossing
+	cross := sc.cross[:0]
 	for y := r0; y <= r1; y++ {
 		active = append(active, t.bucket(y)...)
 		if len(active) == 0 {
@@ -150,7 +181,21 @@ func (t *EdgeTable) sweep(g *Grid, r0, r1 int, fn func(y, x0, x1 int)) {
 		sortCrossings(cross)
 		emitSpans(g, cross, y, fn)
 	}
+	sc.active, sc.cross = active, cross
+	sweepPool.Put(sc)
 }
+
+// sweepScratch holds one sweep's active list and crossing buffer, pooled so
+// the per-fill (and per-parallel-worker) scratch never hits the allocator
+// in steady state.
+type sweepScratch struct {
+	active []int32
+	cross  []crossing
+}
+
+var sweepPool = sync.Pool{New: func() any {
+	return &sweepScratch{active: make([]int32, 0, 32), cross: make([]crossing, 0, 32)}
+}}
 
 // sortCrossings orders crossings by (x, dir) with a zero-allocation
 // insertion sort (active lists are small). The dir tie-break makes the
@@ -229,6 +274,7 @@ func (g *Grid) forEachSpan(r *Region, fn func(y, x0, x1 int)) {
 		return
 	}
 	t := newEdgeTable(r, g, y0, y1)
+	defer t.release()
 	if len(t.edges) == 0 {
 		return
 	}

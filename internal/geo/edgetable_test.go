@@ -108,6 +108,63 @@ func TestEdgeTableMatchesNaiveStructured(t *testing.T) {
 	}
 }
 
+// TestBatchedFillMatchesAddRegion pins the row-difference fill path — the
+// solver's only weight-write path since the batched rewrite — to the
+// per-cell AddRegion reference over randomized constraint stacks. The
+// prefix-sum arithmetic is not bit-identical to sequential adds (span
+// entry/exit cancellation can leave one-ULP residue), so agreement is
+// required to well inside the solver's 1e-9 weight quantum.
+func TestBatchedFillMatchesAddRegion(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nCons := 1 + rng.Intn(6)
+		regions := make([]*Region, nCons)
+		weights := make([]float64, nCons)
+		for i := range regions {
+			regions[i] = randomRegion(rng)
+			weights[i] = (rng.Float64()*2 - 0.5) * (1 + rng.Float64())
+		}
+		cell := 0.3 + rng.Float64()*2
+		ref := NewGrid(V2(-25, -25), V2(25, 25), cell)
+		bat := NewGrid(V2(-25, -25), V2(25, 25), cell)
+		for i, r := range regions {
+			ref.AddRegion(r, weights[i])
+			bat.AddRegionBatched(r, weights[i])
+		}
+		bat.FlushAdds()
+		for i := range ref.Weight {
+			if d := math.Abs(ref.Weight[i] - bat.Weight[i]); d > 1e-12 {
+				t.Fatalf("seed %d: cell (%d,%d) AddRegion=%g batched=%g (Δ %g)",
+					seed, i%ref.W, i/ref.W, ref.Weight[i], bat.Weight[i], d)
+			}
+		}
+		ref.Release()
+		bat.Release()
+	}
+}
+
+// TestFlushAddsIdempotent checks that FlushAdds with nothing batched is a
+// no-op and that a flushed grid can batch and flush again.
+func TestFlushAddsIdempotent(t *testing.T) {
+	g := NewGrid(V2(-10, -10), V2(10, 10), 1)
+	defer g.Release()
+	g.FlushAdds() // nothing batched
+	disk := Disk(V2(0, 0), 5, 32)
+	g.AddRegionBatched(disk, 1)
+	g.FlushAdds()
+	g.AddRegionBatched(disk, 1)
+	g.FlushAdds()
+	g.FlushAdds()
+	want := NewGrid(V2(-10, -10), V2(10, 10), 1)
+	defer want.Release()
+	want.AddRegion(disk, 2)
+	for i := range want.Weight {
+		if math.Abs(want.Weight[i]-g.Weight[i]) > 1e-12 {
+			t.Fatalf("cell %d: want %g got %g", i, want.Weight[i], g.Weight[i])
+		}
+	}
+}
+
 // forceParallelFill lowers the parallel threshold for the duration of a
 // test so small grids exercise the row-parallel path, and restores it.
 func forceParallelFill(t *testing.T) {

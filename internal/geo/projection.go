@@ -11,16 +11,44 @@ import "math"
 //
 // Forward maps geographic points to plane coordinates in kilometres; Inverse
 // maps back. The zero Projection is centred at (0°, 0°) and usable.
+//
+// Projections built with NewProjection carry the centre's precomputed
+// tangent frame, putting Forward and GeoCircle on the unit-vector fast
+// path (see sphere.go); a zero Projection rebuilds the frame per call.
 type Projection struct {
 	Center Point
+
+	frame    Frame
+	hasFrame bool
 }
 
 // NewProjection returns a projection centred at c.
-func NewProjection(c Point) *Projection { return &Projection{Center: c} }
+func NewProjection(c Point) *Projection {
+	return &Projection{Center: c, frame: NewFrame(c), hasFrame: true}
+}
+
+// Frame returns the centre's tangent frame (precomputed by NewProjection,
+// rebuilt on the fly for a zero Projection).
+func (pr *Projection) Frame() Frame {
+	if pr.hasFrame {
+		return pr.frame
+	}
+	return NewFrame(pr.Center)
+}
 
 // Forward projects a geographic point into the plane (km east, km north of
 // the centre along the azimuthal equidistant mapping).
 func (pr *Projection) Forward(p Point) Vec2 {
+	if pr.hasFrame {
+		return pr.frame.Forward(p)
+	}
+	return NewFrame(pr.Center).Forward(p)
+}
+
+// forwardReference is the original spherical Forward — the haversine +
+// bearing chain — retained as the property-test reference for the
+// unit-vector fast path.
+func (pr *Projection) forwardReference(p Point) Vec2 {
 	d := pr.Center.DistanceKm(p)
 	if d == 0 {
 		return Vec2{}
@@ -45,9 +73,10 @@ func (pr *Projection) Inverse(v Vec2) Point {
 
 // ForwardAll projects a slice of points.
 func (pr *Projection) ForwardAll(pts []Point) []Vec2 {
+	f := pr.Frame()
 	out := make([]Vec2, len(pts))
 	for i, p := range pts {
-		out[i] = pr.Forward(p)
+		out[i] = f.Forward(p)
 	}
 	return out
 }
@@ -70,10 +99,20 @@ func (pr *Projection) GeoCircle(center Point, radiusKm float64, n int) []Vec2 {
 	if n < 3 {
 		n = 3
 	}
+	return pr.Frame().AppendGeoCircle(make([]Vec2, 0, n), NewFrame(center), radiusKm, n)
+}
+
+// geoCircleReference is the original spherical GeoCircle — per-vertex
+// Destination followed by the reference Forward — retained as the
+// property-test reference for the fused fast path.
+func (pr *Projection) geoCircleReference(center Point, radiusKm float64, n int) []Vec2 {
+	if n < 3 {
+		n = 3
+	}
 	out := make([]Vec2, n)
 	for i := 0; i < n; i++ {
 		b := 2 * math.Pi * float64(i) / float64(n)
-		out[i] = pr.Forward(center.Destination(b, radiusKm))
+		out[i] = pr.forwardReference(center.Destination(b, radiusKm))
 	}
 	ensureCCW(out)
 	return out

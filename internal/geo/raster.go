@@ -21,6 +21,11 @@ type Grid struct {
 	CellKm float64   // cell edge length
 	W, H   int       // cells in x and y
 	Weight []float64 // W*H weights, row-major (y*W + x)
+
+	// diff is the lazily-created row-difference buffer behind
+	// AddRegionBatched, (W+1)*H entries, returned to the pool by FlushAdds
+	// or Release.
+	diff []float64
 }
 
 // weightPool and maskPool recycle the two large per-solve buffers (a 1M-cell
@@ -94,7 +99,15 @@ func NewGrid(min, max Vec2, cellKm float64) *Grid {
 // be used afterwards. Releasing is optional (an unreleased buffer is
 // ordinary garbage) and idempotent.
 func (g *Grid) Release() {
-	if g == nil || g.Weight == nil {
+	if g == nil {
+		return
+	}
+	if g.diff != nil {
+		buf := g.diff
+		g.diff = nil
+		weightPool.Put(&buf)
+	}
+	if g.Weight == nil {
 		return
 	}
 	buf := g.Weight
@@ -175,6 +188,44 @@ func (g *Grid) AddRegion(r *Region, w float64) {
 			row[i] += w
 		}
 	})
+}
+
+// AddRegionBatched records the same weight addition as AddRegion but as
+// row-difference updates: two writes per span instead of one per cell.
+// The additions take effect only after FlushAdds resolves the buffer with
+// one prefix-sum pass — the solver overlays ~a hundred constraint disks,
+// most spanning most of the grid, so batching turns its dominant
+// cells×constraints write cost into cells+spans.
+func (g *Grid) AddRegionBatched(r *Region, w float64) {
+	if g.diff == nil {
+		g.diff = getWeightBuf((g.W + 1) * g.H)
+	}
+	stride := g.W + 1
+	g.forEachSpan(r, func(y, x0, x1 int) {
+		g.diff[y*stride+x0] += w
+		g.diff[y*stride+x1+1] -= w
+	})
+}
+
+// FlushAdds applies all AddRegionBatched updates to the weight field and
+// releases the difference buffer. A no-op when nothing was batched.
+func (g *Grid) FlushAdds() {
+	if g.diff == nil {
+		return
+	}
+	stride := g.W + 1
+	for y := 0; y < g.H; y++ {
+		drow := g.diff[y*stride : y*stride+g.W] // last diff entry only ends spans
+		wrow := g.Weight[y*g.W : (y+1)*g.W]
+		run := 0.0
+		for x, d := range drow {
+			run += d
+			wrow[x] += run
+		}
+	}
+	buf := g.diff
+	g.diff = nil
+	weightPool.Put(&buf)
 }
 
 // MaskRegion forces the weight of every cell inside r to the given value

@@ -1,0 +1,148 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// propertyCenters are projection centres chosen to stress the fast path's
+// agreement with the reference spherical implementation: equator, both
+// high-latitude bands, and both sides of the antimeridian.
+var propertyCenters = []Point{
+	{Lat: 0, Lon: 0},
+	{Lat: 0, Lon: 90},
+	{Lat: 40, Lon: -95},
+	{Lat: 75, Lon: 10},
+	{Lat: -75, Lon: -130},
+	{Lat: 12, Lon: 179.8},
+	{Lat: -33, Lon: -179.9},
+	{Lat: 51.5, Lon: -0.1},
+}
+
+const propertyTolKm = 0.001 // < 1 m
+
+// TestFrameForwardMatchesReference checks the unit-vector Forward against
+// the retained haversine+bearing reference over random points around each
+// stress centre.
+func TestFrameForwardMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, c := range propertyCenters {
+		pr := NewProjection(c)
+		for i := 0; i < 500; i++ {
+			// Random destination up to ~8000 km away, sampled on the
+			// sphere so antimeridian wraps and pole proximity occur
+			// naturally.
+			p := c.Destination(2*math.Pi*rng.Float64(), 8000*rng.Float64())
+			fast := pr.Forward(p)
+			ref := pr.forwardReference(p)
+			if d := fast.Dist(ref); d > propertyTolKm {
+				t.Fatalf("Forward mismatch at centre %v point %v: fast %v ref %v (Δ %.6f km)",
+					c, p, fast, ref, d)
+			}
+		}
+	}
+}
+
+// TestFusedGeoCircleMatchesReference checks the fused unit-vector circle
+// construction (frame circle + tangent-plane projection) vertex-by-vertex
+// against the reference Destination→Forward chain, across the adaptive
+// vertex counts and radii from city disks to continental bounds.
+func TestFusedGeoCircleMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	radii := []float64{1, 30, 60, 250, 1000, 3000, 6000}
+	for _, c := range propertyCenters {
+		pr := NewProjection(c)
+		for i := 0; i < 40; i++ {
+			lm := c.Destination(2*math.Pi*rng.Float64(), 5000*rng.Float64())
+			r := radii[i%len(radii)] * (0.5 + rng.Float64())
+			for _, n := range []int{24, 32, 48, 96} {
+				fast := pr.GeoCircle(lm, r, n)
+				ref := pr.geoCircleReference(lm, r, n)
+				if len(fast) != len(ref) {
+					t.Fatalf("vertex count mismatch: %d vs %d", len(fast), len(ref))
+				}
+				for j := range fast {
+					if d := fast[j].Dist(ref[j]); d > propertyTolKm {
+						t.Fatalf("GeoCircle mismatch centre %v landmark %v r=%.1f n=%d vertex %d: fast %v ref %v (Δ %.6f km)",
+							c, lm, r, n, j, fast[j], ref[j], d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGeoCircleNonDivisorCount exercises the sincos fallback for vertex
+// counts that do not divide the bearing table.
+func TestGeoCircleNonDivisorCount(t *testing.T) {
+	pr := NewProjection(Pt(40, -95))
+	lm := Pt(42, -90)
+	for _, n := range []int{7, 17, 50, 100} {
+		fast := pr.GeoCircle(lm, 500, n)
+		ref := pr.geoCircleReference(lm, 500, n)
+		for j := range fast {
+			if d := fast[j].Dist(ref[j]); d > propertyTolKm {
+				t.Fatalf("n=%d vertex %d: Δ %.6f km", n, j, d)
+			}
+		}
+	}
+}
+
+// TestCircleSegments pins the adaptive polygonalization: the chord error
+// of the chosen count stays within tolerance, counts never leave
+// [24, 96], and they divide the bearing table.
+func TestCircleSegments(t *testing.T) {
+	const tol = 1.0
+	for _, r := range []float64{0.5, 10, 60, 120, 300, 900, 3000, 20000} {
+		n := CircleSegments(r, tol)
+		if n < 24 || n > 96 || circleTableN%n != 0 {
+			t.Fatalf("CircleSegments(%g) = %d: outside [24, 96] or not a table divisor", r, n)
+		}
+		sagitta := r * (1 - math.Cos(math.Pi/float64(n)))
+		if n < 96 && sagitta > tol {
+			t.Errorf("CircleSegments(%g) = %d: sagitta %.3f km exceeds tolerance", r, n, sagitta)
+		}
+	}
+	if n := CircleSegments(60, tol); n != 24 {
+		t.Errorf("a 60 km disk should polygonalize at the 24-vertex floor, got %d", n)
+	}
+	if n := CircleSegments(3000, tol); n != 96 {
+		t.Errorf("a 3000 km disk should stay at the 96-vertex cap, got %d", n)
+	}
+}
+
+// TestSpherePolyContains checks spherical containment on a geodesic
+// quadrilateral straddling the antimeridian.
+func TestSpherePolyContains(t *testing.T) {
+	quad := []Vec3{
+		UnitVec(Pt(-10, 170)),
+		UnitVec(Pt(-10, -160)),
+		UnitVec(Pt(15, -160)),
+		UnitVec(Pt(15, 170)),
+	}
+	inside := []Point{Pt(0, 180), Pt(5, 175), Pt(-5, -170)}
+	outside := []Point{Pt(0, 150), Pt(0, -140), Pt(30, 180), Pt(-30, 180), Pt(0, 0)}
+	for _, p := range inside {
+		if !SpherePolyContains(quad, UnitVec(p)) {
+			t.Errorf("%v should be inside", p)
+		}
+	}
+	for _, p := range outside {
+		if SpherePolyContains(quad, UnitVec(p)) {
+			t.Errorf("%v should be outside", p)
+		}
+	}
+}
+
+// TestUnitVecRoundTrip sanity-checks the Vec3 <-> Point conversion.
+func TestUnitVecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		p := Pt(rng.Float64()*180-90, rng.Float64()*360-180)
+		q := UnitVec(p).Point()
+		if p.DistanceKm(q) > 1e-6 {
+			t.Fatalf("round trip moved %v to %v", p, q)
+		}
+	}
+}
