@@ -1,18 +1,33 @@
-// Command octant-serve is the Octant localization daemon: it builds a
-// calibrated landmark survey once at startup, then serves localizations
-// over HTTP from a concurrent batch engine with an LRU result cache.
+// Command octant-serve is the Octant localization daemon: it builds (or
+// warm-loads) a calibrated landmark survey, then serves localizations
+// over HTTP from a concurrent batch engine with an LRU result cache. The
+// survey is a managed, versioned resource: a lifecycle manager reprobes
+// the landmark mesh periodically or on demand, incrementally rebuilds the
+// calibrations that drifted, and hot-swaps the new epoch under live
+// traffic with zero dropped requests.
 //
 // Endpoints:
 //
 //	POST /v1/localize        {"target": "host"}            → JSON result
 //	POST /v1/localize/batch  {"targets": ["h1", "h2", …]}  → NDJSON stream
-//	GET  /v1/healthz                                       → liveness + survey size
-//	GET  /v1/stats                                         → cache hit rate, in-flight, p50/p99 latency
+//	POST /v1/survey/refresh  {"landmarks": ["name", …]?}   → reprobe + recalibrate (all landmarks when body empty)
+//	GET  /v1/survey                                        → epoch, κ, swap/refresh counters, last refresh report
+//	GET  /v1/healthz                                       → liveness + survey size + epoch
+//	GET  /v1/stats                                         → cache hit rate, in-flight, p50/p99 latency, epoch
 //	GET  /debug/pprof/…                                    → live profiling (only with -pprof)
 //
-// Usage (simulated Internet, first 8 hosts held out as targets):
+// Usage (simulated Internet, first 8 hosts held out as targets,
+// recalibrating every 15 minutes, restart-warm snapshot on disk):
 //
-//	octant-serve -addr :8080 -seed 1 -holdout 8 -workers 8
+//	octant-serve -addr :8080 -seed 1 -holdout 8 -workers 8 \
+//	    -refresh 15m -survey-snapshot survey.json
+//
+// With -survey-snapshot, the daemon saves every published epoch to the
+// given file and, when the file already exists at startup, loads it and
+// starts serving without issuing a single landmark probe.
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections and drains
+// in-flight requests (including streaming batches) before exiting.
 //
 // Against real networks, swap the prober and supply landmarks yourself:
 //
@@ -23,18 +38,25 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"octant/internal/batch"
 	"octant/internal/core"
 	"octant/internal/geo"
+	"octant/internal/lifecycle"
 	"octant/internal/netsim"
 	"octant/internal/probe"
 )
@@ -55,6 +77,10 @@ func main() {
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-target localization timeout (0 = none)")
 		maxBatch  = flag.Int("max-batch", 1024, "maximum targets per batch request")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ for live profiling")
+		snapshot  = flag.String("survey-snapshot", "", "survey snapshot file: loaded at startup when present (warm start, no probing), rewritten on every published epoch")
+		refresh   = flag.Duration("refresh", 0, "periodic survey recalibration interval (0 = on-demand only, via POST /v1/survey/refresh)")
+		driftTol  = flag.Duration("drift-tolerance", 500*time.Microsecond, "min per-pair RTT drift for a refresh to count a landmark dirty (0 = any change counts)")
+		grace     = flag.Duration("shutdown-grace", 30*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -62,28 +88,153 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("surveying %d landmarks (O(n²) pings + calibration)…", len(landmarks))
-	start := time.Now()
-	survey, err := core.NewSurvey(prober, landmarks, core.SurveyOpts{Probes: *probes, UseHeights: true})
+
+	survey, err := loadOrProbeSurvey(prober, landmarks, *probes, *snapshot)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("survey ready in %v (κ=%.2f)", time.Since(start).Round(time.Millisecond), survey.Kappa)
 
-	loc := core.NewLocalizer(prober, survey, core.Config{Probes: *probes})
-	engine := batch.New(loc, batch.Options{
+	driftTolMs := float64(*driftTol) / float64(time.Millisecond)
+	if driftTolMs == 0 {
+		// The flag's 0 means "any change counts"; Options uses 0 as
+		// "default" and negative as exact, so translate.
+		driftTolMs = -1
+	}
+	manager := lifecycle.New(prober, survey, core.Config{Probes: *probes}, lifecycle.Options{
+		Probes:           *probes,
+		Interval:         *refresh,
+		SnapshotPath:     *snapshot,
+		DriftToleranceMs: driftTolMs,
+		OnSwap: func(e *lifecycle.Epoch, r *lifecycle.RefreshReport) {
+			if r == nil {
+				return // initial epoch, already logged
+			}
+			log.Printf("epoch %d published: %d/%d landmarks dirty, %d calibrations refitted (%.0f ms)",
+				e.Number(), len(r.DirtyLandmarks), e.Survey.N(), r.RebuiltCalibs, r.ElapsedMs)
+			if r.SnapshotError != "" {
+				log.Printf("snapshot autosave failed: %s", r.SnapshotError)
+			}
+		},
+	})
+	engine := batch.NewWithProvider(manager, batch.Options{
 		Workers:       *workers,
 		CacheSize:     *cacheSize,
 		TTL:           *cacheTTL,
 		TargetTimeout: *timeout,
 	})
-	srv := newServer(engine, survey, *maxBatch)
+	srv := newServer(engine, manager, *maxBatch)
 	srv.pprof = *pprofOn
 	if *pprofOn {
 		log.Printf("pprof enabled at /debug/pprof/")
 	}
-	log.Printf("listening on %s (%d workers, cache %d)", *addr, *workers, *cacheSize)
-	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *refresh > 0 {
+		log.Printf("recalibrating every %v", *refresh)
+		go manager.Run(ctx)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (%d workers, cache %d, epoch %d)",
+		ln.Addr(), *workers, *cacheSize, manager.Current().Number())
+	if err := serveUntilShutdown(ctx, &http.Server{Handler: srv.handler()}, ln, *grace); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("drained, exiting")
+}
+
+// serveUntilShutdown serves httpSrv on ln until ctx is cancelled, then
+// drains: the listener closes immediately, in-flight requests (batch
+// streams included) get up to grace to complete, and only then does the
+// function return. A nil return means every accepted request finished.
+func serveUntilShutdown(ctx context.Context, httpSrv *http.Server, ln net.Listener, grace time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // listener failed before any shutdown was requested
+	case <-ctx.Done():
+	}
+	shCtx := context.Background()
+	if grace > 0 {
+		var cancel context.CancelFunc
+		shCtx, cancel = context.WithTimeout(shCtx, grace)
+		defer cancel()
+	}
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// loadOrProbeSurvey starts warm from an existing snapshot when one is
+// available, otherwise probes the full landmark mesh and seeds the
+// snapshot file if a path was given (the lifecycle manager rewrites it
+// on every recalibrated epoch).
+func loadOrProbeSurvey(prober probe.Prober, landmarks []core.Landmark, probes int, snapshot string) (*core.Survey, error) {
+	if snapshot != "" {
+		switch _, err := os.Stat(snapshot); {
+		case err == nil:
+			survey, err := core.LoadSnapshotFile(snapshot)
+			if err != nil {
+				return nil, fmt.Errorf("%s exists but is unusable (%w); move it aside to reprobe", snapshot, err)
+			}
+			// A snapshot silently overriding the configured landmark set
+			// would make the -seed/-holdout/-landmarks flags dead and the
+			// calibrations wrong for the mesh the operator asked for.
+			if err := landmarksMatch(survey.Landmarks, landmarks); err != nil {
+				return nil, fmt.Errorf("%s does not match the configured landmark set (%w); move it aside to reprobe", snapshot, err)
+			}
+			// Min-of-n RTTs are only comparable at the same n: a probe
+			// count mismatch would bias every later drift comparison.
+			if survey.Probes != probes {
+				return nil, fmt.Errorf("%s was measured with -probes %d, configuration says %d; move it aside to reprobe", snapshot, survey.Probes, probes)
+			}
+			log.Printf("warm start from %s: epoch %d, %d landmarks, no probing (κ=%.2f)",
+				snapshot, survey.Epoch, survey.N(), survey.Kappa)
+			return survey, nil
+		case !errors.Is(err, fs.ErrNotExist):
+			// Permission or I/O trouble is a misconfiguration to surface,
+			// not a license to reprobe on every restart.
+			return nil, fmt.Errorf("checking snapshot %s: %w", snapshot, err)
+		}
+	}
+	log.Printf("surveying %d landmarks (O(n²) pings + calibration)…", len(landmarks))
+	start := time.Now()
+	survey, err := core.NewSurvey(prober, landmarks, core.SurveyOpts{Probes: probes, UseHeights: true})
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("survey ready in %v (κ=%.2f)", time.Since(start).Round(time.Millisecond), survey.Kappa)
+	if snapshot != "" {
+		if err := survey.SaveSnapshotFile(snapshot); err != nil {
+			return nil, fmt.Errorf("seeding snapshot: %w", err)
+		}
+		log.Printf("seeded snapshot %s", snapshot)
+	}
+	return survey, nil
+}
+
+// landmarksMatch reports whether a snapshot's landmark set is exactly the
+// configured one (same order, addresses, names, positions).
+func landmarksMatch(snap, cfg []core.Landmark) error {
+	if len(snap) != len(cfg) {
+		return fmt.Errorf("snapshot has %d landmarks, configuration has %d", len(snap), len(cfg))
+	}
+	for i := range snap {
+		if snap[i] != cfg[i] {
+			return fmt.Errorf("landmark %d is %s (%s), configuration says %s (%s)",
+				i, snap[i].Name, snap[i].Addr, cfg[i].Name, cfg[i].Addr)
+		}
+	}
+	return nil
 }
 
 // buildProber assembles the measurement source and its landmark set.
@@ -121,6 +272,8 @@ func loadLandmarks(path string) ([]core.Landmark, error) {
 		return nil, err
 	}
 	var out []core.Landmark
+	seenName := make(map[string]int)
+	seenAddr := make(map[string]int)
 	for ln, line := range strings.Split(string(data), "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -135,11 +288,22 @@ func loadLandmarks(path string) ([]core.Landmark, error) {
 		if err1 != nil || err2 != nil {
 			return nil, fmt.Errorf("%s:%d: bad coordinates", path, ln+1)
 		}
-		out = append(out, core.Landmark{
+		lm := core.Landmark{
 			Addr: strings.TrimSpace(parts[0]),
 			Name: strings.TrimSpace(parts[1]),
 			Loc:  geo.Pt(lat, lon),
-		})
+		}
+		// Names address landmarks in the admin API (scoped refresh) and
+		// addresses identify probe endpoints; ambiguity in either would
+		// silently misdirect recalibration.
+		if prev, ok := seenName[lm.Name]; ok {
+			return nil, fmt.Errorf("%s:%d: duplicate landmark name %q (first at line %d)", path, ln+1, lm.Name, prev)
+		}
+		if prev, ok := seenAddr[lm.Addr]; ok {
+			return nil, fmt.Errorf("%s:%d: duplicate landmark address %q (first at line %d)", path, ln+1, lm.Addr, prev)
+		}
+		seenName[lm.Name], seenAddr[lm.Addr] = ln+1, ln+1
+		out = append(out, lm)
 	}
 	if len(out) < 3 {
 		return nil, fmt.Errorf("%s: need ≥ 3 landmarks, have %d", path, len(out))

@@ -9,15 +9,16 @@ import (
 	"time"
 
 	"octant/internal/batch"
-	"octant/internal/core"
+	"octant/internal/lifecycle"
 )
 
-// server is the HTTP surface over a batch engine. All state it touches is
-// either immutable (the survey) or internally synchronized (the engine),
-// so the handlers need no locking of their own.
+// server is the HTTP surface over a batch engine and its survey lifecycle
+// manager. All state it touches is either immutable (epoch snapshots) or
+// internally synchronized (the engine, the manager), so the handlers need
+// no locking of their own.
 type server struct {
 	engine  *batch.Engine
-	survey  *core.Survey
+	manager *lifecycle.Manager
 	started time.Time
 	// maxBatch bounds targets per batch request (0 = default 1024).
 	maxBatch int
@@ -26,11 +27,11 @@ type server struct {
 	pprof bool
 }
 
-func newServer(engine *batch.Engine, survey *core.Survey, maxBatch int) *server {
+func newServer(engine *batch.Engine, manager *lifecycle.Manager, maxBatch int) *server {
 	if maxBatch <= 0 {
 		maxBatch = 1024
 	}
-	return &server{engine: engine, survey: survey, started: time.Now(), maxBatch: maxBatch}
+	return &server{engine: engine, manager: manager, started: time.Now(), maxBatch: maxBatch}
 }
 
 // handler builds the route table.
@@ -38,6 +39,8 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/localize", s.handleLocalize)
 	mux.HandleFunc("/v1/localize/batch", s.handleBatch)
+	mux.HandleFunc("/v1/survey", s.handleSurvey)
+	mux.HandleFunc("/v1/survey/refresh", s.handleRefresh)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	if s.pprof {
@@ -171,11 +174,72 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleSurvey serves GET /v1/survey: the lifecycle view — current
+// epoch, calibration parameters, swap/refresh counters, and the last
+// refresh report.
+func (s *server) handleSurvey(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.manager.Stats())
+}
+
+// handleRefresh serves POST /v1/survey/refresh: reprobe the landmark mesh
+// and hot-swap a recalibrated epoch if anything drifted. An optional body
+// {"landmarks": ["name", …]} scopes the reprobe to pairs touching the
+// named landmarks (on-demand recalibration of suspects at O(k·n) probes);
+// an empty or absent body refreshes every pair. Responds with the refresh
+// report; traffic is served uninterrupted throughout.
+func (s *server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req struct {
+		Landmarks []string `json:"landmarks"`
+	}
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+	}
+	var scope []int
+	if len(req.Landmarks) > 0 {
+		survey := s.manager.Current().Survey
+		// A name maps to every landmark carrying it: landmark sets are
+		// validated for uniqueness at load, but if duplicates slip in
+		// (e.g. an older snapshot) a scoped refresh must cover them all
+		// rather than silently reprobing one.
+		byName := make(map[string][]int, survey.N())
+		for i, lm := range survey.Landmarks {
+			byName[lm.Name] = append(byName[lm.Name], i)
+		}
+		for _, name := range req.Landmarks {
+			idx, ok := byName[name]
+			if !ok {
+				writeError(w, http.StatusBadRequest, "unknown landmark %q", name)
+				return
+			}
+			scope = append(scope, idx...)
+		}
+	}
+	report, err := s.manager.Refresh(r.Context(), scope)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, report)
+}
+
 // handleHealthz serves GET /v1/healthz.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	e := s.manager.Current()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
-		"landmarks": s.survey.N(),
+		"landmarks": e.Survey.N(),
+		"epoch":     e.Number(),
 		"uptime_s":  time.Since(s.started).Seconds(),
 	})
 }

@@ -3,16 +3,23 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"octant/internal/batch"
 	"octant/internal/core"
+	"octant/internal/lifecycle"
+	"octant/internal/netsim"
 	"octant/internal/probe"
 )
 
@@ -20,6 +27,7 @@ import (
 // 32 hosts held out as targets, mirroring what main() wires up.
 type testStack struct {
 	srv     *server
+	world   *netsim.World
 	targets []string
 	seq     map[string]*core.Result // sequential ground truth per target
 }
@@ -30,37 +38,39 @@ var (
 	stackErr  error
 )
 
+// buildStack wires a full serve stack (prober → survey → lifecycle →
+// engine → server) over a fresh simulated world.
+func buildStack(seed uint64, holdout int) (testStack, error) {
+	prober, landmarks, err := buildProber("sim", seed, holdout, "")
+	if err != nil {
+		return testStack{}, err
+	}
+	world := prober.(*probe.SimProber).World
+	targets := make([]string, 0, holdout)
+	for _, h := range world.HostNodes()[:holdout] {
+		targets = append(targets, h.Name)
+	}
+	survey, err := core.NewSurvey(prober, landmarks, core.SurveyOpts{UseHeights: true})
+	if err != nil {
+		return testStack{}, err
+	}
+	manager := lifecycle.New(prober, survey, core.Config{}, lifecycle.Options{})
+	seq := make(map[string]*core.Result, len(targets))
+	loc := manager.CurrentLocalizer()
+	for _, tgt := range targets {
+		res, err := loc.Localize(tgt)
+		if err != nil {
+			return testStack{}, err
+		}
+		seq[tgt] = res
+	}
+	engine := batch.NewWithProvider(manager, batch.Options{Workers: 8})
+	return testStack{srv: newServer(engine, manager, 256), world: world, targets: targets, seq: seq}, nil
+}
+
 func sharedStack(t *testing.T) testStack {
 	t.Helper()
-	stackOnce.Do(func() {
-		prober, landmarks, err := buildProber("sim", 3, 32, "")
-		if err != nil {
-			stackErr = err
-			return
-		}
-		world := prober.(*probe.SimProber).World
-		targets := make([]string, 0, 32)
-		for _, h := range world.HostNodes()[:32] {
-			targets = append(targets, h.Name)
-		}
-		survey, err := core.NewSurvey(prober, landmarks, core.SurveyOpts{UseHeights: true})
-		if err != nil {
-			stackErr = err
-			return
-		}
-		loc := core.NewLocalizer(prober, survey, core.Config{})
-		seq := make(map[string]*core.Result, len(targets))
-		for _, tgt := range targets {
-			res, err := loc.Localize(tgt)
-			if err != nil {
-				stackErr = err
-				return
-			}
-			seq[tgt] = res
-		}
-		engine := batch.New(loc, batch.Options{Workers: 8})
-		stack = testStack{srv: newServer(engine, survey, 256), targets: targets, seq: seq}
-	})
+	stackOnce.Do(func() { stack, stackErr = buildStack(3, 32) })
 	if stackErr != nil {
 		t.Fatal(stackErr)
 	}
@@ -201,7 +211,7 @@ func TestHealthzAndStats(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &hz); err != nil {
 		t.Fatal(err)
 	}
-	if hz.Status != "ok" || hz.Landmarks != s.srv.survey.N() {
+	if hz.Status != "ok" || hz.Landmarks != s.srv.manager.Current().Survey.N() {
 		t.Errorf("healthz = %+v", hz)
 	}
 
@@ -279,9 +289,231 @@ func TestLoadLandmarksParsing(t *testing.T) {
 	if _, err := loadLandmarks(path); err == nil {
 		t.Error("malformed line should error")
 	}
+	dupName := "a:80, Site X, 1, 2\nb:80, Site X, 3, 4\nc:80, Site Z, 5, 6\n"
+	if err := writeFile(path, dupName); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadLandmarks(path); err == nil {
+		t.Error("duplicate landmark name should error (names address scoped refreshes)")
+	}
+	dupAddr := "a:80, Site X, 1, 2\na:80, Site Y, 3, 4\nc:80, Site Z, 5, 6\n"
+	if err := writeFile(path, dupAddr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadLandmarks(path); err == nil {
+		t.Error("duplicate landmark address should error")
+	}
 }
 
 // writeFile is a tiny helper so the parsing test reads naturally.
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// TestSurveyRefreshEndpoints drives the admin surface on its own stack
+// (epoch swaps would invalidate the shared stack's ground truth): a
+// refresh with no drift publishes nothing, a refresh after injected RTT
+// drift hot-swaps epoch 1 under the same engine, and /v1/survey +
+// /v1/stats report the progression.
+func TestSurveyRefreshEndpoints(t *testing.T) {
+	s, err := buildStack(11, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.srv.handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/survey", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("survey status %d: %s", rec.Code, rec.Body)
+	}
+	var sv lifecycle.Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &sv); err != nil {
+		t.Fatal(err)
+	}
+	if sv.Epoch != 0 || sv.Landmarks == 0 {
+		t.Errorf("initial survey view = %+v", sv)
+	}
+
+	// Stable world: refresh must not publish.
+	rec = postJSON(t, h, "/v1/survey/refresh", map[string]any{})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("refresh status %d: %s", rec.Code, rec.Body)
+	}
+	var rep lifecycle.RefreshReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Swapped || rep.Epoch != 0 {
+		t.Errorf("no-drift refresh = %+v", rep)
+	}
+
+	// Drift one landmark pair beyond tolerance and refresh again.
+	survey := s.srv.manager.Current().Survey
+	a, _ := s.world.HostByName(survey.Landmarks[0].Addr)
+	b, _ := s.world.HostByName(survey.Landmarks[1].Addr)
+	s.world.SetPairDriftMs(a.ID, b.ID, 25)
+	rec = postJSON(t, h, "/v1/survey/refresh", map[string]any{})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("refresh status %d: %s", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Swapped || rep.Epoch != 1 || len(rep.DirtyLandmarks) != 2 {
+		t.Errorf("drift refresh = %+v", rep)
+	}
+
+	// Unknown landmark names in a scoped refresh are rejected.
+	if rec := postJSON(t, h, "/v1/survey/refresh", map[string]any{"landmarks": []string{"no-such"}}); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown landmark: status %d", rec.Code)
+	}
+
+	// The engine serves the new epoch.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	var st batch.Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 1 {
+		t.Errorf("engine epoch = %d, want 1", st.Epoch)
+	}
+}
+
+// TestWarmStartSkipsProbing is the daemon-level acceptance check for
+// -survey-snapshot: with a snapshot on disk, startup issues zero
+// landmark probes and serves the persisted epoch.
+func TestWarmStartSkipsProbing(t *testing.T) {
+	prober, landmarks, err := buildProber("sim", 13, 45, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := prober.(*probe.SimProber).World
+	path := t.TempDir() + "/survey.json"
+
+	// Cold path: no file yet → probes the mesh and seeds the snapshot.
+	cold, err := loadOrProbeSurvey(prober, landmarks, 10, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("cold start did not seed the snapshot: %v", err)
+	}
+
+	before := world.PingCalls()
+	warm, err := loadOrProbeSurvey(prober, landmarks, 10, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := world.PingCalls() - before; got != 0 {
+		t.Errorf("warm start issued %d landmark probes, want 0", got)
+	}
+	if warm.N() != cold.N() || warm.Epoch != cold.Epoch || warm.Kappa != cold.Kappa {
+		t.Errorf("warm survey differs: n %d/%d κ %v/%v", warm.N(), cold.N(), warm.Kappa, cold.Kappa)
+	}
+	// A corrupt snapshot must fail loudly, not silently reprobe.
+	if err := writeFile(path, "{"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadOrProbeSurvey(prober, landmarks, 10, path); err == nil {
+		t.Error("corrupt snapshot silently ignored")
+	}
+	// So must a snapshot for a different landmark set: the flags, not
+	// the stale file, define the mesh.
+	if err := cold.SaveSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadOrProbeSurvey(prober, landmarks[1:], 10, path); err == nil {
+		t.Error("snapshot with mismatched landmark set silently served")
+	}
+	renamed := append([]core.Landmark(nil), landmarks...)
+	renamed[0].Name = "someone-else"
+	if _, err := loadOrProbeSurvey(prober, renamed, 10, path); err == nil {
+		t.Error("snapshot with renamed landmark silently served")
+	}
+	// …and so must a probe-count mismatch: min-of-n baselines are only
+	// drift-comparable at the same n.
+	if _, err := loadOrProbeSurvey(prober, landmarks, 30, path); err == nil {
+		t.Error("snapshot with different probe count silently served")
+	}
+}
+
+// delayProber slows Ping so a localization is reliably in flight when
+// shutdown starts.
+type delayProber struct {
+	probe.Prober
+	d time.Duration
+}
+
+func (p delayProber) Ping(src, dst string, n int) ([]float64, error) {
+	time.Sleep(p.d)
+	return p.Prober.Ping(src, dst, n)
+}
+
+// TestGracefulShutdownDrains starts a real listener, gets a localization
+// in flight, triggers shutdown, and requires the in-flight request to
+// complete successfully while new connections are refused.
+func TestGracefulShutdownDrains(t *testing.T) {
+	prober, landmarks, err := buildProber("sim", 5, 45, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	survey, err := core.NewSurvey(prober, landmarks, core.SurveyOpts{UseHeights: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := delayProber{Prober: prober, d: 4 * time.Millisecond}
+	manager := lifecycle.New(slow, survey, core.Config{}, lifecycle.Options{})
+	engine := batch.NewWithProvider(manager, batch.Options{Workers: 2})
+	srv := newServer(engine, manager, 16)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- serveUntilShutdown(ctx, &http.Server{Handler: srv.handler()}, ln, 10*time.Second)
+	}()
+
+	target := prober.(*probe.SimProber).World.HostNodes()[0].Name
+	url := fmt.Sprintf("http://%s/v1/localize", ln.Addr())
+	resc := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(url, "application/json",
+			strings.NewReader(fmt.Sprintf(`{"target": %q}`, target)))
+		if err != nil {
+			resc <- err
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			resc <- fmt.Errorf("in-flight request: status %d: %s", resp.StatusCode, body)
+			return
+		}
+		resc <- nil
+	}()
+
+	// Let the request get measuring (≥ 3 landmarks × 4 ms each), then
+	// pull the plug.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+
+	if err := <-resc; err != nil {
+		t.Errorf("in-flight request not drained: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("serveUntilShutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serveUntilShutdown did not return")
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/v1/healthz", ln.Addr())); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
 }

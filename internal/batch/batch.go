@@ -1,5 +1,5 @@
-// Package batch runs many Octant localizations concurrently over one
-// shared Survey.
+// Package batch runs many Octant localizations concurrently over a
+// shared Survey snapshot.
 //
 // The core Localizer measures and solves one target at a time. Deployed
 // geolocation workloads are batch-shaped — hint-driven measurement
@@ -11,6 +11,17 @@
 // timeout/cancellation, result streaming, an LRU cache of recent results,
 // and coalescing of concurrent duplicate requests (only one worker probes
 // a given target; the others wait and share its outcome).
+//
+// The engine does not hold the survey itself — it holds a Provider and
+// borrows the current epoch's Localizer once per request. A static
+// provider (New) reproduces the fixed-survey behaviour; the lifecycle
+// manager is a live provider that republishes recalibrated epochs, and
+// because each request borrows exactly one snapshot for its whole
+// lifetime, an epoch hot-swap never torn-reads a request: in-flight
+// targets finish on the epoch they started with, later requests see the
+// new one. Cache entries and coalescing keys are epoch-qualified, so a
+// swap implicitly invalidates stale cached results instead of serving
+// them from the superseded calibration.
 //
 // Workers also share the Localizer's per-survey state through their
 // shallow Localizer copies: the projection context (survey-centroid
@@ -31,11 +42,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"octant/internal/core"
-	"octant/internal/geo"
 	"octant/internal/probe"
 )
 
@@ -65,21 +76,45 @@ func (o *Options) fillDefaults() {
 	}
 }
 
-// Engine is a concurrent batch-localization front end over a Localizer.
-// Construct with New; all methods are safe for concurrent use.
-type Engine struct {
-	loc     *core.Localizer
-	opts    Options
-	cache   *lruCache
-	flight  flightGroup
-	metrics metrics
+// Provider supplies the current survey epoch's Localizer. The returned
+// Localizer (and everything it references) must be immutable; successive
+// calls may return different snapshots as epochs are published, and the
+// engine borrows exactly one snapshot per request. Implementations must
+// be safe for concurrent use — an atomic pointer load is the intended
+// shape (the lifecycle manager's RCU-published epoch is one).
+type Provider interface {
+	CurrentLocalizer() *core.Localizer
 }
 
-// New wraps a Localizer in a batch engine. The Localizer (and everything
-// it references) is treated as read-only from this point on.
+// staticProvider pins a single Localizer forever — the classic
+// fixed-survey engine.
+type staticProvider struct{ loc *core.Localizer }
+
+func (p staticProvider) CurrentLocalizer() *core.Localizer { return p.loc }
+
+// Engine is a concurrent batch-localization front end over the survey
+// snapshots a Provider publishes. Construct with New or NewWithProvider;
+// all methods are safe for concurrent use.
+type Engine struct {
+	provider Provider
+	opts     Options
+	cache    *lruCache
+	flight   flightGroup
+	metrics  metrics
+}
+
+// New wraps a fixed Localizer in a batch engine. The Localizer (and
+// everything it references) is treated as read-only from this point on.
 func New(loc *core.Localizer, opts Options) *Engine {
+	return NewWithProvider(staticProvider{loc}, opts)
+}
+
+// NewWithProvider builds an engine that borrows the current Localizer
+// from p once per request, picking up hot-swapped survey epochs with
+// zero interruption to in-flight work.
+func NewWithProvider(p Provider, opts Options) *Engine {
 	opts.fillDefaults()
-	e := &Engine{loc: loc, opts: opts}
+	e := &Engine{provider: p, opts: opts}
 	if opts.CacheSize > 0 {
 		e.cache = newLRU(opts.CacheSize, opts.TTL)
 	}
@@ -94,6 +129,10 @@ type Item struct {
 	Target string
 	Result *core.Result
 	Err    error
+	// Epoch is the survey epoch this item was served under. The engine
+	// borrows one epoch snapshot per request, so every measurement and
+	// the solve behind Result used exactly this epoch's calibrations.
+	Epoch uint64
 	// Cached reports the result was served from the LRU without probing.
 	Cached bool
 	// Elapsed is the wall time this target took inside the engine.
@@ -167,18 +206,24 @@ func (e *Engine) Collect(ctx context.Context, targets []string) (results []*core
 }
 
 // localize is the single-target path shared by Localize and Run workers.
+// It borrows the provider's current epoch once, up front, and uses that
+// one snapshot for the cache lookup, the coalescing key, and the
+// measurement — the request is epoch-consistent end to end even if a
+// swap lands mid-flight.
 func (e *Engine) localize(ctx context.Context, target string, idx int) Item {
 	start := time.Now()
 	e.metrics.begin()
 	defer e.metrics.end()
-	item := Item{Index: idx, Target: target}
+	loc := e.provider.CurrentLocalizer()
+	epoch := loc.Survey.Epoch
+	item := Item{Index: idx, Target: target, Epoch: epoch}
 
 	if err := ctx.Err(); err != nil {
 		item.Err = err
 		return item
 	}
 	if e.cache != nil {
-		if res, ok := e.cache.get(target); ok {
+		if res, ok := e.cache.get(target, epoch); ok {
 			e.metrics.hit()
 			item.Result, item.Cached, item.Elapsed = res, true, time.Since(start)
 			return item
@@ -186,8 +231,12 @@ func (e *Engine) localize(ctx context.Context, target string, idx int) Item {
 	}
 	e.metrics.miss()
 
-	res, err, shared := e.flight.do(ctx, target, func() (*core.Result, error) {
-		return e.measure(ctx, target)
+	// Epoch-qualified coalescing: concurrent requests for one target
+	// coalesce only within an epoch, so a follower never receives a
+	// result computed on a snapshot it did not borrow.
+	key := strconv.FormatUint(epoch, 36) + "\x00" + target
+	res, err, shared := e.flight.do(ctx, key, func() (*core.Result, error) {
+		return e.measure(ctx, loc, target)
 	})
 	if shared {
 		e.metrics.coalesce()
@@ -198,7 +247,7 @@ func (e *Engine) localize(ctx context.Context, target string, idx int) Item {
 		return item
 	}
 	if e.cache != nil && !shared {
-		e.cache.put(target, res)
+		e.cache.put(target, epoch, res)
 	}
 	item.Result = res
 	item.Elapsed = time.Since(start)
@@ -206,19 +255,20 @@ func (e *Engine) localize(ctx context.Context, target string, idx int) Item {
 	return item
 }
 
-// measure runs one uncached localization under the per-target deadline.
-func (e *Engine) measure(ctx context.Context, target string) (*core.Result, error) {
+// measure runs one uncached localization on the borrowed epoch snapshot
+// under the per-target deadline.
+func (e *Engine) measure(ctx context.Context, loc *core.Localizer, target string) (*core.Result, error) {
 	if e.opts.TargetTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.opts.TargetTimeout)
 		defer cancel()
 	}
-	// Shallow-copy the Localizer and interpose a context-checking prober:
-	// a cancelled target then stops at its next measurement call instead
-	// of probing all remaining landmarks.
-	loc := *e.loc
-	loc.Prober = &ctxProber{ctx: ctx, p: e.loc.Prober}
-	res, err := loc.Localize(target)
+	// Shallow-copy the Localizer and bind the request context to its
+	// prober: a cancelled target then stops at its next measurement call
+	// instead of probing all remaining landmarks.
+	cp := *loc
+	cp.Prober = probe.WithContext(ctx, loc.Prober)
+	res, err := cp.Localize(target)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, fmt.Errorf("batch: %s: %w", target, cerr)
@@ -235,35 +285,11 @@ func (e *Engine) Stats() Stats {
 		s.CacheLen = e.cache.len()
 	}
 	s.Workers = e.opts.Workers
-	s.LandMasks = e.loc.LandMasks().Stats()
+	loc := e.provider.CurrentLocalizer()
+	s.Epoch = loc.Survey.Epoch
+	s.LandMasks = loc.LandMasks().Stats()
 	return s
 }
-
-// ctxProber wraps a Prober so every measurement call observes context
-// cancellation. Ping and Traceroute dominate localization wall time; the
-// metadata lookups stay pass-through.
-type ctxProber struct {
-	ctx context.Context
-	p   probe.Prober
-}
-
-func (c *ctxProber) Ping(src, dst string, n int) ([]float64, error) {
-	if err := c.ctx.Err(); err != nil {
-		return nil, err
-	}
-	return c.p.Ping(src, dst, n)
-}
-
-func (c *ctxProber) Traceroute(src, dst string) ([]probe.Hop, error) {
-	if err := c.ctx.Err(); err != nil {
-		return nil, err
-	}
-	return c.p.Traceroute(src, dst)
-}
-
-func (c *ctxProber) ReverseDNS(addr string) string { return c.p.ReverseDNS(addr) }
-
-func (c *ctxProber) Whois(addr string) (geo.Point, string, bool) { return c.p.Whois(addr) }
 
 // flightGroup coalesces concurrent calls for the same key onto one
 // execution (the classic singleflight shape, scoped to what the engine

@@ -300,6 +300,121 @@ func TestLRUEviction(t *testing.T) {
 	}
 }
 
+// swapProvider is a mutable Provider standing in for the lifecycle
+// manager: tests flip the published localizer to simulate epoch swaps.
+type swapProvider struct {
+	mu  sync.Mutex
+	loc *core.Localizer
+}
+
+func (p *swapProvider) CurrentLocalizer() *core.Localizer {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.loc
+}
+
+func (p *swapProvider) publish(loc *core.Localizer) {
+	p.mu.Lock()
+	p.loc = loc
+	p.mu.Unlock()
+}
+
+// TestEpochSwapInvalidatesCache: a cached result from epoch 0 must not be
+// served once the provider publishes epoch 1 — the request re-measures
+// under the new snapshot and the item reports the new epoch.
+func TestEpochSwapInvalidatesCache(t *testing.T) {
+	f := sharedFixture(t)
+	cp := &countingProber{Prober: f.prober}
+	prov := &swapProvider{loc: core.NewLocalizer(cp, f.survey, core.Config{})}
+	eng := batch.NewWithProvider(prov, batch.Options{Workers: 2})
+	ctx := context.Background()
+
+	item := eng.LocalizeItem(ctx, f.targets[0])
+	if item.Err != nil {
+		t.Fatal(item.Err)
+	}
+	if item.Epoch != 0 || item.Cached {
+		t.Fatalf("first item = epoch %d cached %v", item.Epoch, item.Cached)
+	}
+	// Same epoch: served from cache, no probes.
+	before := cp.pings.Load()
+	item = eng.LocalizeItem(ctx, f.targets[0])
+	if !item.Cached || cp.pings.Load() != before {
+		t.Fatalf("same-epoch repeat not cached (cached=%v)", item.Cached)
+	}
+
+	// Publish epoch 1 over the same measurements: the stale entry must
+	// invalidate even though the target did not change.
+	next, _, err := core.RebuildSurvey(f.survey, f.survey.RTT, make([]bool, f.survey.N()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov.publish(core.NewLocalizer(cp, next, core.Config{}))
+
+	before = cp.pings.Load()
+	item = eng.LocalizeItem(ctx, f.targets[0])
+	if item.Err != nil {
+		t.Fatal(item.Err)
+	}
+	if item.Cached || item.Epoch != 1 {
+		t.Errorf("post-swap item = epoch %d cached %v, want fresh epoch 1", item.Epoch, item.Cached)
+	}
+	if cp.pings.Load() == before {
+		t.Error("post-swap request served without re-measuring")
+	}
+	if s := eng.Stats(); s.Epoch != 1 {
+		t.Errorf("stats epoch = %d, want 1", s.Epoch)
+	}
+
+	// And the new epoch's result is now cached in the old entry's place.
+	item = eng.LocalizeItem(ctx, f.targets[0])
+	if !item.Cached || item.Epoch != 1 {
+		t.Errorf("new-epoch repeat = epoch %d cached %v", item.Epoch, item.Cached)
+	}
+}
+
+// TestStragglerDoesNotClobberFreshCache: a request that borrowed the
+// superseded epoch must neither evict nor overwrite a current-epoch
+// cache entry when it finally completes.
+func TestStragglerDoesNotClobberFreshCache(t *testing.T) {
+	f := sharedFixture(t)
+	cp := &countingProber{Prober: f.prober}
+	locOld := core.NewLocalizer(cp, f.survey, core.Config{})
+	next, _, err := core.RebuildSurvey(f.survey, f.survey.RTT, make([]bool, f.survey.N()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locNew := core.NewLocalizer(cp, next, core.Config{})
+	prov := &swapProvider{loc: locOld}
+	eng := batch.NewWithProvider(prov, batch.Options{Workers: 2})
+	ctx := context.Background()
+	tgt := f.targets[4]
+
+	// Epoch 1 result lands in the cache first…
+	prov.publish(locNew)
+	if item := eng.LocalizeItem(ctx, tgt); item.Err != nil || item.Epoch != 1 {
+		t.Fatalf("fresh item: %+v", item)
+	}
+	// …then a straggler still holding epoch 0 measures the same target.
+	prov.publish(locOld)
+	straggler := eng.LocalizeItem(ctx, tgt)
+	if straggler.Err != nil || straggler.Epoch != 0 || straggler.Cached {
+		t.Fatalf("straggler item: epoch %d cached %v err %v", straggler.Epoch, straggler.Cached, straggler.Err)
+	}
+	// The epoch-1 entry must have survived both the straggler's lookup
+	// and its completion: a current-epoch request is still a cache hit.
+	prov.publish(locNew)
+	before := cp.pings.Load()
+	item := eng.LocalizeItem(ctx, tgt)
+	if item.Err != nil {
+		t.Fatal(item.Err)
+	}
+	if !item.Cached || item.Epoch != 1 || cp.pings.Load() != before {
+		t.Errorf("fresh entry clobbered by straggler: cached=%v epoch=%d probes+%d",
+			item.Cached, item.Epoch, cp.pings.Load()-before)
+	}
+}
+
 func TestUnknownTargetReportsError(t *testing.T) {
 	f := sharedFixture(t)
 	loc := core.NewLocalizer(f.prober, f.survey, core.Config{})

@@ -11,6 +11,11 @@ import (
 // lruCache is a mutex-guarded LRU of localization results keyed by target
 // address, with optional entry TTL. Results are cached by pointer — they
 // are never mutated after Localize returns, so sharing is safe.
+//
+// Each entry remembers the survey epoch it was computed under. A lookup
+// for a different epoch is a miss that also evicts the stale entry: after
+// a survey hot-swap every cached result from the superseded calibration
+// invalidates lazily on first touch, without a stop-the-world flush.
 type lruCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -21,6 +26,7 @@ type lruCache struct {
 
 type lruEntry struct {
 	key     string
+	epoch   uint64
 	res     *core.Result
 	created time.Time
 }
@@ -34,7 +40,7 @@ func newLRU(capacity int, ttl time.Duration) *lruCache {
 	}
 }
 
-func (c *lruCache) get(key string) (*core.Result, bool) {
+func (c *lruCache) get(key string, epoch uint64) (*core.Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
@@ -42,7 +48,13 @@ func (c *lruCache) get(key string) (*core.Result, bool) {
 		return nil, false
 	}
 	ent := el.Value.(*lruEntry)
-	if c.ttl > 0 && time.Since(ent.created) > c.ttl {
+	if ent.epoch > epoch {
+		// The entry is from a newer epoch than this borrower's snapshot —
+		// a straggler that started before a swap. Miss without evicting:
+		// the entry is exactly what current-epoch requests want.
+		return nil, false
+	}
+	if ent.epoch < epoch || (c.ttl > 0 && time.Since(ent.created) > c.ttl) {
 		c.order.Remove(el)
 		delete(c.byKey, key)
 		return nil, false
@@ -51,16 +63,21 @@ func (c *lruCache) get(key string) (*core.Result, bool) {
 	return ent.res, true
 }
 
-func (c *lruCache) put(key string, res *core.Result) {
+func (c *lruCache) put(key string, epoch uint64, res *core.Result) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
 		ent := el.Value.(*lruEntry)
-		ent.res, ent.created = res, time.Now()
+		if ent.epoch > epoch {
+			// Never let a straggler's superseded-epoch result clobber a
+			// fresher one.
+			return
+		}
+		ent.res, ent.epoch, ent.created = res, epoch, time.Now()
 		c.order.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, res: res, created: time.Now()})
+	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, epoch: epoch, res: res, created: time.Now()})
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)

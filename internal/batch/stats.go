@@ -12,7 +12,10 @@ import (
 // Stats is a point-in-time snapshot of engine activity, shaped for the
 // octant-serve /v1/stats endpoint.
 type Stats struct {
-	Workers   int    `json:"workers"`
+	Workers int `json:"workers"`
+	// Epoch is the survey epoch the engine is currently serving from
+	// (the provider's latest published snapshot).
+	Epoch     uint64 `json:"epoch"`
 	Requests  uint64 `json:"requests"`
 	CacheHits uint64 `json:"cache_hits"`
 	// CacheMisses counts requests that had to measure (or wait on a

@@ -159,6 +159,146 @@ func TestLatencyPercentileAndSortedSamples(t *testing.T) {
 	}
 }
 
+// TestMonotoneEnvelopeDuplicateX: equal-latency samples with different
+// distances (two peers behind one POP, or quantized RTT clocks) must not
+// break the monotone upper envelope — it stays non-decreasing, the fit
+// succeeds, and the bound covers the larger of the duplicates.
+func TestMonotoneEnvelopeDuplicateX(t *testing.T) {
+	samples := []Sample{
+		{LatencyMs: 10, DistanceKm: 800},
+		{LatencyMs: 10, DistanceKm: 300}, // duplicate x, smaller y
+		{LatencyMs: 10, DistanceKm: 650}, // duplicate x, middle y
+		{LatencyMs: 25, DistanceKm: 900},
+		{LatencyMs: 25, DistanceKm: 1700},
+		{LatencyMs: 40, DistanceKm: 1200}, // upper hull would descend here
+		{LatencyMs: 60, DistanceKm: 2600},
+	}
+	c, err := New(samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for rtt := 1.0; rtt <= 80; rtt += 0.5 {
+		r := c.MaxDistanceKm(rtt)
+		if r < prev-1e-9 {
+			t.Fatalf("R(%v) = %v < R(prev) = %v: envelope not monotone", rtt, r, prev)
+		}
+		prev = r
+	}
+	for _, s := range samples {
+		if r := c.MaxDistanceKm(s.LatencyMs); r+1e-9 < s.DistanceKm {
+			t.Errorf("R(%v) = %v fails to cover observed %v", s.LatencyMs, r, s.DistanceKm)
+		}
+	}
+	// All-duplicate input: a vertical scatter still fits (degenerate hull).
+	vert := []Sample{
+		{LatencyMs: 12, DistanceKm: 100},
+		{LatencyMs: 12, DistanceKm: 900},
+		{LatencyMs: 12, DistanceKm: 400},
+	}
+	cv, err := New(vert, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := cv.MaxDistanceKm(12); r < 900-1e-9 {
+		t.Errorf("vertical scatter: R(12) = %v, want ≥ 900", r)
+	}
+}
+
+// TestLatencyPercentileBounds pins the endpoint and out-of-range
+// behaviour: 0 and below clamp to the minimum sample, 100 and above to
+// the maximum, and percentiles never leave [min, max].
+func TestLatencyPercentileBounds(t *testing.T) {
+	samples := syntheticScatter(9, 40)
+	c, err := New(samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, s := range samples {
+		min = math.Min(min, s.LatencyMs)
+		max = math.Max(max, s.LatencyMs)
+	}
+	for _, pct := range []float64{-10, 0} {
+		if got := c.LatencyPercentile(pct); got != min {
+			t.Errorf("LatencyPercentile(%v) = %v, want min %v", pct, got, min)
+		}
+	}
+	for _, pct := range []float64{100, 250} {
+		if got := c.LatencyPercentile(pct); got != max {
+			t.Errorf("LatencyPercentile(%v) = %v, want max %v", pct, got, max)
+		}
+	}
+	for pct := 5.0; pct < 100; pct += 5 {
+		got := c.LatencyPercentile(pct)
+		if got < min || got > max {
+			t.Errorf("LatencyPercentile(%v) = %v outside [%v, %v]", pct, got, min, max)
+		}
+	}
+	if lo, hi := c.LatencyPercentile(25), c.LatencyPercentile(75); lo > hi {
+		t.Errorf("percentiles not monotone: p25 %v > p75 %v", lo, hi)
+	}
+}
+
+// TestRebuildEquivalence: Rebuild on changed samples must be
+// indistinguishable from a from-scratch New, and Rebuild on identical
+// samples must return the receiver itself.
+func TestRebuildEquivalence(t *testing.T) {
+	orig := syntheticScatter(21, 30)
+	c, err := New(orig, Options{CutoffPercentile: 85})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical samples (fresh slice, same values): pointer reuse.
+	same, err := c.Rebuild(append([]Sample(nil), orig...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != c {
+		t.Error("Rebuild with identical samples refit instead of reusing")
+	}
+
+	// Drifted samples: exact agreement with New under the same options.
+	drifted := append([]Sample(nil), orig...)
+	for i := range drifted {
+		if i%3 == 0 {
+			drifted[i].LatencyMs += 7.5
+		}
+	}
+	inc, err := c.Rebuild(drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc == c {
+		t.Fatal("Rebuild with drifted samples returned the stale fit")
+	}
+	want, err := New(drifted, Options{CutoffPercentile: 85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Rho() != want.Rho() {
+		t.Errorf("rho %v != %v", inc.Rho(), want.Rho())
+	}
+	for rtt := 0.25; rtt < 300; rtt *= 1.3 {
+		if a, b := inc.MaxDistanceKm(rtt), want.MaxDistanceKm(rtt); a != b {
+			t.Errorf("R(%v): rebuild %v != new %v", rtt, a, b)
+		}
+		if a, b := inc.MinDistanceKm(rtt), want.MinDistanceKm(rtt); a != b {
+			t.Errorf("r(%v): rebuild %v != new %v", rtt, a, b)
+		}
+	}
+
+	// A sample-count change is a change.
+	shorter, err := c.Rebuild(orig[:len(orig)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shorter == c {
+		t.Error("Rebuild with fewer samples reused the old fit")
+	}
+}
+
 func TestSpline(t *testing.T) {
 	// Exact interpolation at knots.
 	s := NewSpline([]float64{0, 1, 2, 3}, []float64{0, 1, 4, 9})

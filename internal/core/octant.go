@@ -178,6 +178,26 @@ func NewLocalizer(p probe.Prober, s *Survey, cfg Config) *Localizer {
 	return l
 }
 
+// NewLocalizerReusing builds a Localizer over s that inherits prev's
+// land-mask cache and router-name resolver instead of starting cold.
+// Mask masters are keyed by projected geometry, so carrying the cache
+// across survey epochs is safe: an epoch with the same landmarks projects
+// identical land outlines and reuses the masters outright, while any
+// geometry change keys fresh entries. The lifecycle manager uses this so
+// an epoch swap does not re-rasterize the §2.5 masks on its first solves.
+func NewLocalizerReusing(p probe.Prober, s *Survey, cfg Config, prev *Localizer) *Localizer {
+	l := NewLocalizer(p, s, cfg)
+	if prev != nil {
+		if prev.masks != nil {
+			l.masks = prev.masks
+		}
+		if prev.Resolver != nil {
+			l.Resolver = prev.Resolver
+		}
+	}
+	return l
+}
+
 // LandMasks returns the localizer's shared land-mask cache (nil for a
 // zero-value Localizer built without NewLocalizer).
 func (l *Localizer) LandMasks() *LandMaskCache { return l.masks }

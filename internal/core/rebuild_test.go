@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"octant/internal/calib"
+	"octant/internal/height"
+)
+
+// TestRebuildNoDirtySharesEverything: a rebuild with nothing dirty is a
+// relabel, not a recompute.
+func TestRebuildNoDirtySharesEverything(t *testing.T) {
+	_, s, _ := snapshotFixture(t, 51)
+	next, st, err := RebuildSurvey(s, s.RTT, make([]bool, s.N()), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Epoch != 3 {
+		t.Errorf("epoch = %d", next.Epoch)
+	}
+	if st.RebuiltCalibs != 0 || st.GlobalRebuilt || len(st.Dirty) != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	for i := range s.Calibs {
+		if next.Calibs[i] != s.Calibs[i] {
+			t.Errorf("calib %d not shared", i)
+		}
+	}
+	if next.Global != s.Global {
+		t.Error("global not shared")
+	}
+}
+
+// TestRebuildDirtyCalibEquivalentToFullFit: a dirty landmark's refitted
+// calibration must be exactly what a from-scratch calib.New produces on
+// the same refreshed samples — the incremental path buys probe and fit
+// savings, never a different model.
+func TestRebuildDirtyCalibEquivalentToFullFit(t *testing.T) {
+	_, s, _ := snapshotFixture(t, 52)
+	n := s.N()
+	rtt := make([][]float64, n)
+	for i := range rtt {
+		rtt[i] = append([]float64(nil), s.RTT[i]...)
+	}
+	const d = 2
+	dirty := make([]bool, n)
+	dirty[d] = true
+	for j := 0; j < n; j++ { // the whole row drifted
+		if j == d {
+			continue
+		}
+		rtt[d][j] += 12
+		rtt[j][d] += 12
+	}
+	next, st, err := RebuildSurvey(s, rtt, dirty, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RebuiltCalibs != 1 {
+		t.Fatalf("rebuilt %d calibs, want 1", st.RebuiltCalibs)
+	}
+
+	// Reference fit: calib.New over the exact samples the rebuild derived
+	// (same adjusted latencies, same distances).
+	samples := make([]calib.Sample, 0, n-1)
+	for j := 0; j < n; j++ {
+		if j == d {
+			continue
+		}
+		r := next.RTT[d][j]
+		if next.UseHeights {
+			r = height.AdjustRTT(r, next.Heights[d], next.Heights[j])
+		}
+		samples = append(samples, calib.Sample{
+			LatencyMs:  r,
+			DistanceKm: next.Landmarks[d].Loc.DistanceKm(next.Landmarks[j].Loc),
+		})
+	}
+	want, err := calib.New(samples, calib.Options{CutoffPercentile: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rttMs := 0.25; rttMs < 250; rttMs *= 1.4 {
+		if a, b := next.Calibs[d].MaxDistanceKm(rttMs), want.MaxDistanceKm(rttMs); a != b {
+			t.Fatalf("R(%v): incremental %v != full fit %v", rttMs, a, b)
+		}
+		if a, b := next.Calibs[d].MinDistanceKm(rttMs), want.MinDistanceKm(rttMs); a != b {
+			t.Fatalf("r(%v): incremental %v != full fit %v", rttMs, a, b)
+		}
+	}
+}
+
+// TestRebuildDirtyHeightLeastSquares: with one dirty landmark, the
+// Gauss–Seidel height update has a closed form — the mean residual
+// against the fixed clean heights — and must hit it exactly.
+func TestRebuildDirtyHeightLeastSquares(t *testing.T) {
+	_, s, _ := snapshotFixture(t, 53)
+	n := s.N()
+	rtt := make([][]float64, n)
+	for i := range rtt {
+		rtt[i] = append([]float64(nil), s.RTT[i]...)
+	}
+	const d = 1
+	dirty := make([]bool, n)
+	dirty[d] = true
+	for j := 0; j < n; j++ {
+		if j == d {
+			continue
+		}
+		rtt[d][j] += 6
+		rtt[j][d] += 6
+	}
+	next, _, err := RebuildSurvey(s, rtt, dirty, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for j := 0; j < n; j++ {
+		if j == d {
+			continue
+		}
+		q := height.QueuingDelayK(rtt[d][j], s.Kappa, s.Landmarks[d].Loc, s.Landmarks[j].Loc)
+		sum += q - s.Heights[j]
+	}
+	want := math.Max(0, sum/float64(n-1))
+	if math.Abs(next.Heights[d]-want) > 1e-9 {
+		t.Errorf("dirty height = %v, want %v", next.Heights[d], want)
+	}
+	for j := 0; j < n; j++ {
+		if j != d && next.Heights[j] != s.Heights[j] {
+			t.Errorf("clean height %d changed", j)
+		}
+	}
+}
+
+func TestRebuildValidatesDimensions(t *testing.T) {
+	_, s, _ := snapshotFixture(t, 54)
+	if _, _, err := RebuildSurvey(s, s.RTT[:2], make([]bool, s.N()), 1); err == nil {
+		t.Error("short rtt accepted")
+	}
+	if _, _, err := RebuildSurvey(s, s.RTT, make([]bool, 2), 1); err == nil {
+		t.Error("short dirty accepted")
+	}
+}

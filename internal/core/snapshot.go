@@ -1,0 +1,157 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"octant/internal/calib"
+)
+
+// Survey snapshots let a daemon restart warm: the O(n²) inter-landmark
+// probing and calibration that NewSurvey performs is captured once and
+// reloaded from disk, and the reloaded survey is bit-identical in every
+// localization-visible way (RTTs, heights, κ, calibration curves, epoch).
+//
+// The format is versioned JSON. Measurement state is stored exactly —
+// Go's float64 JSON round-trip is lossless (shortest-representation
+// encoding) — and the fitted calibration curves are NOT stored: each
+// calibration's sample set is, and the curves are refitted on load.
+// calib.New is deterministic, so the refit reproduces the original hulls
+// and blend parameters exactly, and the snapshot stays robust to internal
+// calibration-representation changes. Per-landmark sample sets are stored
+// separately from the RTT matrix because after an incremental rebuild a
+// clean landmark's calibration legitimately lags the matrix on columns of
+// dirty peers (see RebuildSurvey).
+
+// snapshotVersion is bumped on incompatible format changes.
+const snapshotVersion = 1
+
+// surveySnapshot is the on-disk shape of a Survey.
+type surveySnapshot struct {
+	Version       int              `json:"version"`
+	Epoch         uint64           `json:"epoch"`
+	Kappa         float64          `json:"kappa"`
+	UseHeights    bool             `json:"use_heights"`
+	Probes        int              `json:"probes"`
+	Landmarks     []Landmark       `json:"landmarks"`
+	RTT           [][]float64      `json:"rtt"`
+	Heights       []float64        `json:"heights"`
+	CalibOpts     calib.Options    `json:"calib_opts"`
+	CalibSamples  [][]calib.Sample `json:"calib_samples"`
+	GlobalSamples []calib.Sample   `json:"global_samples"`
+}
+
+// WriteSnapshot serializes the survey to w in the versioned JSON snapshot
+// format.
+func (s *Survey) WriteSnapshot(w io.Writer) error {
+	snap := surveySnapshot{
+		Version:       snapshotVersion,
+		Epoch:         s.Epoch,
+		Kappa:         s.Kappa,
+		UseHeights:    s.UseHeights,
+		Probes:        s.Probes,
+		Landmarks:     s.Landmarks,
+		RTT:           s.RTT,
+		Heights:       s.Heights,
+		CalibOpts:     calib.Options{CutoffPercentile: s.calibCutoff()},
+		CalibSamples:  make([][]calib.Sample, len(s.Calibs)),
+		GlobalSamples: s.Global.Samples,
+	}
+	for i, c := range s.Calibs {
+		snap.CalibSamples[i] = c.Samples
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&snap)
+}
+
+// ReadSnapshot deserializes a survey written by WriteSnapshot, refitting
+// the calibrations from their stored sample sets. The result is immutable
+// and ready to serve, exactly like a freshly probed survey.
+func ReadSnapshot(r io.Reader) (*Survey, error) {
+	var snap surveySnapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decoding survey snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: survey snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	n := len(snap.Landmarks)
+	if n < 3 {
+		return nil, fmt.Errorf("core: survey snapshot has %d landmarks, need ≥ 3", n)
+	}
+	if len(snap.RTT) != n || len(snap.Heights) != n || len(snap.CalibSamples) != n {
+		return nil, fmt.Errorf("core: survey snapshot dimensions disagree (%d landmarks, %d rtt rows, %d heights, %d calibrations)",
+			n, len(snap.RTT), len(snap.Heights), len(snap.CalibSamples))
+	}
+	for i, row := range snap.RTT {
+		if len(row) != n {
+			return nil, fmt.Errorf("core: survey snapshot rtt row %d has %d cols, want %d", i, len(row), n)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return nil, fmt.Errorf("core: survey snapshot rtt[%d][%d] = %v is not a valid RTT", i, j, v)
+			}
+		}
+	}
+	s := &Survey{
+		Epoch:      snap.Epoch,
+		Landmarks:  snap.Landmarks,
+		RTT:        snap.RTT,
+		Heights:    snap.Heights,
+		Kappa:      snap.Kappa,
+		UseHeights: snap.UseHeights,
+		Probes:     snap.Probes,
+		Calibs:     make([]*calib.Calibration, n),
+	}
+	for i, samples := range snap.CalibSamples {
+		c, err := calib.New(samples, snap.CalibOpts)
+		if err != nil {
+			return nil, fmt.Errorf("core: refitting calibration %d (%s): %w", i, snap.Landmarks[i].Name, err)
+		}
+		s.Calibs[i] = c
+	}
+	g, err := calib.New(snap.GlobalSamples, snap.CalibOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: refitting global calibration: %w", err)
+	}
+	s.Global = g
+	return s, nil
+}
+
+// SaveSnapshotFile writes the survey snapshot to path atomically (temp
+// file + rename), so a crash mid-write never leaves a truncated snapshot
+// where a warm start would read it.
+func (s *Survey) SaveSnapshotFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".survey-snapshot-*")
+	if err != nil {
+		return fmt.Errorf("core: saving survey snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := s.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: saving survey snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: saving survey snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: saving survey snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshotFile reads a survey snapshot from path.
+func LoadSnapshotFile(path string) (*Survey, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading survey snapshot: %w", err)
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"octant/internal/netsim"
+	"octant/internal/probe"
+)
+
+// snapshotFixture builds a compact survey over a trimmed world.
+func snapshotFixture(t *testing.T, seed uint64) (*probe.SimProber, *Survey, string) {
+	t.Helper()
+	w := netsim.NewWorld(netsim.Config{Seed: seed, Sites: netsim.DefaultSites[:16]})
+	p := probe.NewSimProber(w)
+	hosts := w.HostNodes()
+	var lms []Landmark
+	for _, h := range hosts[1:] {
+		lms = append(lms, Landmark{Addr: h.Name, Name: h.Inst, Loc: h.Loc})
+	}
+	s, err := NewSurvey(p, lms, SurveyOpts{UseHeights: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, s, hosts[0].Name
+}
+
+// TestSnapshotRoundTripBitIdentical is the acceptance check: a survey
+// saved and reloaded from disk yields bit-identical Localize output.
+func TestSnapshotRoundTripBitIdentical(t *testing.T) {
+	p, s, target := snapshotFixture(t, 41)
+	s.Epoch = 7 // non-zero epoch must survive the round trip
+
+	path := filepath.Join(t.TempDir(), "survey.json")
+	if err := s.SaveSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Epoch != s.Epoch || got.Kappa != s.Kappa || got.UseHeights != s.UseHeights || got.N() != s.N() {
+		t.Fatalf("header fields differ: %+v vs %+v", got.Epoch, s.Epoch)
+	}
+	for i := range s.RTT {
+		for j := range s.RTT[i] {
+			if got.RTT[i][j] != s.RTT[i][j] {
+				t.Fatalf("rtt[%d][%d] %v != %v", i, j, got.RTT[i][j], s.RTT[i][j])
+			}
+		}
+		if got.Heights[i] != s.Heights[i] {
+			t.Fatalf("height[%d] %v != %v", i, got.Heights[i], s.Heights[i])
+		}
+	}
+	// Refitted calibrations must evaluate identically everywhere the
+	// solver queries them.
+	for i, c := range s.Calibs {
+		for rtt := 0.25; rtt < 200; rtt *= 1.7 {
+			if a, b := c.MaxDistanceKm(rtt), got.Calibs[i].MaxDistanceKm(rtt); a != b {
+				t.Fatalf("calib %d R(%v): %v != %v", i, rtt, a, b)
+			}
+			if a, b := c.MinDistanceKm(rtt), got.Calibs[i].MinDistanceKm(rtt); a != b {
+				t.Fatalf("calib %d r(%v): %v != %v", i, rtt, a, b)
+			}
+		}
+	}
+
+	want, err := NewLocalizer(p, s, Config{}).Localize(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewLocalizer(p, got, Config{}).Localize(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Point != want.Point || res.AreaKm2 != want.AreaKm2 ||
+		res.Weight != want.Weight || res.TargetHeightMs != want.TargetHeightMs {
+		t.Errorf("reloaded survey localizes %v/%v, original %v/%v",
+			res.Point, res.AreaKm2, want.Point, want.AreaKm2)
+	}
+}
+
+// TestSnapshotPreservesIncrementalCalibState: after an incremental
+// rebuild, a clean landmark's calibration samples legitimately lag the
+// RTT matrix; the snapshot must preserve that exactly rather than
+// re-deriving samples from the matrix.
+func TestSnapshotPreservesIncrementalCalibState(t *testing.T) {
+	_, s, _ := snapshotFixture(t, 42)
+	n := s.N()
+	rtt := make([][]float64, n)
+	for i := range rtt {
+		rtt[i] = append([]float64(nil), s.RTT[i]...)
+	}
+	dirty := make([]bool, n)
+	rtt[0][1] += 40
+	rtt[1][0] += 40
+	dirty[0], dirty[1] = true, true
+	next, _, err := RebuildSurvey(s, rtt, dirty, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := next.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range next.Calibs {
+		for rttMs := 0.5; rttMs < 120; rttMs *= 2 {
+			if a, b := next.Calibs[i].MaxDistanceKm(rttMs), got.Calibs[i].MaxDistanceKm(rttMs); a != b {
+				t.Fatalf("calib %d R(%v) %v != %v after incremental round trip", i, rttMs, a, b)
+			}
+		}
+	}
+	if got.Epoch != 1 {
+		t.Errorf("epoch = %d, want 1", got.Epoch)
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":    "{",
+		"bad version": `{"version": 99}`,
+		"too few":     `{"version": 1, "landmarks": [{}, {}]}`,
+	}
+	for name, body := range cases {
+		if _, err := ReadSnapshot(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+	_, s, _ := snapshotFixture(t, 43)
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated stream must not yield a survey.
+	if _, err := ReadSnapshot(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Error("truncated snapshot: want error")
+	}
+}

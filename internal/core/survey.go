@@ -24,12 +24,21 @@ type Landmark struct {
 // It is shared by Octant and the baselines so all techniques see identical
 // measurements, as in the paper's evaluation.
 //
-// A Survey is immutable after NewSurvey (or Subset) returns: no method
-// writes to it, and every Calibration read path is pure. Any number of
-// goroutines may therefore localize against one Survey concurrently
-// without locking — the batch engine and octant-serve rely on this.
-// Callers must not mutate the exported fields after construction.
+// A Survey is immutable after NewSurvey (or Subset, or RebuildSurvey)
+// returns: no method writes to it, and every Calibration read path is
+// pure. Any number of goroutines may therefore localize against one
+// Survey concurrently without locking — the batch engine and octant-serve
+// rely on this. Callers must not mutate the exported fields after
+// construction. Refreshing measurements never modifies a Survey in place;
+// it produces a new snapshot with a higher Epoch (see RebuildSurvey and
+// the lifecycle manager).
 type Survey struct {
+	// Epoch versions the snapshot. A survey built by NewSurvey is epoch
+	// 0; each lifecycle recalibration publishes a successor with Epoch+1.
+	// Consumers (the batch engine's cache, octant-serve) use it to tell
+	// snapshots apart without comparing measurement state.
+	Epoch uint64
+
 	Landmarks []Landmark
 	RTT       [][]float64 // [i][j] min RTT between landmarks i and j, ms
 	Heights   []float64   // per-landmark queuing heights, ms
@@ -43,6 +52,12 @@ type Survey struct {
 	// RTT ≈ Kappa × great-circle fiber RTT + heights. It keeps the
 	// distance-proportional part of latency out of the per-node heights.
 	Kappa float64
+
+	// Probes records the ping-sample count each pair's min-RTT was
+	// filtered over. Min-of-n is biased by n, so measurements are only
+	// comparable — e.g. by a refresh's drift detection — when remeasured
+	// with the same count.
+	Probes int
 
 	// UseHeights records whether calibrations were built on
 	// height-adjusted latencies.
@@ -77,6 +92,7 @@ func NewSurvey(p probe.Prober, landmarks []Landmark, opts SurveyOpts) (*Survey, 
 	s := &Survey{
 		Landmarks:  append([]Landmark(nil), landmarks...),
 		UseHeights: opts.UseHeights,
+		Probes:     opts.Probes,
 	}
 	s.RTT = make([][]float64, n)
 	for i := range s.RTT {
@@ -163,9 +179,11 @@ func (s *Survey) Subset(idx []int) (*Survey, error) {
 		return nil, fmt.Errorf("core: subset needs ≥ 3 landmarks, have %d", n)
 	}
 	sub := &Survey{
+		Epoch:      s.Epoch, // same measurement generation, fewer landmarks
 		Landmarks:  make([]Landmark, n),
 		RTT:        make([][]float64, n),
 		UseHeights: s.UseHeights,
+		Probes:     s.Probes,
 	}
 	for a, i := range idx {
 		sub.Landmarks[a] = s.Landmarks[i]

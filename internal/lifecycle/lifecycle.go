@@ -1,0 +1,361 @@
+// Package lifecycle manages the landmark survey as a versioned,
+// refreshable resource instead of a startup constant.
+//
+// Octant's accuracy rests on per-landmark latency→distance calibrations
+// (§2.1–2.2) that the paper recomputes periodically as network conditions
+// change. A daemon that builds its Survey once at process start drifts
+// stale within hours: routes move, peerings congest, and the convex-hull
+// bounds fitted to last night's RTTs stop bounding today's. The Manager
+// closes that gap with an epoch-based lifecycle:
+//
+//   - Each survey generation is an immutable Epoch — the Survey snapshot
+//     plus its derived Localizer (projection context, land-mask cache,
+//     calibrations).
+//   - Refresh reprobes landmark↔landmark RTTs (all pairs, or only pairs
+//     touching an explicit scope of suspect landmarks), marks landmarks
+//     whose min-RTT moved beyond a drift tolerance as dirty, and asks
+//     core.RebuildSurvey for the next generation — refitting only the
+//     dirty landmarks' calibrations and carrying every clean fit forward
+//     by pointer.
+//   - The new epoch is published with an atomic RCU-style pointer swap.
+//     Readers (the batch engine, octant-serve) borrow one epoch per
+//     request via a single atomic load; in-flight requests finish on the
+//     epoch they started with, so a swap drops nothing and blocks nobody.
+//   - Published epochs can be persisted to disk (survey snapshots) so a
+//     restarted daemon starts warm, serving from the last calibration
+//     without reprobing the O(n²) landmark mesh.
+package lifecycle
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"octant/internal/core"
+	"octant/internal/probe"
+)
+
+// Options tunes the survey lifecycle.
+type Options struct {
+	// Probes is the ping-sample count per refreshed landmark pair
+	// (default 10, matching survey construction).
+	Probes int
+	// DriftToleranceMs is the minimum |Δ min-RTT| for a reprobed pair to
+	// count as drifted (default 0.5 ms). Sub-tolerance wobble keeps the
+	// previous value, so measurement jitter alone never churns epochs.
+	// Set negative to treat any change as drift.
+	DriftToleranceMs float64
+	// Interval is Run's periodic full-refresh cadence (0 disables the
+	// loop; Refresh stays available on demand).
+	Interval time.Duration
+	// SnapshotPath, when non-empty, persists every recalibrated epoch
+	// the manager publishes, so the daemon can restart warm. The initial
+	// epoch is the caller's to persist (it may itself have just been
+	// loaded from this very file — rewriting it would be wasted I/O).
+	SnapshotPath string
+	// OnSwap, when non-nil, observes every published epoch after it
+	// became current — the initial epoch with a nil report, refreshed
+	// epochs with theirs. Called synchronously; keep it cheap.
+	OnSwap func(*Epoch, *RefreshReport)
+}
+
+func (o *Options) fillDefaults() {
+	if o.Probes == 0 {
+		o.Probes = 10
+	}
+	if o.DriftToleranceMs == 0 {
+		o.DriftToleranceMs = 0.5
+	}
+}
+
+// Epoch is one immutable survey generation plus the serving state derived
+// from it. Everything an Epoch references is safe for concurrent readers
+// and never mutated after publication; a request that borrowed an Epoch
+// may keep using it for its whole lifetime regardless of later swaps.
+type Epoch struct {
+	Survey    *core.Survey
+	Localizer *core.Localizer
+	// Published is when this epoch became current.
+	Published time.Time
+}
+
+// Number returns the epoch's sequence number (Survey.Epoch).
+func (e *Epoch) Number() uint64 { return e.Survey.Epoch }
+
+// RefreshReport describes one recalibration round.
+type RefreshReport struct {
+	// PrevEpoch and Epoch bracket the refresh; they are equal when
+	// nothing drifted and no new epoch was published.
+	PrevEpoch uint64 `json:"prev_epoch"`
+	Epoch     uint64 `json:"epoch"`
+	// Swapped reports whether a new epoch was published.
+	Swapped bool `json:"swapped"`
+	// ProbedPairs is how many landmark pairs were remeasured.
+	ProbedPairs int `json:"probed_pairs"`
+	// DirtyLandmarks names the landmarks whose measurements drifted
+	// beyond tolerance.
+	DirtyLandmarks []string `json:"dirty_landmarks,omitempty"`
+	// RebuiltCalibs counts per-landmark calibrations refitted; clean
+	// landmarks keep their previous fit untouched.
+	RebuiltCalibs int `json:"rebuilt_calibs"`
+	// SnapshotError carries a non-fatal autosave failure ("" if none,
+	// or if autosaving is off).
+	SnapshotError string `json:"snapshot_error,omitempty"`
+	// ElapsedMs is the refresh wall time, probing included.
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// Stats is a point-in-time view of the lifecycle, shaped for the
+// octant-serve GET /v1/survey endpoint.
+type Stats struct {
+	Epoch      uint64  `json:"epoch"`
+	Landmarks  int     `json:"landmarks"`
+	Kappa      float64 `json:"kappa"`
+	UseHeights bool    `json:"use_heights"`
+	// EpochAgeS is how long the current epoch has been serving.
+	EpochAgeS float64 `json:"epoch_age_s"`
+	// Swaps counts epochs published after the initial one.
+	Swaps uint64 `json:"swaps"`
+	// Refreshes counts completed Refresh rounds (swapped or not).
+	Refreshes uint64 `json:"refreshes"`
+	// LastRefresh is the most recent refresh round's report (nil before
+	// the first).
+	LastRefresh *RefreshReport `json:"last_refresh,omitempty"`
+	// LastError is the most recent background-refresh failure ("" when
+	// the last round succeeded).
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Manager owns the survey lifecycle: it holds the current epoch, reprobes
+// landmark↔landmark RTTs periodically or on demand, incrementally rebuilds
+// the calibrations the drift invalidated (core.RebuildSurvey), and
+// publishes each new generation with an atomic RCU-style swap.
+//
+// Readers never lock: Current and CurrentLocalizer are single atomic
+// loads, and the Epoch they return is immutable, so a swap neither blocks
+// nor invalidates requests in flight — they complete on the epoch they
+// borrowed while new requests pick up the new one. Manager implements
+// batch.Provider, which is how the serving stack rides along.
+type Manager struct {
+	prober probe.Prober
+	cfg    core.Config
+	opts   Options
+
+	cur atomic.Pointer[Epoch]
+	// mu serializes writers (Refresh, snapshot autosave); readers don't
+	// take it.
+	mu sync.Mutex
+
+	swaps      atomic.Uint64
+	refreshes  atomic.Uint64
+	lastReport atomic.Pointer[RefreshReport]
+	lastErr    atomic.Pointer[string]
+}
+
+// New starts a lifecycle around an existing survey — freshly probed by
+// core.NewSurvey or reloaded warm from a snapshot; no probing happens
+// here. cfg configures the per-epoch Localizers. When Options.Probes is
+// unset it defaults to the survey's own per-pair sample count, keeping
+// refresh remeasurements min-filter-comparable to the baseline.
+func New(p probe.Prober, survey *core.Survey, cfg core.Config, opts Options) *Manager {
+	if opts.Probes == 0 && survey.Probes > 0 {
+		opts.Probes = survey.Probes
+	}
+	opts.fillDefaults()
+	m := &Manager{prober: p, cfg: cfg, opts: opts}
+	e := &Epoch{
+		Survey:    survey,
+		Localizer: core.NewLocalizer(p, survey, cfg),
+		Published: time.Now(),
+	}
+	m.cur.Store(e)
+	if opts.OnSwap != nil {
+		opts.OnSwap(e, nil)
+	}
+	return m
+}
+
+// NewProbed builds the initial survey by probing (core.NewSurvey) and
+// starts a lifecycle around it.
+func NewProbed(p probe.Prober, landmarks []core.Landmark, sopts core.SurveyOpts, cfg core.Config, opts Options) (*Manager, error) {
+	survey, err := core.NewSurvey(p, landmarks, sopts)
+	if err != nil {
+		return nil, err
+	}
+	return New(p, survey, cfg, opts), nil
+}
+
+// Current returns the epoch currently serving. The result is immutable
+// and remains valid after any number of later swaps.
+func (m *Manager) Current() *Epoch { return m.cur.Load() }
+
+// CurrentLocalizer implements batch.Provider: the batch engine borrows
+// the current epoch's Localizer once per request.
+func (m *Manager) CurrentLocalizer() *core.Localizer { return m.Current().Localizer }
+
+// Refresh remeasures landmark pairs and, if anything drifted beyond
+// tolerance, publishes a recalibrated epoch. scope selects which
+// landmarks' pairs to reprobe — nil means all — and a scoped refresh
+// probes only pairs with at least one endpoint in scope, making
+// on-demand recalibration of a few suspect landmarks O(k·n) probes
+// instead of O(n²).
+//
+// Only dirty landmarks' calibrations are refitted (see
+// core.RebuildSurvey); a refresh in which every pair held within
+// tolerance publishes nothing and leaves the current epoch — and every
+// cache keyed by it — untouched. Concurrent Refresh calls serialize;
+// readers are never blocked.
+func (m *Manager) Refresh(ctx context.Context, scope []int) (*RefreshReport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	start := time.Now()
+	cur := m.Current()
+	s := cur.Survey
+	n := s.N()
+
+	inScope := make([]bool, n)
+	if scope == nil {
+		for i := range inScope {
+			inScope[i] = true
+		}
+	} else {
+		for _, i := range scope {
+			if i < 0 || i >= n {
+				return nil, fmt.Errorf("lifecycle: refresh scope index %d out of range [0, %d)", i, n)
+			}
+			inScope[i] = true
+		}
+	}
+
+	p := probe.WithContext(ctx, m.prober)
+	tol := math.Max(0, m.opts.DriftToleranceMs)
+	newRTT := make([][]float64, n)
+	for i := range newRTT {
+		newRTT[i] = append([]float64(nil), s.RTT[i]...)
+	}
+	dirty := make([]bool, n)
+	probed := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !inScope[i] && !inScope[j] {
+				continue
+			}
+			samples, err := p.Ping(s.Landmarks[i].Addr, s.Landmarks[j].Addr, m.opts.Probes)
+			if err != nil {
+				return nil, fmt.Errorf("lifecycle: refresh ping %s→%s: %w",
+					s.Landmarks[i].Name, s.Landmarks[j].Name, err)
+			}
+			min, err := probe.MinRTT(samples)
+			if err != nil {
+				return nil, err
+			}
+			probed++
+			if math.Abs(min-s.RTT[i][j]) > tol {
+				newRTT[i][j], newRTT[j][i] = min, min
+				dirty[i], dirty[j] = true, true
+			}
+		}
+	}
+	m.refreshes.Add(1)
+
+	report := &RefreshReport{PrevEpoch: s.Epoch, Epoch: s.Epoch, ProbedPairs: probed}
+	elapse := func() { report.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond) }
+	defer func() { m.lastReport.Store(report) }()
+
+	anyDirty := false
+	for _, d := range dirty {
+		anyDirty = anyDirty || d
+	}
+	if !anyDirty {
+		elapse()
+		return report, nil
+	}
+
+	next, rst, err := core.RebuildSurvey(s, newRTT, dirty, s.Epoch+1)
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range rst.Dirty {
+		report.DirtyLandmarks = append(report.DirtyLandmarks, s.Landmarks[i].Name)
+	}
+	report.RebuiltCalibs = rst.RebuiltCalibs
+	report.Epoch = next.Epoch
+	report.Swapped = true
+
+	e := &Epoch{
+		Survey: next,
+		// Reuse the superseded epoch's land-mask masters and resolver:
+		// the landmarks (hence the projection and outlines) are
+		// unchanged, so the new epoch serves its first solve warm.
+		Localizer: core.NewLocalizerReusing(m.prober, next, m.cfg, cur.Localizer),
+		Published: time.Now(),
+	}
+	if m.opts.SnapshotPath != "" {
+		if err := next.SaveSnapshotFile(m.opts.SnapshotPath); err != nil {
+			report.SnapshotError = err.Error()
+		}
+	}
+	m.cur.Store(e)
+	m.swaps.Add(1)
+	elapse() // before OnSwap, so observers see the real refresh duration
+	if m.opts.OnSwap != nil {
+		m.opts.OnSwap(e, report)
+	}
+	return report, nil
+}
+
+// Run refreshes all pairs every Options.Interval until ctx is done. A
+// failed round is recorded (Stats.LastError) and the loop keeps going —
+// transient probe failures must not kill recalibration for good. Run
+// returns immediately when Interval is 0.
+func (m *Manager) Run(ctx context.Context) {
+	if m.opts.Interval <= 0 {
+		return
+	}
+	ticker := time.NewTicker(m.opts.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			_, err := m.Refresh(ctx, nil)
+			if ctx.Err() != nil {
+				return
+			}
+			var msg string
+			if err != nil {
+				msg = err.Error()
+			}
+			m.lastErr.Store(&msg)
+		}
+	}
+}
+
+// SaveSnapshot persists the current epoch's survey to path (see
+// core.Survey.SaveSnapshotFile).
+func (m *Manager) SaveSnapshot(path string) error {
+	return m.Current().Survey.SaveSnapshotFile(path)
+}
+
+// Stats returns a snapshot of the lifecycle's state and counters.
+func (m *Manager) Stats() Stats {
+	e := m.Current()
+	st := Stats{
+		Epoch:       e.Survey.Epoch,
+		Landmarks:   e.Survey.N(),
+		Kappa:       e.Survey.Kappa,
+		UseHeights:  e.Survey.UseHeights,
+		EpochAgeS:   time.Since(e.Published).Seconds(),
+		Swaps:       m.swaps.Load(),
+		Refreshes:   m.refreshes.Load(),
+		LastRefresh: m.lastReport.Load(),
+	}
+	if s := m.lastErr.Load(); s != nil {
+		st.LastError = *s
+	}
+	return st
+}

@@ -27,7 +27,7 @@ type Hop struct {
 }
 
 // BaseRTTMs returns the deterministic floor RTT between two nodes: the
-// minimum any probe can observe.
+// minimum any probe can observe (including any injected pair drift).
 func (w *World) BaseRTTMs(src, dst int) float64 {
 	if src == dst {
 		return 0
@@ -36,8 +36,51 @@ func (w *World) BaseRTTMs(src, dst int) float64 {
 	if path == nil {
 		return math.Inf(1)
 	}
-	return w.pathBaseRTT(path) + w.Nodes[src].accessMs + w.Nodes[dst].accessMs
+	return w.pathBaseRTT(path) + w.Nodes[src].accessMs + w.Nodes[dst].accessMs + w.PairDriftMs(src, dst)
 }
+
+// SetPairDriftMs injects an extra symmetric RTT of ms between nodes a and
+// b, on top of the topology-derived base. It models the network changing
+// underneath a long-running deployment — a rerouted path, a congested
+// peering — which is exactly what the survey lifecycle's recalibration
+// exists to absorb. Setting ms = 0 removes the drift. Safe to call while
+// measurements are in flight; probes observe the new floor immediately.
+//
+// Drift is end-to-end per pair (applied in BaseRTTMs, hence Ping), not
+// per-link: it deliberately leaves every other pair's measurements
+// bit-identical, so tests can drift landmark↔landmark pairs while
+// landmark→target probing stays untouched.
+func (w *World) SetPairDriftMs(a, b int, ms float64) {
+	key := pairKey(a, b)
+	if ms == 0 {
+		w.drift.Delete(key)
+		return
+	}
+	w.drift.Store(key, ms)
+}
+
+// PairDriftMs returns the drift currently injected between a and b.
+func (w *World) PairDriftMs(a, b int) float64 {
+	v, ok := w.drift.Load(pairKey(a, b))
+	if !ok {
+		return 0
+	}
+	return v.(float64)
+}
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// PingCalls returns how many Ping calls this world has served (each call
+// issues n probe samples; calls are what measurement budgets count).
+func (w *World) PingCalls() uint64 { return w.pingCalls.Load() }
+
+// TracerouteCalls returns how many Traceroute calls this world has served.
+func (w *World) TracerouteCalls() uint64 { return w.tracerouteCalls.Load() }
 
 // pathBaseRTT is the round-trip propagation plus min-queuing along a path,
 // excluding endpoint access heights.
@@ -79,6 +122,7 @@ func jitter(rng *rand.Rand, meanMs float64) float64 {
 // time-dispersed ICMP probes. Samples are deterministic for a given
 // (world seed, src, dst) and independent of call order.
 func (w *World) Ping(src, dst, n int) []float64 {
+	w.pingCalls.Add(1)
 	if n <= 0 {
 		n = 1
 	}
@@ -112,6 +156,7 @@ func (w *World) MinPing(src, dst, n int) float64 {
 // destination host is the final hop. Router hops expose the DNS names that
 // the undns rules parse.
 func (w *World) Traceroute(src, dst, nProbe int) []Hop {
+	w.tracerouteCalls.Add(1)
 	if nProbe <= 0 {
 		nProbe = 3
 	}

@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"octant/internal/geo"
 )
@@ -113,6 +114,11 @@ func (c *Config) fillDefaults() {
 // and every lookup table are read-only; the lazily filled Dijkstra route
 // cache is a sync.Map, so all measurement methods (Ping, Traceroute,
 // Route, Whois, ReverseDNS) are safe to call from many goroutines.
+//
+// The only mutable measurement state is the pair-drift table
+// (SetPairDriftMs), which models network conditions changing underneath
+// a long-running deployment; it is synchronized independently, so drift
+// may be injected while measurements are in flight.
 type World struct {
 	Cfg     Config
 	Nodes   []*Node
@@ -123,6 +129,15 @@ type World struct {
 	whois   map[string]WhoisRecord // by IP
 	nameIdx map[string]int         // DNS name → node ID
 	routes  sync.Map               // src node ID → *routeTable
+
+	// drift holds per-pair RTT offsets injected after construction
+	// (SetPairDriftMs): [2]int{min,max} node IDs → extra ms.
+	drift sync.Map
+	// pingCalls / tracerouteCalls account every measurement issued
+	// against this world, so tests can assert how much probing a survey
+	// build or an incremental recalibration actually performed.
+	pingCalls       atomic.Uint64
+	tracerouteCalls atomic.Uint64
 }
 
 type adjEdge struct {

@@ -1,0 +1,118 @@
+package probe
+
+import (
+	"context"
+	"testing"
+
+	"octant/internal/netsim"
+)
+
+// recordingCtxProber implements ContextProber and records whether the
+// context-aware entry points were used.
+type recordingCtxProber struct {
+	*SimProber
+	pingCtx, trCtx bool
+}
+
+func (p *recordingCtxProber) PingContext(ctx context.Context, src, dst string, n int) ([]float64, error) {
+	p.pingCtx = true
+	return p.Ping(src, dst, n)
+}
+
+func (p *recordingCtxProber) TracerouteContext(ctx context.Context, src, dst string) ([]Hop, error) {
+	p.trCtx = true
+	return p.Traceroute(src, dst)
+}
+
+func ctxTestWorld() (*SimProber, string, string) {
+	w := netsim.NewWorld(netsim.Config{Seed: 9, Sites: netsim.DefaultSites[:6]})
+	hosts := w.HostNodes()
+	return NewSimProber(w), hosts[0].Name, hosts[1].Name
+}
+
+func TestWithContextPassThrough(t *testing.T) {
+	sim, a, b := ctxTestWorld()
+	p := WithContext(context.Background(), sim)
+
+	samples, err := p.Ping(a, b, 3)
+	if err != nil || len(samples) != 3 {
+		t.Fatalf("Ping = %v, %v", samples, err)
+	}
+	want, _ := sim.Ping(a, b, 3)
+	for i := range samples {
+		if samples[i] != want[i] {
+			t.Errorf("bound Ping diverges from direct: %v != %v", samples[i], want[i])
+		}
+	}
+	if hops, err := p.Traceroute(a, b); err != nil || len(hops) == 0 {
+		t.Errorf("Traceroute = %v, %v", hops, err)
+	}
+	if p.ReverseDNS(a) != sim.ReverseDNS(a) {
+		t.Error("ReverseDNS not pass-through")
+	}
+	gl, gz, gok := p.Whois(a)
+	wl, wz, wok := sim.Whois(a)
+	if gl != wl || gz != wz || gok != wok {
+		t.Error("Whois not pass-through")
+	}
+}
+
+func TestWithContextCancellation(t *testing.T) {
+	sim, a, b := ctxTestWorld()
+	ctx, cancel := context.WithCancel(context.Background())
+	p := WithContext(ctx, sim)
+	cancel()
+
+	if _, err := p.Ping(a, b, 3); err != context.Canceled {
+		t.Errorf("Ping after cancel: %v, want context.Canceled", err)
+	}
+	if _, err := p.Traceroute(a, b); err != context.Canceled {
+		t.Errorf("Traceroute after cancel: %v, want context.Canceled", err)
+	}
+	// Metadata lookups stay available — they are local and cheap.
+	if p.ReverseDNS(a) == "" {
+		t.Error("ReverseDNS blocked by cancellation")
+	}
+}
+
+// TestWithContextDelegatesToNative: a ContextProber's own context-aware
+// calls are preferred over the between-calls check.
+func TestWithContextDelegatesToNative(t *testing.T) {
+	sim, a, b := ctxTestWorld()
+	rec := &recordingCtxProber{SimProber: sim}
+	p := WithContext(context.Background(), rec)
+	if _, err := p.Ping(a, b, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Traceroute(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !rec.pingCtx || !rec.trCtx {
+		t.Errorf("native context calls unused: ping %v, traceroute %v", rec.pingCtx, rec.trCtx)
+	}
+}
+
+// TestWithContextStacks: every bound context is observed — an outer
+// application binding keeps cancelling measurements after an inner
+// per-request binding is layered on top, and vice versa.
+func TestWithContextStacks(t *testing.T) {
+	sim, a, b := ctxTestWorld()
+	appCtx, cancelApp := context.WithCancel(context.Background())
+	p := WithContext(appCtx, sim)               // application binding
+	req := WithContext(context.Background(), p) // live per-request binding
+
+	if _, err := req.Ping(a, b, 1); err != nil {
+		t.Fatalf("both contexts live: %v", err)
+	}
+	cancelApp()
+	if _, err := req.Ping(a, b, 1); err != context.Canceled {
+		t.Errorf("cancelled application context ignored through request binding: %v", err)
+	}
+
+	reqCtx, cancelReq := context.WithCancel(context.Background())
+	req2 := WithContext(reqCtx, WithContext(context.Background(), sim))
+	cancelReq()
+	if _, err := req2.Ping(a, b, 1); err != context.Canceled {
+		t.Errorf("cancelled request context ignored: %v", err)
+	}
+}

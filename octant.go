@@ -46,6 +46,24 @@
 // POST /v1/localize/batch streaming NDJSON, GET /v1/healthz, GET
 // /v1/stats), and the octant CLI's -parallel flag uses it for multi-target
 // runs.
+//
+// # Survey lifecycle
+//
+// Long-running deployments should not pin the survey they booted with:
+// the paper recomputes calibrations as network conditions change. Wrap
+// the survey in a SurveyManager and hand the manager to the engine — it
+// reprobes the landmark mesh periodically or on demand, refits only the
+// calibrations that drifted, and hot-swaps each new epoch atomically
+// under live traffic:
+//
+//	manager := octant.NewSurveyManager(prober, survey, octant.Config{},
+//		octant.SurveyManagerOptions{Interval: 15 * time.Minute})
+//	engine := octant.NewBatchEngineWithProvider(manager, octant.BatchOptions{Workers: 8})
+//	go manager.Run(ctx)
+//
+// Epoch snapshots serialize to disk (Survey.SaveSnapshotFile,
+// LoadSurveySnapshot) so a restarted daemon starts warm without
+// reprobing.
 package octant
 
 import (
@@ -57,6 +75,7 @@ import (
 	"octant/internal/core"
 	"octant/internal/eval"
 	"octant/internal/geo"
+	"octant/internal/lifecycle"
 	"octant/internal/netsim"
 	"octant/internal/probe"
 	"octant/internal/undns"
@@ -103,10 +122,31 @@ type (
 	Calibration = calib.Calibration
 )
 
+// Survey lifecycle types.
+type (
+	// SurveyManager owns the survey as a versioned resource: epoch
+	// snapshots, incremental recalibration, atomic hot-swap.
+	SurveyManager = lifecycle.Manager
+	// SurveyEpoch is one immutable survey generation plus its Localizer.
+	SurveyEpoch = lifecycle.Epoch
+	// SurveyManagerOptions tunes refresh cadence, drift tolerance, and
+	// snapshot persistence.
+	SurveyManagerOptions = lifecycle.Options
+	// RefreshReport describes one recalibration round.
+	RefreshReport = lifecycle.RefreshReport
+	// SurveyStats is the lifecycle view served by GET /v1/survey.
+	SurveyStats = lifecycle.Stats
+	// RebuildStats reports what an incremental survey rebuild recomputed.
+	RebuildStats = core.RebuildStats
+)
+
 // Measurement types.
 type (
 	// Prober is the measurement interface Octant consumes.
 	Prober = probe.Prober
+	// ContextProber is a Prober whose measurements natively observe a
+	// context (see ProberWithContext).
+	ContextProber = probe.ContextProber
 	// SimProber probes the simulated Internet.
 	SimProber = probe.SimProber
 	// TCPProber measures real RTTs via TCP handshakes.
@@ -173,9 +213,50 @@ func NewLocalizer(p Prober, s *Survey, cfg Config) *Localizer {
 	return core.NewLocalizer(p, s, cfg)
 }
 
-// NewBatchEngine wraps a Localizer in a concurrent batch engine.
+// NewBatchEngine wraps a fixed Localizer in a concurrent batch engine.
 func NewBatchEngine(l *Localizer, opts BatchOptions) *BatchEngine {
 	return batch.New(l, opts)
+}
+
+// NewBatchEngineWithProvider builds an engine that borrows the current
+// survey epoch's Localizer from p once per request — pass a
+// *SurveyManager to serve hot-swapped recalibrations with zero dropped
+// requests.
+func NewBatchEngineWithProvider(p batch.Provider, opts BatchOptions) *BatchEngine {
+	return batch.NewWithProvider(p, opts)
+}
+
+// NewSurveyManager starts a survey lifecycle around an existing survey
+// (freshly probed, or warm from LoadSurveySnapshot).
+func NewSurveyManager(p Prober, s *Survey, cfg Config, opts SurveyManagerOptions) *SurveyManager {
+	return lifecycle.New(p, s, cfg, opts)
+}
+
+// NewSurveyManagerProbed probes the full landmark mesh and starts a
+// survey lifecycle around the result.
+func NewSurveyManagerProbed(p Prober, landmarks []Landmark, sopts SurveyOpts, cfg Config, opts SurveyManagerOptions) (*SurveyManager, error) {
+	return lifecycle.NewProbed(p, landmarks, sopts, cfg, opts)
+}
+
+// RebuildSurvey derives the next epoch of a survey from refreshed RTTs,
+// refitting only dirty landmarks' calibrations (most callers use
+// SurveyManager.Refresh instead).
+func RebuildSurvey(prev *Survey, rtt [][]float64, dirty []bool, epoch uint64) (*Survey, *RebuildStats, error) {
+	return core.RebuildSurvey(prev, rtt, dirty, epoch)
+}
+
+// LoadSurveySnapshot reads a survey snapshot written by
+// Survey.SaveSnapshotFile (or the octant-serve -survey-snapshot flag),
+// ready to serve without reprobing.
+func LoadSurveySnapshot(path string) (*Survey, error) {
+	return core.LoadSnapshotFile(path)
+}
+
+// ProberWithContext binds ctx to a Prober so its measurement calls fail
+// once the context is done, using p's native ContextProber support when
+// available.
+func ProberWithContext(ctx context.Context, p Prober) Prober {
+	return probe.WithContext(ctx, p)
 }
 
 // LocalizeAll is the one-call batch convenience: localize every target
