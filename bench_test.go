@@ -362,9 +362,12 @@ func BenchmarkSurveyBuild(b *testing.B) {
 	}
 }
 
-// BenchmarkLocalize measures one end-to-end localization (50 landmarks,
-// full default pipeline) against a pre-built survey.
-func BenchmarkLocalize(b *testing.B) {
+// localizeFixture builds the single-target localization workload both
+// BenchmarkLocalize and BenchmarkLocalizeV2 measure — one shared setup,
+// so the CI parity gate (LocalizeV2=Localize) always compares the
+// identical workload.
+func localizeFixture(b *testing.B) (*core.Localizer, string) {
+	b.Helper()
 	d := sharedDeployment(b)
 	target := d.Landmarks[0]
 	idx := make([]int, 0, len(d.Landmarks)-1)
@@ -375,13 +378,55 @@ func BenchmarkLocalize(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	loc := core.NewLocalizer(d.Prober, sub, core.Config{})
+	return core.NewLocalizer(d.Prober, sub, core.Config{}), target.Addr
+}
+
+// BenchmarkLocalize measures one end-to-end localization (50 landmarks,
+// full default pipeline) against a pre-built survey, through the
+// deprecated v1 shim.
+func BenchmarkLocalize(b *testing.B) {
+	loc, target := localizeFixture(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := loc.Localize(target.Addr); err != nil {
+		if _, err := loc.Localize(target); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkLocalizeV2 measures the identical workload through the
+// context-first options entry point with default options. CI gates it
+// two ways: against its own history (like BenchmarkLocalize) and against
+// BenchmarkLocalize in the same report via octant-eval -bench-within —
+// the options plumbing must cost <2% ns/op and 0 extra allocs.
+func BenchmarkLocalizeV2(b *testing.B) {
+	loc, target := localizeFixture(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := loc.LocalizeContext(ctx, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestLocalizeV2AllocParity is the in-suite form of the bench gate: the
+// default-options v2 path must allocate exactly what the deprecated
+// Localize shim does (which itself must stay at the PR 4 envelope,
+// pinned by TestFig1AllocRegression and the CI bench gate). Steady-state
+// benchmark counts are used rather than testing.AllocsPerRun — the
+// solver's sync.Pools make single-shot counts oscillate by ±1.
+func TestLocalizeV2AllocParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state benchmark run under -short")
+	}
+	r1 := testing.Benchmark(BenchmarkLocalize)
+	r2 := testing.Benchmark(BenchmarkLocalizeV2)
+	if r2.AllocsPerOp() > r1.AllocsPerOp() {
+		t.Errorf("default-options LocalizeContext allocates %d/op, Localize %d/op — options plumbing must add 0 allocs",
+			r2.AllocsPerOp(), r1.AllocsPerOp())
 	}
 }
 

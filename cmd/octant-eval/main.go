@@ -56,6 +56,9 @@ func main() {
 		benchNew   = flag.String("bench-new", "", "candidate BENCH_<sha>.json compared against -bench-old")
 		benchNames = flag.String("bench-names", "Fig1RegionCombination,Localize", "comma-separated benchmark names gated by the comparison")
 		maxRegress = flag.Float64("max-regress", 0.20, "fail when a gated benchmark's ns/op regresses by more than this fraction")
+
+		benchReport = flag.String("bench-report", "", "single BENCH_<sha>.json report for -bench-within")
+		benchWithin = flag.String("bench-within", "", "cand=base:nsfrac[:allocs] — within -bench-report, fail unless cand's ns/op ≤ base's·(1+nsfrac) and cand adds ≤ allocs allocs/op (default 0); e.g. LocalizeV2=Localize:0.02:0")
 	)
 	flag.Parse()
 
@@ -70,6 +73,15 @@ func main() {
 			log.Fatal("-bench-old and -bench-new must be given together")
 		}
 		if err := compareBench(*benchOld, *benchNew, strings.Split(*benchNames, ","), *maxRegress); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *benchWithin != "" || *benchReport != "" {
+		if *benchWithin == "" || *benchReport == "" {
+			log.Fatal("-bench-within and -bench-report must be given together")
+		}
+		if err := compareWithin(*benchReport, *benchWithin); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -217,9 +229,74 @@ func compareBench(oldPath, newPath string, names []string, maxRegress float64) e
 	return nil
 }
 
-// loadBenchNs maps base benchmark names (GOMAXPROCS suffix stripped) to
-// their best observed ns/op in a report.
-func loadBenchNs(path string) (map[string]float64, error) {
+// compareWithin gates one benchmark against another from the SAME report:
+// spec is "cand=base:nsfrac[:allocs]". It fails when cand's best ns/op
+// exceeds base's by more than nsfrac, or when cand allocates more than
+// allocs extra allocs/op (default 0). This is how CI asserts the v2
+// options plumbing is free on the default path: LocalizeV2=Localize:0.02:0.
+func compareWithin(reportPath, spec string) error {
+	eq := strings.Index(spec, "=")
+	if eq <= 0 {
+		return fmt.Errorf("bad -bench-within %q (want cand=base:nsfrac[:allocs])", spec)
+	}
+	cand := spec[:eq]
+	rest := strings.Split(spec[eq+1:], ":")
+	if len(rest) < 2 || len(rest) > 3 {
+		return fmt.Errorf("bad -bench-within %q (want cand=base:nsfrac[:allocs])", spec)
+	}
+	base := rest[0]
+	nsFrac, err := strconv.ParseFloat(rest[1], 64)
+	if err != nil {
+		return fmt.Errorf("bad nsfrac in %q: %w", spec, err)
+	}
+	maxExtraAllocs := 0.0
+	if len(rest) == 3 {
+		if maxExtraAllocs, err = strconv.ParseFloat(rest[2], 64); err != nil {
+			return fmt.Errorf("bad allocs in %q: %w", spec, err)
+		}
+	}
+	stats, err := loadBenchStats(reportPath)
+	if err != nil {
+		return err
+	}
+	cs, ok := stats[cand]
+	if !ok {
+		return fmt.Errorf("benchmark %s missing from %s", cand, reportPath)
+	}
+	bs, ok := stats[base]
+	if !ok {
+		return fmt.Errorf("benchmark %s missing from %s", base, reportPath)
+	}
+	if !cs.hasAllocs || !bs.hasAllocs {
+		// The alloc budget is half the gate; a report missing allocs/op
+		// (benches run without -benchmem) must fail loudly, not compare
+		// against a phantom 0.
+		return fmt.Errorf("%s lacks allocs/op for %s and/or %s — run the benchmarks with -benchmem", reportPath, cand, base)
+	}
+	change := cs.ns/bs.ns - 1
+	fmt.Printf("bench-within: %s %.0f ns/op vs %s %.0f ns/op (%+.1f%%, budget %+.0f%%)\n",
+		cand, cs.ns, base, bs.ns, 100*change, 100*nsFrac)
+	fmt.Printf("bench-within: %s %.0f allocs/op vs %s %.0f allocs/op (budget +%g)\n",
+		cand, cs.allocs, base, bs.allocs, maxExtraAllocs)
+	if change > nsFrac {
+		return fmt.Errorf("%s is %.1f%% slower than %s (budget %.0f%%)", cand, 100*change, base, 100*nsFrac)
+	}
+	if cs.allocs > bs.allocs+maxExtraAllocs {
+		return fmt.Errorf("%s allocates %.0f/op, %s %.0f/op (budget +%g)", cand, cs.allocs, base, bs.allocs, maxExtraAllocs)
+	}
+	return nil
+}
+
+// benchStat is a benchmark's best observed numbers in one report.
+// hasAllocs distinguishes "0 allocs/op" from "run without -benchmem".
+type benchStat struct {
+	ns, allocs float64
+	hasAllocs  bool
+}
+
+// loadBenchStats maps base benchmark names (GOMAXPROCS suffix stripped)
+// to their best observed ns/op and allocs/op in a report.
+func loadBenchStats(path string) (map[string]benchStat, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -228,7 +305,7 @@ func loadBenchNs(path string) (map[string]float64, error) {
 	if err := json.Unmarshal(data, &report); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	out := make(map[string]float64)
+	out := make(map[string]benchStat)
 	for _, r := range report.Results {
 		ns, ok := r.Metrics["ns/op"]
 		if !ok {
@@ -240,9 +317,34 @@ func loadBenchNs(path string) (map[string]float64, error) {
 				name = name[:i]
 			}
 		}
-		if prev, ok := out[name]; !ok || ns < prev {
-			out[name] = ns
+		allocs, hasAllocs := r.Metrics["allocs/op"]
+		prev, seen := out[name]
+		if !seen {
+			out[name] = benchStat{ns: ns, allocs: allocs, hasAllocs: hasAllocs}
+			continue
 		}
+		if ns < prev.ns {
+			prev.ns = ns
+		}
+		// Min-merge allocs only across lines that actually reported them;
+		// a -benchmem-less line must not masquerade as a 0-alloc best.
+		if hasAllocs && (!prev.hasAllocs || allocs < prev.allocs) {
+			prev.allocs, prev.hasAllocs = allocs, true
+		}
+		out[name] = prev
+	}
+	return out, nil
+}
+
+// loadBenchNs maps base benchmark names to their best observed ns/op.
+func loadBenchNs(path string) (map[string]float64, error) {
+	stats, err := loadBenchStats(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(stats))
+	for name, s := range stats {
+		out[name] = s.ns
 	}
 	return out, nil
 }

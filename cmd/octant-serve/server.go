@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"octant/internal/batch"
+	"octant/internal/core"
+	"octant/internal/geo"
 	"octant/internal/lifecycle"
 )
 
@@ -39,6 +41,8 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/localize", s.handleLocalize)
 	mux.HandleFunc("/v1/localize/batch", s.handleBatch)
+	mux.HandleFunc("/v2/localize", s.handleLocalizeV2)
+	mux.HandleFunc("/v2/localize/batch", s.handleBatchV2)
 	mux.HandleFunc("/v1/survey", s.handleSurvey)
 	mux.HandleFunc("/v1/survey/refresh", s.handleRefresh)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
@@ -103,7 +107,122 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// handleLocalize serves POST /v1/localize: {"target": "..."} → one result.
+// --- v2 wire format ---
+//
+// The v2 surface maps request bodies 1:1 onto the core.LocalizeOption
+// set: every knob a library caller can turn, a wire caller can too.
+
+// wireHint is one exogenous positive prior (core.Hint) on the wire.
+type wireHint struct {
+	Lat      float64 `json:"lat"`
+	Lon      float64 `json:"lon"`
+	RadiusKm float64 `json:"radius_km,omitempty"`
+	Weight   float64 `json:"weight,omitempty"`
+	Label    string  `json:"label,omitempty"`
+}
+
+// wireOptions is the JSON form of a request's options. Zero values mean
+// "server default" throughout, so an empty object is exactly a v1
+// request.
+type wireOptions struct {
+	// Disable lists evidence sources to skip: "latency", "router",
+	// "hint", "geography".
+	Disable []string `json:"disable,omitempty"`
+	// Weights scales each named source's constraint weights (> 0).
+	Weights map[string]float64 `json:"weights,omitempty"`
+	// MinAreaKm2 overrides the §2.4 region size threshold.
+	MinAreaKm2 float64 `json:"min_area_km2,omitempty"`
+	// FineCellKm overrides the solver's fine-pass resolution.
+	FineCellKm float64 `json:"fine_cell_km,omitempty"`
+	// NegHeightPercentile overrides the negative-constraint height
+	// percentile.
+	NegHeightPercentile float64 `json:"neg_height_percentile,omitempty"`
+	// Explain attaches per-source provenance to the response.
+	Explain bool `json:"explain,omitempty"`
+	// Hints are extra positive priors for the hint source.
+	Hints []wireHint `json:"hints,omitempty"`
+}
+
+// knownSources guards source names on the wire: a typo must 400, not
+// silently no-op.
+var knownSources = map[string]bool{
+	core.SourceLatency:   true,
+	core.SourceRouter:    true,
+	core.SourceHint:      true,
+	core.SourceGeography: true,
+}
+
+// toOptions converts the wire options (nil = none) into request options.
+func (wo *wireOptions) toOptions() ([]core.LocalizeOption, error) {
+	if wo == nil {
+		return nil, nil
+	}
+	var opts []core.LocalizeOption
+	for _, name := range wo.Disable {
+		if !knownSources[name] {
+			return nil, fmt.Errorf("unknown source %q in disable (want latency|router|hint|geography)", name)
+		}
+		opts = append(opts, core.WithoutSource(name))
+	}
+	for name, scale := range wo.Weights {
+		if !knownSources[name] {
+			return nil, fmt.Errorf("unknown source %q in weights (want latency|router|hint|geography)", name)
+		}
+		if scale <= 0 {
+			return nil, fmt.Errorf("weight scale for %q must be > 0, got %v", name, scale)
+		}
+		opts = append(opts, core.WithSourceWeight(name, scale))
+	}
+	if wo.MinAreaKm2 < 0 || wo.FineCellKm < 0 {
+		return nil, fmt.Errorf("min_area_km2 and fine_cell_km must be ≥ 0")
+	}
+	if wo.MinAreaKm2 > 0 {
+		opts = append(opts, core.WithMinAreaKm2(wo.MinAreaKm2))
+	}
+	if wo.FineCellKm > 0 {
+		opts = append(opts, core.WithFineCellKm(wo.FineCellKm))
+	}
+	if wo.NegHeightPercentile != 0 {
+		if wo.NegHeightPercentile < 0 || wo.NegHeightPercentile > 100 {
+			return nil, fmt.Errorf("neg_height_percentile must be in (0, 100], got %v", wo.NegHeightPercentile)
+		}
+		opts = append(opts, core.WithNegHeightPercentile(wo.NegHeightPercentile))
+	}
+	if wo.Explain {
+		opts = append(opts, core.WithExplain())
+	}
+	for i, h := range wo.Hints {
+		loc := geo.Pt(h.Lat, h.Lon)
+		if !loc.Valid() {
+			return nil, fmt.Errorf("hint %d: invalid coordinates (%v, %v)", i, h.Lat, h.Lon)
+		}
+		if h.RadiusKm < 0 || h.Weight < 0 {
+			return nil, fmt.Errorf("hint %d: radius_km and weight must be ≥ 0", i)
+		}
+		opts = append(opts, core.WithHint(loc, h.RadiusKm, h.Weight, h.Label))
+	}
+	return opts, nil
+}
+
+// targetResultV2 extends the v1 wire result with the serving epoch and,
+// when the request asked to explain itself, the evidence provenance.
+type targetResultV2 struct {
+	targetResult
+	Epoch      uint64           `json:"epoch"`
+	Provenance *core.Provenance `json:"provenance,omitempty"`
+}
+
+func toTargetResultV2(item batch.Item) targetResultV2 {
+	tr := targetResultV2{targetResult: toTargetResult(item), Epoch: item.Epoch}
+	if item.Err == nil && item.Result.Provenance != nil {
+		tr.Provenance = item.Result.Provenance
+	}
+	return tr
+}
+
+// handleLocalize serves POST /v1/localize: {"target": "..."} → one
+// result. It is a thin adapter over the same request path as /v2 with no
+// options, kept for wire compatibility.
 func (s *server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
@@ -130,9 +249,47 @@ func (s *server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, toTargetResult(item))
 }
 
+// handleLocalizeV2 serves POST /v2/localize:
+// {"target": "...", "options": {...}} → one result with epoch and
+// optional provenance. Options map 1:1 onto core.LocalizeOption.
+func (s *server) handleLocalizeV2(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req struct {
+		Target  string       `json:"target"`
+		Options *wireOptions `json:"options"`
+	}
+	// DisallowUnknownFields: /v2 is a new surface, so a misspelled
+	// option key ("weight" for "weights") must 400 rather than silently
+	// run — and cache — the request under server defaults.
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Target == "" {
+		writeError(w, http.StatusBadRequest, "missing target")
+		return
+	}
+	opts, err := req.Options.toOptions()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad options: %v", err)
+		return
+	}
+	item := s.engine.LocalizeItem(r.Context(), req.Target, opts...)
+	if item.Err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", item.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toTargetResultV2(item))
+}
+
 // handleBatch serves POST /v1/localize/batch: {"targets": [...]} → one
 // NDJSON line per target, streamed in completion order as the worker pool
-// drains the batch.
+// drains the batch. A thin adapter over the /v2 stream with no options.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
@@ -145,22 +302,58 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	if len(req.Targets) == 0 {
+	s.streamBatch(w, r, req.Targets, nil, func(item batch.Item) any {
+		return toTargetResult(item)
+	})
+}
+
+// handleBatchV2 serves POST /v2/localize/batch:
+// {"targets": [...], "options": {...}} → NDJSON stream of v2 results.
+// The options apply to every target of the batch.
+func (s *server) handleBatchV2(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req struct {
+		Targets []string     `json:"targets"`
+		Options *wireOptions `json:"options"`
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	opts, err := req.Options.toOptions()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad options: %v", err)
+		return
+	}
+	s.streamBatch(w, r, req.Targets, opts, func(item batch.Item) any {
+		return toTargetResultV2(item)
+	})
+}
+
+// streamBatch validates the target list and streams one encoded line per
+// completed target — the shared engine of both batch endpoints.
+func (s *server) streamBatch(w http.ResponseWriter, r *http.Request, targets []string, opts []core.LocalizeOption, encode func(batch.Item) any) {
+	if len(targets) == 0 {
 		writeError(w, http.StatusBadRequest, "missing targets")
 		return
 	}
-	if len(req.Targets) > s.maxBatch {
+	if len(targets) > s.maxBatch {
 		writeError(w, http.StatusRequestEntityTooLarge,
-			"%d targets exceeds the %d per-request limit", len(req.Targets), s.maxBatch)
+			"%d targets exceeds the %d per-request limit", len(targets), s.maxBatch)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	items := s.engine.Run(r.Context(), req.Targets)
+	items := s.engine.Run(r.Context(), targets, opts...)
 	for item := range items {
-		if err := enc.Encode(toTargetResult(item)); err != nil {
+		if err := enc.Encode(encode(item)); err != nil {
 			// Client went away. The engine still owns worker goroutines
 			// blocked on this channel; drain it so they can exit (fast,
 			// because r.Context() is already cancelled).

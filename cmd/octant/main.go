@@ -6,6 +6,12 @@
 //
 //	octant -target planetlab2.cs.cornell.edu [-seed 1] [-probes 10]
 //	       [-geojson out.json] [-disable heights,negative,piecewise,whois,oceans]
+//	       [-timeout 30s] [-no-routers] [-no-geo] [-explain]
+//
+// -timeout bounds the whole localization through the context-first v2
+// API (the measurement aborts at its next probe when the deadline
+// passes); -no-routers and -no-geo disable the corresponding evidence
+// sources per request; -explain prints the per-source provenance table.
 //
 // Multiple comma-separated targets run through the concurrent batch
 // engine:
@@ -20,6 +26,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"octant/internal/batch"
 	"octant/internal/core"
@@ -31,14 +38,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("octant: ")
 	var (
-		target   = flag.String("target", "planetlab2.cs.cornell.edu", "host name of the target (one of the simulated sites)")
-		targets  = flag.String("targets", "", "comma-separated target list; overrides -target and runs the batch engine")
-		parallel = flag.Int("parallel", 4, "concurrent localizations for multi-target runs")
-		seed     = flag.Uint64("seed", 1, "world seed")
-		probes   = flag.Int("probes", 10, "ping probes per measurement")
-		geoOut   = flag.String("geojson", "", "write the estimated region as GeoJSON to this file")
-		disable  = flag.String("disable", "", "comma-separated mechanisms to disable: heights,negative,piecewise,whois,oceans")
-		list     = flag.Bool("list", false, "list available target hosts and exit")
+		target    = flag.String("target", "planetlab2.cs.cornell.edu", "host name of the target (one of the simulated sites)")
+		targets   = flag.String("targets", "", "comma-separated target list; overrides -target and runs the batch engine")
+		parallel  = flag.Int("parallel", 4, "concurrent localizations for multi-target runs")
+		seed      = flag.Uint64("seed", 1, "world seed")
+		probes    = flag.Int("probes", 10, "ping probes per measurement")
+		geoOut    = flag.String("geojson", "", "write the estimated region as GeoJSON to this file")
+		disable   = flag.String("disable", "", "comma-separated mechanisms to disable: heights,negative,piecewise,whois,oceans")
+		timeout   = flag.Duration("timeout", 0, "overall localization deadline per target, enforced through the request context (0 = none)")
+		noRouters = flag.Bool("no-routers", false, "disable the §2.3 router evidence source for this run")
+		noGeo     = flag.Bool("no-geo", false, "disable the §2.5 ocean/land mask evidence source for this run")
+		explain   = flag.Bool("explain", false, "print the per-source evidence provenance table")
+		list      = flag.Bool("list", false, "list available target hosts and exit")
 	)
 	flag.Parse()
 
@@ -72,10 +83,24 @@ func main() {
 		}
 	}
 
+	// Per-request options: source toggles and provenance ride the v2
+	// options API; the timeout rides the context.
+	var opts []core.LocalizeOption
+	if *noRouters {
+		opts = append(opts, core.WithoutSource(core.SourceRouter))
+	}
+	if *noGeo {
+		opts = append(opts, core.WithoutSource(core.SourceGeography))
+	}
+	if *explain {
+		opts = append(opts, core.WithExplain())
+	}
+	ctx := context.Background()
+
 	// Multi-target mode: hold every requested target out of the survey and
 	// fan the batch across the worker-pool engine.
 	if *targets != "" {
-		runBatch(world, prober, cfg, strings.Split(*targets, ","), *probes, *parallel)
+		runBatch(ctx, world, prober, cfg, strings.Split(*targets, ","), *probes, *parallel, *timeout, opts)
 		return
 	}
 
@@ -97,7 +122,15 @@ func main() {
 		log.Fatal(err)
 	}
 	loc := core.NewLocalizer(prober, survey, cfg)
-	res, err := loc.Localize(*target)
+	if *timeout > 0 {
+		// The deadline governs the whole request through the ctx-first
+		// API — measurement, routers, and solve — rather than relying on
+		// any prober-level socket deadline.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := loc.LocalizeContext(ctx, *target, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -114,6 +147,15 @@ func main() {
 	fmt.Printf("target height   %.2f ms (true access delay %.2f ms)\n",
 		res.TargetHeightMs, world.AccessHeight(truth.ID))
 	fmt.Printf("constraints     %d\n", len(res.Constraints))
+	if res.Provenance != nil {
+		fmt.Printf("\nevidence provenance (%d constraints solved in %.2f ms):\n",
+			res.Provenance.TotalConstraints, res.Provenance.SolveMs)
+		fmt.Printf("  %-12s %11s %8s %14s %9s  %s\n", "source", "constraints", "weight", "area km²", "ms", "note")
+		for _, rep := range res.Provenance.Sources {
+			fmt.Printf("  %-12s %11d %8.3f %14.0f %9.2f  %s\n",
+				rep.Source, rep.Constraints, rep.Weight, rep.AreaKm2, rep.ElapsedMs, rep.Skipped)
+		}
+	}
 
 	if *geoOut != "" {
 		props := map[string]any{
@@ -134,8 +176,10 @@ func main() {
 // runBatch localizes several targets concurrently: the targets are held
 // out of the survey, the remaining hosts become landmarks, and the batch
 // engine fans the work across -parallel workers. One line per target, in
-// submission order, with per-target errors inline.
-func runBatch(world *netsim.World, prober probe.Prober, cfg core.Config, targetList []string, probes, parallel int) {
+// submission order, with per-target errors inline. opts apply to every
+// target and timeout bounds each one through the engine's per-target
+// context.
+func runBatch(ctx context.Context, world *netsim.World, prober probe.Prober, cfg core.Config, targetList []string, probes, parallel int, timeout time.Duration, opts []core.LocalizeOption) {
 	want := make(map[string]bool, len(targetList))
 	targets := targetList[:0]
 	for _, t := range targetList {
@@ -167,8 +211,9 @@ func runBatch(world *netsim.World, prober probe.Prober, cfg core.Config, targetL
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng := batch.New(core.NewLocalizer(prober, survey, cfg), batch.Options{Workers: parallel})
-	results, errs := eng.Collect(context.Background(), targets)
+	eng := batch.New(core.NewLocalizer(prober, survey, cfg),
+		batch.Options{Workers: parallel, TargetTimeout: timeout})
+	results, errs := eng.Collect(ctx, targets, opts...)
 	for i, t := range targets {
 		if errs[i] != nil {
 			fmt.Printf("%-40s ERROR %v\n", t, errs[i])
@@ -177,6 +222,12 @@ func runBatch(world *netsim.World, prober probe.Prober, cfg core.Config, targetL
 		res, truth := results[i], truthByName[t]
 		fmt.Printf("%-40s %s  err %6.1f mi  area %8.0f km²  contains %v\n",
 			t, res.Point, res.Point.DistanceMiles(truth.Loc), res.AreaKm2, res.ContainsTruth(truth.Loc))
+		if res.Provenance != nil {
+			for _, rep := range res.Provenance.Sources {
+				fmt.Printf("    %-12s %3d constraints  w %7.3f  area %12.0f km²  %s\n",
+					rep.Source, rep.Constraints, rep.Weight, rep.AreaKm2, rep.Skipped)
+			}
+		}
 	}
 	s := eng.Stats()
 	fmt.Printf("\n%d targets, %d workers, %d landmarks, p50 %.0f ms, p99 %.0f ms\n",

@@ -29,7 +29,7 @@ func Example() {
 		panic(err)
 	}
 	loc := octant.NewLocalizer(prober, survey, octant.Config{})
-	res, err := loc.Localize(target.Name)
+	res, err := loc.LocalizeContext(context.Background(), target.Name)
 	if err != nil {
 		panic(err)
 	}
@@ -40,6 +40,67 @@ func Example() {
 	// landmarks: 50
 	// region is non-empty: true
 	// error under 350 miles: true
+}
+
+// registrySource is a custom EvidenceSource: an internal asset registry
+// that knows roughly where some hosts are racked. Sources observe the
+// request's measurement state (RTTs, heights, the shared projection) and
+// return weighted constraints; the pipeline handles weighting options
+// and provenance.
+type registrySource struct {
+	db map[string]octant.Point
+}
+
+func (r registrySource) Name() string { return "registry" }
+
+func (r registrySource) Constraints(_ context.Context, req *octant.EvidenceRequest) ([]octant.Constraint, octant.SourceReport, error) {
+	rep := octant.SourceReport{Source: "registry"}
+	loc, ok := r.db[req.Target]
+	if !ok {
+		rep.Skipped = "no registry record"
+		return nil, rep, nil
+	}
+	c := octant.PositiveDisk(req.PCtx.Proj, loc, 80, 0.7, "registry:"+req.Target)
+	return []octant.Constraint{c}, rep, nil
+}
+
+// ExampleEvidenceSource plugs a custom evidence source into one request:
+// the registry's positive prior joins the latency, router, and WHOIS
+// constraints in the same weighted system, and WithExplain shows it in
+// the provenance.
+func ExampleEvidenceSource() {
+	world := octant.NewWorld(octant.WorldConfig{Seed: 1})
+	prober := octant.NewSimProber(world)
+	hosts := world.HostNodes()
+
+	target := hosts[0]
+	var landmarks []octant.Landmark
+	for _, h := range hosts[1:] {
+		landmarks = append(landmarks, octant.Landmark{Addr: h.Name, Name: h.Inst, Loc: h.Loc})
+	}
+	survey, err := octant.NewSurvey(prober, landmarks, octant.SurveyOpts{UseHeights: true})
+	if err != nil {
+		panic(err)
+	}
+	loc := octant.NewLocalizer(prober, survey, octant.Config{})
+
+	registry := registrySource{db: map[string]octant.Point{target.Name: target.Loc}}
+	res, err := loc.LocalizeContext(context.Background(), target.Name,
+		octant.WithEvidenceSource(registry),
+		octant.WithExplain(),
+	)
+	if err != nil {
+		panic(err)
+	}
+	for _, rep := range res.Provenance.Sources {
+		if rep.Source == "registry" {
+			fmt.Printf("registry contributed %d constraint(s)\n", rep.Constraints)
+		}
+	}
+	fmt.Printf("error under 200 miles: %v\n", res.Point.DistanceMiles(target.Loc) < 200)
+	// Output:
+	// registry contributed 1 constraint(s)
+	// error under 200 miles: true
 }
 
 // ExampleBatchEngine localizes several targets concurrently through the

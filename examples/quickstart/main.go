@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,8 +39,10 @@ func main() {
 
 	// Localize with the paper's default mechanisms: weighted positive and
 	// negative constraints, piecewise router localization, WHOIS, oceans.
+	// LocalizeContext is the request-scoped v2 entry point — pass
+	// octant.LocalizeOption values here to tune a single request.
 	loc := octant.NewLocalizer(prober, survey, octant.Config{})
-	res, err := loc.Localize(target.Name)
+	res, err := loc.LocalizeContext(context.Background(), target.Name)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -23,6 +23,13 @@
 // swap implicitly invalidates stale cached results instead of serving
 // them from the superseded calibration.
 //
+// Requests may carry per-request core.LocalizeOption values (the v2
+// request API): options are resolved once per call, and both the LRU and
+// the singleflight keys are additionally qualified by the options
+// fingerprint, so the same target tuned two ways never shares a result,
+// while identical tunings still hit and coalesce. Options that cannot be
+// fingerprinted (custom evidence sources) bypass sharing entirely.
+//
 // Workers also share the Localizer's per-survey state through their
 // shallow Localizer copies: the projection context (survey-centroid
 // frame, per-landmark tangent frames, land outlines projected once per
@@ -47,7 +54,6 @@ import (
 	"time"
 
 	"octant/internal/core"
-	"octant/internal/probe"
 )
 
 // Options configures an Engine. The zero value is usable: 4 workers,
@@ -140,16 +146,19 @@ type Item struct {
 }
 
 // Localize runs (or serves from cache) a single localization. Concurrent
-// calls for the same target are coalesced onto one measurement.
-func (e *Engine) Localize(ctx context.Context, target string) (*core.Result, error) {
-	item := e.localize(ctx, target, 0)
+// calls for the same target and options are coalesced onto one
+// measurement; requests for the same target under different options never
+// share cache entries or measurements (keys carry the options
+// fingerprint).
+func (e *Engine) Localize(ctx context.Context, target string, opts ...core.LocalizeOption) (*core.Result, error) {
+	item := e.localize(ctx, target, 0, resolveOpts(opts))
 	return item.Result, item.Err
 }
 
 // LocalizeItem is Localize with the full item metadata (cache status,
 // elapsed time) that serving front ends report per response.
-func (e *Engine) LocalizeItem(ctx context.Context, target string) Item {
-	return e.localize(ctx, target, 0)
+func (e *Engine) LocalizeItem(ctx context.Context, target string, opts ...core.LocalizeOption) Item {
+	return e.localize(ctx, target, 0, resolveOpts(opts))
 }
 
 // Run streams localizations of targets over the returned channel, using
@@ -157,7 +166,10 @@ func (e *Engine) LocalizeItem(ctx context.Context, target string) Item {
 // Item.Index to restore submission order) and the channel closes after the
 // last one. Cancelling ctx stops the batch early: in-flight targets abort
 // at their next probe and queued ones are reported with ctx's error.
-func (e *Engine) Run(ctx context.Context, targets []string) <-chan Item {
+// opts apply to every target of the batch; they are resolved and
+// fingerprinted once here, not per target.
+func (e *Engine) Run(ctx context.Context, targets []string, opts ...core.LocalizeOption) <-chan Item {
+	ro := resolveOpts(opts)
 	out := make(chan Item, e.opts.Workers)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -166,7 +178,7 @@ func (e *Engine) Run(ctx context.Context, targets []string) <-chan Item {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out <- e.localize(ctx, targets[i], i)
+				out <- e.localize(ctx, targets[i], i, ro)
 			}
 		}()
 	}
@@ -194,15 +206,37 @@ func (e *Engine) Run(ctx context.Context, targets []string) <-chan Item {
 
 // Collect runs a batch and returns results in submission order. The error
 // slice is parallel to targets; results[i] is nil exactly when errs[i] is
-// non-nil.
-func (e *Engine) Collect(ctx context.Context, targets []string) (results []*core.Result, errs []error) {
+// non-nil. opts apply to every target.
+func (e *Engine) Collect(ctx context.Context, targets []string, opts ...core.LocalizeOption) (results []*core.Result, errs []error) {
 	results = make([]*core.Result, len(targets))
 	errs = make([]error, len(targets))
-	for item := range e.Run(ctx, targets) {
+	for item := range e.Run(ctx, targets, opts...) {
 		results[item.Index] = item.Result
 		errs[item.Index] = item.Err
 	}
 	return results, errs
+}
+
+// resolved carries a request's pre-resolved options plus the derived
+// cache-key material, computed once per Localize/Run call.
+type resolved struct {
+	opts *core.LocalizeOptions // nil = defaults
+	// fp is the options fingerprint ("" for defaults).
+	fp string
+	// cacheable is false when the options cannot be fingerprinted by
+	// content (custom evidence sources); such requests bypass the LRU
+	// and the flight group entirely.
+	cacheable bool
+}
+
+// resolveOpts resolves functional options once. The zero-option path
+// stays allocation-free.
+func resolveOpts(opts []core.LocalizeOption) resolved {
+	if len(opts) == 0 {
+		return resolved{cacheable: true}
+	}
+	o := core.NewLocalizeOptions(opts...)
+	return resolved{opts: &o, fp: o.Fingerprint(), cacheable: o.Cacheable()}
 }
 
 // localize is the single-target path shared by Localize and Run workers.
@@ -210,7 +244,7 @@ func (e *Engine) Collect(ctx context.Context, targets []string) (results []*core
 // one snapshot for the cache lookup, the coalescing key, and the
 // measurement — the request is epoch-consistent end to end even if a
 // swap lands mid-flight.
-func (e *Engine) localize(ctx context.Context, target string, idx int) Item {
+func (e *Engine) localize(ctx context.Context, target string, idx int, ro resolved) Item {
 	start := time.Now()
 	e.metrics.begin()
 	defer e.metrics.end()
@@ -222,8 +256,35 @@ func (e *Engine) localize(ctx context.Context, target string, idx int) Item {
 		item.Err = err
 		return item
 	}
+
+	// Options-fingerprinted keying: requests tuned differently must
+	// never share a cache entry or coalesce onto one measurement, while
+	// identical tunings keep the full hit/coalesce behaviour. The
+	// default-options key is the bare target, so v1 traffic keys exactly
+	// as before.
+	key := target
+	if ro.fp != "" {
+		key = target + "\x1f" + ro.fp
+	}
+
+	if !ro.cacheable {
+		// Un-fingerprintable options (custom evidence sources): measure
+		// directly, sharing nothing.
+		e.metrics.miss()
+		res, err := e.measure(ctx, loc, target, ro.opts)
+		if err != nil {
+			e.metrics.fail()
+			item.Err = err
+			return item
+		}
+		item.Result = res
+		item.Elapsed = time.Since(start)
+		e.metrics.observe(item.Elapsed)
+		return item
+	}
+
 	if e.cache != nil {
-		if res, ok := e.cache.get(target, epoch); ok {
+		if res, ok := e.cache.get(key, epoch); ok {
 			e.metrics.hit()
 			item.Result, item.Cached, item.Elapsed = res, true, time.Since(start)
 			return item
@@ -231,12 +292,13 @@ func (e *Engine) localize(ctx context.Context, target string, idx int) Item {
 	}
 	e.metrics.miss()
 
-	// Epoch-qualified coalescing: concurrent requests for one target
-	// coalesce only within an epoch, so a follower never receives a
-	// result computed on a snapshot it did not borrow.
-	key := strconv.FormatUint(epoch, 36) + "\x00" + target
-	res, err, shared := e.flight.do(ctx, key, func() (*core.Result, error) {
-		return e.measure(ctx, loc, target)
+	// Epoch-qualified coalescing: concurrent requests for one (target,
+	// options) pair coalesce only within an epoch, so a follower never
+	// receives a result computed on a snapshot — or under options — it
+	// did not ask for.
+	flightKey := strconv.FormatUint(epoch, 36) + "\x00" + key
+	res, err, shared := e.flight.do(ctx, flightKey, func() (*core.Result, error) {
+		return e.measure(ctx, loc, target, ro.opts)
 	})
 	if shared {
 		e.metrics.coalesce()
@@ -247,7 +309,7 @@ func (e *Engine) localize(ctx context.Context, target string, idx int) Item {
 		return item
 	}
 	if e.cache != nil && !shared {
-		e.cache.put(target, epoch, res)
+		e.cache.put(key, epoch, res)
 	}
 	item.Result = res
 	item.Elapsed = time.Since(start)
@@ -256,19 +318,17 @@ func (e *Engine) localize(ctx context.Context, target string, idx int) Item {
 }
 
 // measure runs one uncached localization on the borrowed epoch snapshot
-// under the per-target deadline.
-func (e *Engine) measure(ctx context.Context, loc *core.Localizer, target string) (*core.Result, error) {
+// under the per-target deadline. Context binding happens inside the
+// core request path now: LocalizeWith attaches ctx to the prober, so a
+// cancelled target stops at its next measurement call instead of
+// probing all remaining landmarks.
+func (e *Engine) measure(ctx context.Context, loc *core.Localizer, target string, o *core.LocalizeOptions) (*core.Result, error) {
 	if e.opts.TargetTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.opts.TargetTimeout)
 		defer cancel()
 	}
-	// Shallow-copy the Localizer and bind the request context to its
-	// prober: a cancelled target then stops at its next measurement call
-	// instead of probing all remaining landmarks.
-	cp := *loc
-	cp.Prober = probe.WithContext(ctx, loc.Prober)
-	res, err := cp.Localize(target)
+	res, err := loc.LocalizeWith(ctx, target, o)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, fmt.Errorf("batch: %s: %w", target, cerr)

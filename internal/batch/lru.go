@@ -9,8 +9,10 @@ import (
 )
 
 // lruCache is a mutex-guarded LRU of localization results keyed by target
-// address, with optional entry TTL. Results are cached by pointer — they
-// are never mutated after Localize returns, so sharing is safe.
+// address (plus the request's options fingerprint when one is set — the
+// engine composes the key), with optional entry TTL. Results are cached
+// by pointer — they are never mutated after Localize returns, so sharing
+// is safe.
 //
 // Each entry remembers the survey epoch it was computed under. A lookup
 // for a different epoch is a miss that also evicts the stale entry: after

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"octant/internal/geo"
+	"octant/internal/height"
+	"octant/internal/probe"
+	"octant/internal/stats"
+	"octant/internal/undns"
+)
+
+// Built-in evidence source names, usable with WithoutSource and
+// WithSourceWeight.
+const (
+	// SourceLatency is the §2.1–2.2 landmark RTT evidence: one positive
+	// disk (R(d)) and, when informative, one negative disk (r(d)) per
+	// landmark, height-adjusted.
+	SourceLatency = "latency"
+	// SourceRouter is the §2.3 piecewise router evidence from
+	// traceroutes out of the lowest-latency landmarks.
+	SourceRouter = "router"
+	// SourceHint is the §2.5 exogenous positive evidence: the WHOIS
+	// registration record plus any caller-supplied Hints.
+	SourceHint = "hint"
+	// SourceGeography is the §2.5 ocean/uninhabitable negative evidence,
+	// applied as the solver's hard land mask.
+	SourceGeography = "geography"
+)
+
+// Request is the per-request state threaded through the evidence
+// pipeline. Sources read the immutable survey context (Survey, PCtx,
+// Cfg, Opts) and communicate through the measurement fields: the
+// LatencySource fills RTTs/AdjPos/AdjNeg/TargetHeightMs for everything
+// downstream, and the GeographySource sets Land for the solver.
+//
+// A Request lives for exactly one localization and is not retained by
+// the pipeline afterwards; custom sources must not keep references to it.
+type Request struct {
+	// Target is the address being localized.
+	Target string
+	// Cfg is the Localizer's Config with defaults filled and any
+	// per-request overrides (e.g. WithNegHeightPercentile) applied.
+	Cfg Config
+	// Opts are the request's resolved options.
+	Opts LocalizeOptions
+	// Survey is the (immutable) calibrated landmark survey.
+	Survey *Survey
+	// PCtx is the survey's shared projection context.
+	PCtx *ProjectionContext
+	// Prober issues this request's measurements. When the request
+	// context can be cancelled it is the context-bound prober, so
+	// sources need no ctx plumbing of their own for measurement calls.
+	Prober probe.Prober
+	// Resolver maps router DNS names to locations for the RouterSource.
+	Resolver *undns.Resolver
+
+	// RTTs is the min-filtered RTT from each survey landmark, in
+	// landmark order. Filled by the LatencySource.
+	RTTs []float64
+	// AdjPos and AdjNeg are the height-adjusted RTT vectors for
+	// positive and negative constraints (§2.2's conservative asymmetry).
+	AdjPos, AdjNeg []float64
+	// TargetHeightMs is the solved target height (0 when heights are
+	// disabled or the solve failed).
+	TargetHeightMs float64
+
+	// Land is the solver's hard geographic mask (nil = no mask). Set by
+	// the GeographySource from the projection context.
+	Land []*geo.Region
+}
+
+// SourceReport is one evidence source's provenance entry. Sources fill
+// Source and (when they decline to run) Skipped; the pipeline fills the
+// quantitative fields when the request asked for provenance.
+type SourceReport struct {
+	// Source is the source's Name().
+	Source string `json:"source"`
+	// Constraints is how many constraints the source contributed.
+	Constraints int `json:"constraints"`
+	// Weight is the total weight of the contributed constraints (after
+	// scaling).
+	Weight float64 `json:"weight"`
+	// AreaKm2 is the summed area of the source's positive constraint
+	// regions — its gross area contribution before combination.
+	AreaKm2 float64 `json:"area_km2"`
+	// WeightScale is the per-request scale applied to the source's
+	// weights (1 when untuned).
+	WeightScale float64 `json:"weight_scale,omitempty"`
+	// ElapsedMs is the source's wall time, measurements included.
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// Skipped is the reason the source contributed nothing ("" if it ran).
+	Skipped string `json:"skipped,omitempty"`
+}
+
+// Provenance explains how a localization was assembled; requested with
+// WithExplain and returned in Result.Provenance.
+type Provenance struct {
+	// Sources reports every pipeline stage in execution order.
+	Sources []SourceReport `json:"sources"`
+	// ExtraConstraints counts caller-supplied constraints
+	// (WithConstraints).
+	ExtraConstraints int `json:"extra_constraints,omitempty"`
+	// TotalConstraints is the size of the solved constraint system.
+	TotalConstraints int `json:"total_constraints"`
+	// SolveMs is the §2.4 solver's wall time.
+	SolveMs float64 `json:"solve_ms"`
+}
+
+// EvidenceSource is one stage of the localization pipeline: it converts
+// the request's state into weighted constraints (§2.4 treats every
+// information class — latency, routers, geography, exogenous hints — as
+// constraints in one system, each weighted by confidence).
+//
+// Implementations must be safe for concurrent use across requests: the
+// built-ins are stateless, and custom sources should keep per-request
+// state on the Request, not on themselves. A source may also communicate
+// with later stages by setting Request fields (the LatencySource fills
+// the RTT vectors this way; the GeographySource sets the land mask).
+type EvidenceSource interface {
+	// Name identifies the source for options (WithoutSource,
+	// WithSourceWeight) and provenance.
+	Name() string
+	// Constraints contributes the source's evidence for the request.
+	// The returned report carries at least the source name; the
+	// pipeline fills the quantitative provenance fields. Returning an
+	// error aborts the localization.
+	Constraints(ctx context.Context, req *Request) ([]Constraint, SourceReport, error)
+}
+
+// defaultSources is the paper's pipeline, in evidence order. The
+// GeographySource runs last but contributes no constraints (it sets the
+// solver mask), so constraint order matches the original monolithic
+// Localize exactly: latency, router, hint.
+var defaultSources = [...]EvidenceSource{
+	LatencySource{}, RouterSource{}, HintSource{}, GeographySource{},
+}
+
+// DefaultSources returns the built-in evidence pipeline in execution
+// order: LatencySource, RouterSource, HintSource, GeographySource.
+func DefaultSources() []EvidenceSource {
+	out := make([]EvidenceSource, len(defaultSources))
+	copy(out, defaultSources[:])
+	return out
+}
+
+// LatencySource measures the target from every survey landmark and
+// converts each RTT into the §2.1 positive/negative disk pair,
+// height-adjusted per §2.2. It always measures — even when disabled by
+// options — because every downstream source (router ranking, height
+// deflation) consumes its RTT vector; disabling it only suppresses the
+// constraints.
+type LatencySource struct{}
+
+// Name implements EvidenceSource.
+func (LatencySource) Name() string { return SourceLatency }
+
+// Constraints implements EvidenceSource.
+func (LatencySource) Constraints(ctx context.Context, req *Request) ([]Constraint, SourceReport, error) {
+	rep := SourceReport{Source: SourceLatency}
+	s := req.Survey
+	cfg := &req.Cfg
+	n := s.N()
+
+	// One backing array for the three RTT vectors: they are always
+	// allocated together and the result retains only RTTs (the capped
+	// sub-slices keep appends from aliasing).
+	buf := make([]float64, 3*n)
+	rtts := buf[:n:n]
+	adjPos := buf[n : 2*n : 2*n]
+	adjNeg := buf[2*n:]
+
+	// 1. Measure the target from every landmark.
+	for i, lm := range s.Landmarks {
+		if lm.Addr == req.Target {
+			return nil, rep, fmt.Errorf("core: target %s is landmark %s; exclude it from the survey first", req.Target, lm.Name)
+		}
+		samples, err := req.Prober.Ping(lm.Addr, req.Target, cfg.Probes)
+		if err != nil {
+			return nil, rep, fmt.Errorf("core: ping %s→%s: %w", lm.Name, req.Target, err)
+		}
+		min, err := probe.MinRTT(samples)
+		if err != nil {
+			return nil, rep, err
+		}
+		rtts[i] = min
+	}
+	req.RTTs = rtts
+
+	// 2. Target height (§2.2): solve the coarse position, then estimate
+	// the target's inelastic component from the excess-latency
+	// distribution. Two estimates with different conservatism: positive
+	// constraints deflate by a LOW height estimate (keeping R(d) safely
+	// large), negative constraints by a HIGH one (keeping r(d) safely
+	// small). An erroneous deflation then loosens, never breaks, the
+	// constraint.
+	copy(adjPos, rtts)
+	copy(adjNeg, rtts)
+	if !cfg.DisableHeights {
+		locs := make([]geo.Point, n)
+		for i, lm := range s.Landmarks {
+			locs[i] = lm.Loc
+		}
+		hres, err := height.SolveTargetK(locs, s.Heights, rtts, s.Kappa)
+		if err == nil {
+			excess := make([]float64, n)
+			for i, lm := range s.Landmarks {
+				excess[i] = rtts[i] - s.Heights[i] -
+					s.Kappa*geo.DistanceToMinLatencyMs(lm.Loc.DistanceKm(hres.Coarse))
+			}
+			req.TargetHeightMs = hres.HeightMs
+			tNeg := math.Max(req.TargetHeightMs, stats.Percentile(excess, cfg.NegHeightPercentile))
+			for i := range rtts {
+				adjPos[i] = height.AdjustRTT(rtts[i], s.Heights[i], req.TargetHeightMs)
+				adjNeg[i] = height.AdjustRTT(rtts[i], s.Heights[i], tNeg)
+			}
+		}
+	}
+	req.AdjPos, req.AdjNeg = adjPos, adjNeg
+
+	if req.Opts.sourceOff(SourceLatency) {
+		rep.Skipped = "disabled by request (measurements retained)"
+		return nil, rep, nil
+	}
+
+	// 3. Latency constraints from every landmark (§2.1).
+	var out []Constraint
+	cf := req.PCtx.Center
+	for i, lm := range s.Landmarks {
+		rawMax := s.Calibs[i].MaxDistanceKm(adjPos[i])
+		rawMin := s.Calibs[i].MinDistanceKm(adjNeg[i])
+		maxKm := rawMax*(1+cfg.PadFrac) + cfg.PadKm
+		minKm := rawMin*cfg.NegativeShrink*(1-cfg.PadFrac) - cfg.PadKm
+		w := LatencyWeight(rtts[i], cfg.WeightHalfLifeMs)
+		if cfg.Unweighted {
+			w = 1
+		}
+		if maxKm <= 0 {
+			continue
+		}
+		lf := req.PCtx.LandmarkFrames[i]
+		out = append(out, diskConstraint(Positive, cf, lf, maxKm, w, lm.Name))
+		if !cfg.DisableNegative && minKm > 0 && minKm < maxKm {
+			wn := w * cfg.NegativeWeightFactor
+			if cfg.Unweighted {
+				wn = 1
+			}
+			out = append(out, diskConstraint(Negative, cf, lf, minKm, wn, lm.Name+"/neg"))
+		}
+	}
+	return out, rep, nil
+}
+
+// RouterSource issues traceroutes from the lowest-latency landmarks and
+// converts undns-localized routers on the paths into extra positive
+// constraints (§2.3). It requires the LatencySource's RTT vector for
+// landmark ranking and height deflation.
+type RouterSource struct{}
+
+// Name implements EvidenceSource.
+func (RouterSource) Name() string { return SourceRouter }
+
+// Constraints implements EvidenceSource.
+func (RouterSource) Constraints(ctx context.Context, req *Request) ([]Constraint, SourceReport, error) {
+	rep := SourceReport{Source: SourceRouter}
+	if req.Cfg.DisablePiecewise {
+		rep.Skipped = "disabled by config"
+		return nil, rep, nil
+	}
+	if len(req.RTTs) == 0 {
+		rep.Skipped = "no latency measurements"
+		return nil, rep, nil
+	}
+	return routerConstraints(req), rep, nil
+}
+
+// HintSource contributes exogenous positive priors: the §2.5 WHOIS
+// registration record and any caller-supplied Hints (registry-style
+// regions from HLOC-like pipelines).
+type HintSource struct{}
+
+// Name implements EvidenceSource.
+func (HintSource) Name() string { return SourceHint }
+
+// Constraints implements EvidenceSource.
+func (HintSource) Constraints(ctx context.Context, req *Request) ([]Constraint, SourceReport, error) {
+	rep := SourceReport{Source: SourceHint}
+	cfg := &req.Cfg
+	cf := req.PCtx.Center
+	var out []Constraint
+	if !cfg.DisableWhois {
+		if loc, _, ok := req.Prober.Whois(req.Target); ok && loc.Valid() {
+			out = append(out,
+				diskConstraint(Positive, cf, geo.NewFrame(loc), cfg.WhoisRadiusKm, cfg.WhoisWeight, "whois"))
+		}
+	}
+	for _, h := range req.Opts.Hints {
+		radius, weight, label := h.RadiusKm, h.Weight, h.Label
+		if radius <= 0 {
+			radius = cfg.WhoisRadiusKm
+		}
+		if weight <= 0 {
+			weight = cfg.WhoisWeight
+		}
+		if label == "" {
+			label = "hint"
+		}
+		out = append(out, diskConstraint(Positive, cf, geo.NewFrame(h.Loc), radius, weight, label))
+	}
+	if len(out) == 0 && rep.Skipped == "" {
+		if cfg.DisableWhois {
+			rep.Skipped = "whois disabled by config, no hints supplied"
+		} else {
+			rep.Skipped = "no whois record, no hints supplied"
+		}
+	}
+	return out, rep, nil
+}
+
+// GeographySource applies the §2.5 geographic negative information: it
+// restricts solutions to the survey's projected landmass outlines by
+// setting the solver's hard mask. It contributes no weighted
+// constraints of its own.
+type GeographySource struct{}
+
+// Name implements EvidenceSource.
+func (GeographySource) Name() string { return SourceGeography }
+
+// Constraints implements EvidenceSource.
+func (GeographySource) Constraints(ctx context.Context, req *Request) ([]Constraint, SourceReport, error) {
+	rep := SourceReport{Source: SourceGeography}
+	if req.Cfg.DisableOceans {
+		rep.Skipped = "disabled by config"
+		return nil, rep, nil
+	}
+	req.Land = req.PCtx.Land
+	return nil, rep, nil
+}

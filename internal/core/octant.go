@@ -1,14 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"octant/internal/geo"
-	"octant/internal/height"
 	"octant/internal/probe"
-	"octant/internal/stats"
 	"octant/internal/undns"
 )
 
@@ -221,6 +221,10 @@ type Result struct {
 	Constraints []Constraint
 	// Weight is the captured constraint weight of the solution.
 	Weight float64
+	// Provenance explains how the evidence pipeline assembled this
+	// result (per-source constraint counts, weights, area contributions,
+	// timings). Nil unless the request asked for it with WithExplain.
+	Provenance *Provenance
 }
 
 // ContainsTruth reports whether the true location falls inside the
@@ -232,116 +236,125 @@ func (r *Result) ContainsTruth(truth geo.Point) bool {
 	return r.Region.Contains(r.Projection.Forward(truth))
 }
 
-// Localize estimates the position of targetAddr.
+// Localize estimates the position of targetAddr with the Localizer's
+// configured defaults.
+//
+// Deprecated: Localize is the v1 entry point, kept as a shim. Use
+// LocalizeContext, which threads a context through every measurement
+// and accepts per-request options; with no options it is bit-identical
+// to this method.
 func (l *Localizer) Localize(targetAddr string) (*Result, error) {
+	return l.LocalizeWith(context.Background(), targetAddr, nil)
+}
+
+// LocalizeContext estimates the position of target. ctx bounds every
+// measurement the request issues (cancellation is observed at each
+// probe call, mid-measurement for probers implementing
+// probe.ContextProber), and opts tune this request without touching the
+// shared Localizer: evidence sources can be disabled or down-weighted,
+// solver thresholds overridden, exogenous hints and caller constraints
+// added, a secondary landmark folded in, and provenance requested. With
+// no options the result is bit-identical to the deprecated Localize.
+func (l *Localizer) LocalizeContext(ctx context.Context, target string, opts ...LocalizeOption) (*Result, error) {
+	if len(opts) == 0 {
+		return l.LocalizeWith(ctx, target, nil)
+	}
+	o := NewLocalizeOptions(opts...)
+	return l.LocalizeWith(ctx, target, &o)
+}
+
+// LocalizeWith is LocalizeContext over pre-resolved options: callers
+// dispatching many requests under one tuning (the batch engine) resolve
+// and fingerprint the options once and reuse them. A nil o means
+// defaults.
+func (l *Localizer) LocalizeWith(ctx context.Context, target string, o *LocalizeOptions) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg := l.Cfg
 	cfg.fillDefaults()
+	if o != nil && o.NegHeightPercentile > 0 {
+		cfg.NegHeightPercentile = o.NegHeightPercentile
+	}
 	s := l.Survey
 	if s == nil || s.N() < 3 {
 		return nil, fmt.Errorf("core: localizer needs a survey with ≥ 3 landmarks")
 	}
-	pctx := l.projContext()
-	pr := pctx.Proj
-	cf := pctx.Center
+	req := &Request{
+		Target:   target,
+		Cfg:      cfg,
+		Survey:   s,
+		PCtx:     l.projContext(),
+		Prober:   l.Prober,
+		Resolver: l.Resolver,
+	}
+	if o != nil {
+		req.Opts = *o
+	}
+	if ctx.Done() != nil {
+		// Bind the request context to the prober once; every source's
+		// measurement call then observes cancellation without per-call
+		// plumbing. A background context binds nothing, keeping the
+		// default path allocation-identical to v1.
+		req.Prober = probe.WithContext(ctx, l.Prober)
+	}
+	explain := req.Opts.Explain
+	var prov *Provenance
+	if explain {
+		prov = &Provenance{}
+	}
 
-	// 1. Measure the target from every landmark.
-	rtts := make([]float64, s.N())
-	for i, lm := range s.Landmarks {
-		if lm.Addr == targetAddr {
-			return nil, fmt.Errorf("core: target %s is landmark %s; exclude it from the survey first", targetAddr, lm.Name)
+	// Evidence pipeline: each source contributes weighted constraints
+	// in a fixed order (latency, router, hint, geography, then any
+	// request-scoped extra sources).
+	var constraints []Constraint
+	for _, src := range defaultSources {
+		if name := src.Name(); name != SourceLatency && req.Opts.sourceOff(name) {
+			// The LatencySource handles its own disable internally: it
+			// must still measure for downstream sources.
+			if explain {
+				prov.Sources = append(prov.Sources, SourceReport{Source: name, Skipped: "disabled by request"})
+			}
+			continue
 		}
-		samples, err := l.Prober.Ping(lm.Addr, targetAddr, cfg.Probes)
-		if err != nil {
-			return nil, fmt.Errorf("core: ping %s→%s: %w", lm.Name, targetAddr, err)
-		}
-		min, err := probe.MinRTT(samples)
+		cs, rep, err := runSource(ctx, src, req, explain)
 		if err != nil {
 			return nil, err
 		}
-		rtts[i] = min
-	}
-
-	// 2. Target height (§2.2): solve the coarse position, then estimate
-	// the target's inelastic component from the excess-latency
-	// distribution. Two estimates with different conservatism:
-	// positive constraints deflate by a LOW height estimate (keeping
-	// R(d) safely large), negative constraints by a HIGH one (keeping
-	// r(d) safely small). An erroneous deflation then loosens, never
-	// breaks, the constraint.
-	var tHeight float64
-	adjPos := append([]float64(nil), rtts...)
-	adjNeg := append([]float64(nil), rtts...)
-	if !cfg.DisableHeights {
-		locs := make([]geo.Point, s.N())
-		for i, lm := range s.Landmarks {
-			locs[i] = lm.Loc
-		}
-		hres, err := height.SolveTargetK(locs, s.Heights, rtts, s.Kappa)
-		if err == nil {
-			excess := make([]float64, s.N())
-			for i, lm := range s.Landmarks {
-				excess[i] = rtts[i] - s.Heights[i] -
-					s.Kappa*geo.DistanceToMinLatencyMs(lm.Loc.DistanceKm(hres.Coarse))
-			}
-			tHeight = hres.HeightMs
-			tNeg := math.Max(tHeight, stats.Percentile(excess, cfg.NegHeightPercentile))
-			for i := range rtts {
-				adjPos[i] = height.AdjustRTT(rtts[i], s.Heights[i], tHeight)
-				adjNeg[i] = height.AdjustRTT(rtts[i], s.Heights[i], tNeg)
-			}
+		constraints = appendConstraints(constraints, cs)
+		if explain {
+			prov.Sources = append(prov.Sources, rep)
 		}
 	}
-
-	// 3. Latency constraints from every landmark (§2.1).
-	var constraints []Constraint
-	for i, lm := range s.Landmarks {
-		rawMax := s.Calibs[i].MaxDistanceKm(adjPos[i])
-		rawMin := s.Calibs[i].MinDistanceKm(adjNeg[i])
-		maxKm := rawMax*(1+cfg.PadFrac) + cfg.PadKm
-		minKm := rawMin*cfg.NegativeShrink*(1-cfg.PadFrac) - cfg.PadKm
-		w := LatencyWeight(rtts[i], cfg.WeightHalfLifeMs)
-		if cfg.Unweighted {
-			w = 1
-		}
-		if maxKm <= 0 {
+	for _, src := range req.Opts.ExtraSources {
+		if req.Opts.sourceOff(src.Name()) {
+			if explain {
+				prov.Sources = append(prov.Sources, SourceReport{Source: src.Name(), Skipped: "disabled by request"})
+			}
 			continue
 		}
-		lf := pctx.LandmarkFrames[i]
-		constraints = append(constraints, diskConstraint(Positive, cf, lf, maxKm, w, lm.Name))
-		if !cfg.DisableNegative && minKm > 0 && minKm < maxKm {
-			wn := w * cfg.NegativeWeightFactor
-			if cfg.Unweighted {
-				wn = 1
-			}
-			constraints = append(constraints, diskConstraint(Negative, cf, lf, minKm, wn, lm.Name+"/neg"))
+		cs, rep, err := runSource(ctx, src, req, explain)
+		if err != nil {
+			return nil, err
+		}
+		constraints = appendConstraints(constraints, cs)
+		if explain {
+			prov.Sources = append(prov.Sources, rep)
+		}
+	}
+	if n := len(req.Opts.Extra); n > 0 {
+		constraints = append(constraints, req.Opts.Extra...)
+		if explain {
+			prov.ExtraConstraints = n
 		}
 	}
 	if len(constraints) == 0 {
-		return nil, fmt.Errorf("core: no usable constraints for %s", targetAddr)
+		return nil, fmt.Errorf("core: no usable constraints for %s", target)
 	}
 
-	// 4. Piecewise router localization (§2.3).
-	if !cfg.DisablePiecewise {
-		constraints = append(constraints, l.routerConstraints(cf, targetAddr, rtts, tHeight, cfg)...)
-	}
-
-	// 5. WHOIS positive constraint (§2.5).
-	if !cfg.DisableWhois {
-		if loc, _, ok := l.Prober.Whois(targetAddr); ok && loc.Valid() {
-			constraints = append(constraints,
-				diskConstraint(Positive, cf, geo.NewFrame(loc), cfg.WhoisRadiusKm, cfg.WhoisWeight, "whois"))
-		}
-	}
-
-	// 6. Solve (§2.4), masking oceans (§2.5).
-	sopts := SolverOpts{
-		MinAreaKm2: cfg.MinRegionAreaKm2,
-		Exact:      cfg.Exact,
-		Masks:      l.masks,
-	}
-	if !cfg.DisableOceans {
-		sopts.LandRegions = pctx.Land
-	}
+	// Solve (§2.4), masking oceans (§2.5) when the GeographySource ran.
+	sopts := l.solverOpts(&cfg, &req.Opts)
+	sopts.LandRegions = req.Land
 	if cfg.Unweighted {
 		// Discrete semantics: negatives are absolute vetoes.
 		for i := range constraints {
@@ -351,28 +364,165 @@ func (l *Localizer) Localize(targetAddr string) (*Result, error) {
 		}
 		sopts.MinAreaKm2 = 1 // take only the top weight level
 	}
+	var t0 time.Time
+	if explain {
+		t0 = time.Now()
+	}
 	sol, err := Solve(constraints, sopts)
 	if err != nil {
 		return nil, err
 	}
+	if explain {
+		prov.SolveMs = float64(time.Since(t0)) / float64(time.Millisecond)
+		prov.TotalConstraints = len(constraints)
+	}
+	pr := req.PCtx.Proj
 	res := &Result{
-		Target:         targetAddr,
+		Target:         target,
 		Region:         sol.Region,
 		Projection:     pr,
 		AreaKm2:        sol.Region.Area(),
-		TargetHeightMs: tHeight,
-		RTTs:           rtts,
+		TargetHeightMs: req.TargetHeightMs,
+		RTTs:           req.RTTs,
 		Constraints:    constraints,
 		Weight:         sol.Weight,
+		Provenance:     prov,
 	}
 	if sol.Region.IsEmpty() {
 		// Brittle configurations (Unweighted) can produce an empty
 		// estimate; report it honestly with a NaN point.
 		res.Point = geo.Pt(math.NaN(), math.NaN())
-		return res, nil
+	} else {
+		res.Point = pr.Inverse(sol.Point)
 	}
-	res.Point = pr.Inverse(sol.Point)
+	if req.Opts.Secondary != nil {
+		if err := l.applySecondary(res, req); err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
+}
+
+// runSource invokes one pipeline stage, applies the request's weight
+// scale for it, and (when provenance was requested) fills the report's
+// quantitative fields.
+func runSource(ctx context.Context, src EvidenceSource, req *Request, explain bool) ([]Constraint, SourceReport, error) {
+	var t0 time.Time
+	if explain {
+		t0 = time.Now()
+	}
+	cs, rep, err := src.Constraints(ctx, req)
+	if err != nil {
+		return nil, rep, err
+	}
+	if rep.Source == "" {
+		rep.Source = src.Name()
+	}
+	scale := req.Opts.scaleFor(src.Name())
+	if scale != 1 {
+		for i := range cs {
+			cs[i].Weight *= scale
+		}
+	}
+	if explain {
+		rep.Constraints = len(cs)
+		rep.WeightScale = scale
+		for i := range cs {
+			rep.Weight += cs[i].Weight
+			if cs[i].Kind == Positive {
+				rep.AreaKm2 += cs[i].Region.Area()
+			}
+		}
+		rep.ElapsedMs = float64(time.Since(t0)) / float64(time.Millisecond)
+	}
+	return cs, rep, nil
+}
+
+// appendConstraints grows acc by cs, taking ownership of the first
+// non-empty slice outright (sources hand their results over) so the
+// common path allocates exactly like the pre-pipeline monolith.
+func appendConstraints(acc, cs []Constraint) []Constraint {
+	if len(cs) == 0 {
+		return acc
+	}
+	if acc == nil {
+		return cs
+	}
+	return append(acc, cs...)
+}
+
+// solverOpts assembles the §2.4 solver options from the config and the
+// request's overrides.
+func (l *Localizer) solverOpts(cfg *Config, o *LocalizeOptions) SolverOpts {
+	sopts := SolverOpts{MinAreaKm2: cfg.MinRegionAreaKm2, Exact: cfg.Exact, Masks: l.masks}
+	if o.MinAreaKm2 > 0 {
+		sopts.MinAreaKm2 = o.MinAreaKm2
+	}
+	if o.FineCellKm > 0 {
+		sopts.FineCellKm = o.FineCellKm
+	}
+	return sopts
+}
+
+// applySecondary folds the §2 secondary-landmark constraints into an
+// already solved result and re-solves — the exact semantics of the
+// deprecated LocalizeWithSecondary, expressed as WithSecondary.
+func (l *Localizer) applySecondary(res *Result, req *Request) error {
+	var tStart time.Time
+	if res.Provenance != nil {
+		tStart = time.Now()
+	}
+	sec := req.Opts.Secondary
+	cfg := &req.Cfg
+	minKm, maxKm := req.Survey.Global.Band(sec.RTTMs)
+	w := LatencyWeight(sec.RTTMs, cfg.WeightHalfLifeMs) * cfg.RouterWeightFactor
+	before := len(res.Constraints)
+	cons := append([]Constraint(nil), res.Constraints...)
+	cons = append(cons, PositiveFromRegion(sec.Beta, maxKm, w, "secondary"))
+	if !cfg.DisableNegative && minKm > 0 {
+		neg := NegativeFromRegion(sec.Beta, minKm, w, "secondary/neg")
+		if !neg.Region.IsEmpty() {
+			cons = append(cons, neg)
+		}
+	}
+	sopts := l.solverOpts(cfg, &req.Opts)
+	// res.Projection is the shared per-survey projection, so the
+	// context's pre-projected land outlines apply as-is.
+	sopts.LandRegions = req.Land
+	var tSolve time.Time
+	if res.Provenance != nil {
+		tSolve = time.Now()
+	}
+	sol, err := Solve(cons, sopts)
+	if err != nil {
+		return err
+	}
+	if prov := res.Provenance; prov != nil {
+		// Keep provenance consistent with the result actually returned:
+		// the secondary stage and its re-solve are part of this request.
+		// ElapsedMs covers only constraint construction (tStart→tSolve);
+		// the re-solve goes into SolveMs, keeping the two disjoint as
+		// they are for every other stage.
+		rep := SourceReport{Source: "secondary", Constraints: len(cons) - before, WeightScale: 1}
+		for _, c := range cons[before:] {
+			rep.Weight += c.Weight
+			if c.Kind == Positive {
+				rep.AreaKm2 += c.Region.Area()
+			}
+		}
+		rep.ElapsedMs = float64(tSolve.Sub(tStart)) / float64(time.Millisecond)
+		prov.Sources = append(prov.Sources, rep)
+		prov.TotalConstraints = len(cons)
+		prov.SolveMs += float64(time.Since(tSolve)) / float64(time.Millisecond)
+	}
+	res.Region = sol.Region
+	res.AreaKm2 = sol.Region.Area()
+	res.Constraints = cons
+	res.Weight = sol.Weight
+	if !sol.Region.IsEmpty() {
+		res.Point = res.Projection.Inverse(sol.Point)
+	}
+	return nil
 }
 
 // routerConstraints issues traceroutes from the lowest-latency landmarks
@@ -383,8 +533,12 @@ func (l *Localizer) Localize(targetAddr string) (*Result, error) {
 // removed from the residual before the distance lookup: the last router
 // before a campus is often one metro away, and without the height
 // deflation its constraint would be hundreds of km too loose.
-func (l *Localizer) routerConstraints(cf geo.Frame, targetAddr string, rtts []float64, tHeight float64, cfg Config) []Constraint {
-	s := l.Survey
+func routerConstraints(req *Request) []Constraint {
+	s := req.Survey
+	cfg := &req.Cfg
+	rtts := req.RTTs
+	cf := req.PCtx.Center
+	tHeight := req.TargetHeightMs
 	// Rank landmarks by latency to the target.
 	type lmDist struct {
 		idx int
@@ -399,7 +553,7 @@ func (l *Localizer) routerConstraints(cf geo.Frame, targetAddr string, rtts []fl
 			order[j], order[j-1] = order[j-1], order[j]
 		}
 	}
-	resolver := l.Resolver
+	resolver := req.Resolver
 	if resolver == nil {
 		resolver = undns.NewResolver()
 	}
@@ -415,7 +569,7 @@ func (l *Localizer) routerConstraints(cf geo.Frame, targetAddr string, rtts []fl
 	}
 	for k := 0; k < nTr; k++ {
 		lm := s.Landmarks[order[k].idx]
-		hops, err := l.Prober.Traceroute(lm.Addr, targetAddr)
+		hops, err := req.Prober.Traceroute(lm.Addr, req.Target)
 		if err != nil || len(hops) == 0 {
 			continue
 		}
@@ -459,39 +613,9 @@ func (l *Localizer) routerConstraints(cf geo.Frame, targetAddr string, rtts []fl
 // constraints dilate beta by R(d); negative constraints keep only points
 // within r(d) of all of beta (§2 of the paper). The secondary's latency to
 // the target must be supplied by the caller.
+//
+// Deprecated: use LocalizeContext(ctx, target, WithSecondary(beta,
+// rttMs)); this wrapper delegates to it and is bit-identical.
 func (l *Localizer) LocalizeWithSecondary(targetAddr string, beta *geo.Region, rttMs float64) (*Result, error) {
-	res, err := l.Localize(targetAddr)
-	if err != nil {
-		return nil, err
-	}
-	cfg := l.Cfg
-	cfg.fillDefaults()
-	minKm, maxKm := l.Survey.Global.Band(rttMs)
-	w := LatencyWeight(rttMs, cfg.WeightHalfLifeMs) * cfg.RouterWeightFactor
-	cons := append([]Constraint(nil), res.Constraints...)
-	cons = append(cons, PositiveFromRegion(beta, maxKm, w, "secondary"))
-	if !cfg.DisableNegative && minKm > 0 {
-		neg := NegativeFromRegion(beta, minKm, w, "secondary/neg")
-		if !neg.Region.IsEmpty() {
-			cons = append(cons, neg)
-		}
-	}
-	sopts := SolverOpts{MinAreaKm2: cfg.MinRegionAreaKm2, Exact: cfg.Exact, Masks: l.masks}
-	if !cfg.DisableOceans {
-		// res.Projection is the shared per-survey projection, so the
-		// context's pre-projected land outlines apply as-is.
-		sopts.LandRegions = l.projContext().Land
-	}
-	sol, err := Solve(cons, sopts)
-	if err != nil {
-		return nil, err
-	}
-	res.Region = sol.Region
-	res.AreaKm2 = sol.Region.Area()
-	res.Constraints = cons
-	res.Weight = sol.Weight
-	if !sol.Region.IsEmpty() {
-		res.Point = res.Projection.Inverse(sol.Point)
-	}
-	return res, nil
+	return l.LocalizeContext(context.Background(), targetAddr, WithSecondary(beta, rttMs))
 }

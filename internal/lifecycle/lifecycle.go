@@ -24,6 +24,12 @@
 //   - Published epochs can be persisted to disk (survey snapshots) so a
 //     restarted daemon starts warm, serving from the last calibration
 //     without reprobing the O(n²) landmark mesh.
+//
+// The v2 request-scoped localization API composes with all of this
+// unchanged: per-request options (core.LocalizeOption) tune a request
+// without touching the borrowed Localizer, so the manager keeps handing
+// out one immutable epoch Localizer per request and the batch engine
+// layers its options fingerprint on top of the epoch in its cache keys.
 package lifecycle
 
 import (

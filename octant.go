@@ -13,6 +13,7 @@
 //
 // # Quick start
 //
+//	ctx := context.Background()                             // bounds every measurement
 //	world := octant.NewWorld(octant.WorldConfig{Seed: 1})  // simulated Internet
 //	prober := octant.NewSimProber(world)
 //	hosts := world.HostNodes()
@@ -23,11 +24,31 @@
 //	}
 //	survey, _ := octant.NewSurvey(prober, landmarks, octant.SurveyOpts{UseHeights: true})
 //	loc := octant.NewLocalizer(prober, survey, octant.Config{})
-//	res, _ := loc.Localize(hosts[0].Name)
+//	res, _ := loc.LocalizeContext(ctx, hosts[0].Name)
 //	fmt.Println(res.Point, res.AreaKm2)
 //
 // The same Localizer runs over any measurement source implementing Prober —
 // the bundled simulator, the TCP-handshake prober, or your own.
+//
+// # Request-scoped options
+//
+// LocalizeContext accepts per-request options that tune one localization
+// without touching the shared Localizer. Evidence enters through an
+// ordered pipeline of EvidenceSource stages (latency, router, hint,
+// geography — §2 of the paper treats them all as weighted constraints in
+// one system), and every stage is addressable per request:
+//
+//	res, _ := loc.LocalizeContext(ctx, target,
+//	    octant.WithoutSource(octant.SourceRouter),      // drop §2.3 evidence
+//	    octant.WithSourceWeight(octant.SourceHint, 0.5), // distrust WHOIS 2×
+//	    octant.WithHint(octant.Pt(40.7, -74.0), 100, 0.8, "registry"),
+//	    octant.WithMinAreaKm2(5000),                     // tighter region
+//	    octant.WithExplain(),                            // fill res.Provenance
+//	)
+//
+// The older Localize(target) and LocalizeWithSecondary methods remain as
+// deprecated shims over this path; a default-options LocalizeContext is
+// bit-identical to them.
 //
 // # Serving
 //
@@ -122,6 +143,48 @@ type (
 	Calibration = calib.Calibration
 )
 
+// Request-scoped localization API (v2). A request is
+// Localizer.LocalizeContext(ctx, target, opts...): the context bounds
+// every measurement and the options tune this one request — evidence
+// sources on/off and re-weighted, solver overrides, exogenous hints,
+// extra constraints, custom sources, and provenance — without touching
+// the shared Localizer.
+type (
+	// LocalizeOption tunes one localization request.
+	LocalizeOption = core.LocalizeOption
+	// LocalizeOptions is the resolved form of a request's options.
+	LocalizeOptions = core.LocalizeOptions
+	// EvidenceSource is one stage of the localization pipeline.
+	EvidenceSource = core.EvidenceSource
+	// EvidenceRequest is the per-request state evidence sources consume.
+	EvidenceRequest = core.Request
+	// SourceReport is one source's provenance entry.
+	SourceReport = core.SourceReport
+	// Provenance explains how a localization was assembled
+	// (Result.Provenance, filled by WithExplain).
+	Provenance = core.Provenance
+	// LocationHint is an exogenous positive prior for the hint source.
+	LocationHint = core.Hint
+	// SecondaryLandmark is a §2 secondary landmark (region + RTT).
+	SecondaryLandmark = core.Secondary
+	// LatencySource is the built-in §2.1–2.2 landmark RTT evidence.
+	LatencySource = core.LatencySource
+	// RouterSource is the built-in §2.3 router evidence.
+	RouterSource = core.RouterSource
+	// HintSource is the built-in §2.5 WHOIS/hint evidence.
+	HintSource = core.HintSource
+	// GeographySource is the built-in §2.5 ocean/land-mask evidence.
+	GeographySource = core.GeographySource
+)
+
+// Built-in evidence source names for WithoutSource / WithSourceWeight.
+const (
+	SourceLatency   = core.SourceLatency
+	SourceRouter    = core.SourceRouter
+	SourceHint      = core.SourceHint
+	SourceGeography = core.SourceGeography
+)
+
 // Survey lifecycle types.
 type (
 	// SurveyManager owns the survey as a versioned resource: epoch
@@ -211,6 +274,56 @@ func NewSurvey(p Prober, landmarks []Landmark, opts SurveyOpts) (*Survey, error)
 // NewLocalizer builds an Octant localizer over a calibrated survey.
 func NewLocalizer(p Prober, s *Survey, cfg Config) *Localizer {
 	return core.NewLocalizer(p, s, cfg)
+}
+
+// Request-scoped localization options (v2), re-exported from core.
+
+// NewLocalizeOptions resolves functional options into a LocalizeOptions.
+func NewLocalizeOptions(opts ...LocalizeOption) LocalizeOptions {
+	return core.NewLocalizeOptions(opts...)
+}
+
+// DefaultEvidenceSources returns the built-in evidence pipeline in
+// execution order: latency, router, hint, geography.
+func DefaultEvidenceSources() []EvidenceSource { return core.DefaultSources() }
+
+// WithoutSource disables the named evidence source for one request.
+func WithoutSource(name string) LocalizeOption { return core.WithoutSource(name) }
+
+// WithSourceWeight scales the named source's constraint weights (> 0).
+func WithSourceWeight(name string, scale float64) LocalizeOption {
+	return core.WithSourceWeight(name, scale)
+}
+
+// WithMinAreaKm2 overrides the §2.4 region size threshold per request.
+func WithMinAreaKm2(km2 float64) LocalizeOption { return core.WithMinAreaKm2(km2) }
+
+// WithFineCellKm overrides the solver's fine-pass resolution per request.
+func WithFineCellKm(km float64) LocalizeOption { return core.WithFineCellKm(km) }
+
+// WithNegHeightPercentile overrides the negative-constraint height
+// percentile per request.
+func WithNegHeightPercentile(p float64) LocalizeOption { return core.WithNegHeightPercentile(p) }
+
+// WithExplain fills Result.Provenance with per-source evidence detail.
+func WithExplain() LocalizeOption { return core.WithExplain() }
+
+// WithHint adds an exogenous positive prior for the hint source.
+func WithHint(loc Point, radiusKm, weight float64, label string) LocalizeOption {
+	return core.WithHint(loc, radiusKm, weight, label)
+}
+
+// WithConstraints appends caller-supplied constraints to the request.
+func WithConstraints(cs ...Constraint) LocalizeOption { return core.WithConstraints(cs...) }
+
+// WithEvidenceSource appends a custom evidence source to the request's
+// pipeline, after the built-ins.
+func WithEvidenceSource(s EvidenceSource) LocalizeOption { return core.WithEvidenceSource(s) }
+
+// WithSecondary folds a §2 secondary landmark (region beta + RTT) into
+// the request, replacing the deprecated LocalizeWithSecondary method.
+func WithSecondary(beta *Region, rttMs float64) LocalizeOption {
+	return core.WithSecondary(beta, rttMs)
 }
 
 // NewBatchEngine wraps a fixed Localizer in a concurrent batch engine.
