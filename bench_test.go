@@ -267,14 +267,16 @@ func (p pacedProber) Ping(src, dst string, n int) ([]float64, error) {
 
 var (
 	batchFixOnce    sync.Once
-	batchFixLoc     *core.Localizer
+	batchFixLoc     *core.Localizer // paced: 5 ms wire time per ping train
+	batchFixRawLoc  *core.Localizer // unpaced: pure solver CPU and allocs
 	batchFixTargets []string
 	batchFixErr     error
 )
 
 // batchFixture holds 8 hosts out of the survey as targets and builds a
-// localizer whose prober pays 5 ms of wire time per ping train.
-func batchFixture(b *testing.B) (*core.Localizer, []string) {
+// localizer whose prober pays 5 ms of wire time per ping train (plus an
+// unpaced twin for allocation measurements).
+func batchFixture(b testing.TB) (*core.Localizer, []string) {
 	b.Helper()
 	batchFixOnce.Do(func() {
 		world := netsim.NewWorld(netsim.Config{Seed: 1})
@@ -298,6 +300,7 @@ func batchFixture(b *testing.B) (*core.Localizer, []string) {
 		}
 		paced := pacedProber{Prober: prober, delay: 5 * time.Millisecond}
 		batchFixLoc = core.NewLocalizer(paced, survey, core.Config{})
+		batchFixRawLoc = core.NewLocalizer(prober, survey, core.Config{})
 		batchFixTargets = targets
 	})
 	if batchFixErr != nil {
@@ -339,6 +342,65 @@ func BenchmarkBatchLocalize(b *testing.B) {
 			b.ReportMetric(float64(len(targets)*b.N)/b.Elapsed().Seconds(), "targets/s")
 		})
 	}
+}
+
+// BenchmarkLocalizeBatchFused measures the fused multi-target solve over
+// the same paced fixture as BenchmarkBatchLocalize, so the two reports are
+// directly comparable: the CI bulk gate requires workers-8 here to beat
+// BenchmarkBatchLocalize/sequential by ≥ 5× on ns/op. The fused path skips
+// the batch engine entirely — no cache, no flight table — so this is the
+// floor cost of a homogeneous group.
+func BenchmarkLocalizeBatchFused(b *testing.B) {
+	loc, targets := batchFixture(b)
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, errs := loc.LocalizeBatchWith(context.Background(), targets, workers, nil)
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(targets)*b.N)/b.Elapsed().Seconds(), "targets/s")
+		})
+	}
+}
+
+// TestLocalizeBatchAllocRegression pins the fused path's steady-state
+// allocation budget at ≤ 300 allocs per target — the point of the batch
+// arena and the shared-rasterization reuse (a cold single-target Localize
+// sat at ~1530 allocs before this work). Measured unpaced so the count is
+// pure solver work, with one warmup batch so land-mask masters and pool
+// buffers exist before counting starts.
+func TestLocalizeBatchAllocRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state benchmark run under -short")
+	}
+	batchFixture(t)
+	loc, targets := batchFixRawLoc, batchFixTargets
+	ctx := context.Background()
+	run := func(b *testing.B) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, errs := loc.LocalizeBatchWith(ctx, targets, 8, nil)
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	res := testing.Benchmark(run)
+	perTarget := res.AllocsPerOp() / int64(len(targets))
+	const maxAllocsPerTarget = 300
+	if perTarget > maxAllocsPerTarget {
+		t.Errorf("fused batch allocates %d allocs/target steady-state, budget is %d",
+			perTarget, maxAllocsPerTarget)
+	}
+	t.Logf("fused batch: %d allocs/target over %d-target batches", perTarget, len(targets))
 }
 
 // --- substrate micro-benchmarks ---

@@ -20,6 +20,13 @@
 //
 //	octant-eval -bench-old BENCH_parent.json -bench-new BENCH_head.json \
 //	    -bench-names Fig1RegionCombination,Localize -max-regress 0.20
+//
+// The -bulk mode benchmarks bulk localization throughput — a paced
+// per-target loop vs the fused LocalizeBatch path over one homogeneous
+// batch — emitting bench-format lines for the archive and failing unless
+// the fused results are bit-identical to the sequential references:
+//
+//	octant-eval -bulk | octant-eval -bench-json - -commit $SHA
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"octant/internal/core"
 	"octant/internal/eval"
@@ -59,8 +67,20 @@ func main() {
 
 		benchReport = flag.String("bench-report", "", "single BENCH_<sha>.json report for -bench-within")
 		benchWithin = flag.String("bench-within", "", "cand=base:nsfrac[:allocs] — within -bench-report, fail unless cand's ns/op ≤ base's·(1+nsfrac) and cand adds ≤ allocs allocs/op (default 0); e.g. LocalizeV2=Localize:0.02:0")
+
+		bulk        = flag.Bool("bulk", false, "bulk throughput mode: paced per-target loop vs fused LocalizeBatch over one homogeneous batch, emitted as bench lines (pipe into -bench-json); exits non-zero if the fused results are not bit-identical")
+		bulkTargets = flag.Int("bulk-targets", 64, "bulk mode: targets per batch (cycles over the 8 held-out hosts)")
+		bulkWorkers = flag.Int("bulk-workers", 8, "bulk mode: fused worker count")
+		bulkPace    = flag.Duration("bulk-pace", 5*time.Millisecond, "bulk mode: simulated wire time per ping train")
 	)
 	flag.Parse()
+
+	if *bulk {
+		if err := runBulk(*seed, *bulkTargets, *bulkWorkers, *bulkPace); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *benchJSON != "" {
 		if err := emitBenchJSON(*benchJSON, *commit, *out); err != nil {

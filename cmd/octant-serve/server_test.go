@@ -215,6 +215,12 @@ func TestHealthzAndStats(t *testing.T) {
 		t.Errorf("healthz = %+v", hz)
 	}
 
+	// A multi-target batch through the HTTP surface is one fused group;
+	// /v1/stats must report it.
+	if rec := postJSON(t, h, "/v2/localize/batch", map[string]any{"targets": s.targets[:2]}); rec.Code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", rec.Code, rec.Body)
+	}
+
 	rec = httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
 	if rec.Code != http.StatusOK {
@@ -226,6 +232,10 @@ func TestHealthzAndStats(t *testing.T) {
 	}
 	if st.Requests == 0 {
 		t.Error("stats report zero requests after traffic")
+	}
+	if st.FusedGroups == 0 || st.FusedTargets < 2 {
+		t.Errorf("stats report no fused traffic after a batch (%d groups, %d targets)",
+			st.FusedGroups, st.FusedTargets)
 	}
 	if st.Workers != 8 {
 		t.Errorf("workers = %d, want 8", st.Workers)

@@ -30,6 +30,15 @@
 // while identical tunings still hit and coalesce. Options that cannot be
 // fingerprinted (custom evidence sources) bypass sharing entirely.
 //
+// A Run call is homogeneous by construction — one borrowed epoch, one
+// options set — which makes it exactly one fused group: the engine hands
+// the post-cache remainder of the batch to core.LocalizeBatchDeadline,
+// which resolves configuration once and amortizes the epoch's shared
+// rasterization and constraint allocation across the group instead of
+// paying them per target (TargetTimeout still applies per target, as a
+// deadline starting when a worker picks the target up). Stats reports how
+// much traffic took this path (FusedGroups, FusedTargets).
+//
 // Workers also share the Localizer's per-survey state through their
 // shallow Localizer copies: the projection context (survey-centroid
 // frame, per-landmark tangent frames, land outlines projected once per
@@ -168,9 +177,24 @@ func (e *Engine) LocalizeItem(ctx context.Context, target string, opts ...core.L
 // at their next probe and queued ones are reported with ctx's error.
 // opts apply to every target of the batch; they are resolved and
 // fingerprinted once here, not per target.
+//
+// Multi-target runs take the fused path: the whole batch is one (epoch,
+// options-fingerprint) group solved by core.LocalizeBatchDeadline, which
+// resolves config and options once and shares the epoch's rasterized
+// geography across targets (TargetTimeout still applies per target, as a
+// deadline starting when a worker picks the target up). Cache hits are
+// served up front, duplicate targets within the batch coalesce onto one
+// measurement, and results are bit-identical to the per-target path.
 func (e *Engine) Run(ctx context.Context, targets []string, opts ...core.LocalizeOption) <-chan Item {
 	ro := resolveOpts(opts)
 	out := make(chan Item, e.opts.Workers)
+	if len(targets) > 1 {
+		go func() {
+			defer close(out)
+			e.runFused(ctx, targets, ro, out)
+		}()
+		return out
+	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < e.opts.Workers; w++ {
@@ -215,6 +239,106 @@ func (e *Engine) Collect(ctx context.Context, targets []string, opts ...core.Loc
 		errs[item.Index] = item.Err
 	}
 	return results, errs
+}
+
+// runFused executes one homogeneous batch as a single fused group on the
+// borrowed epoch. Cache hits stream out first; every remaining distinct
+// (target, options) key is measured exactly once by
+// core.LocalizeBatchDeadline (duplicates within the batch coalesce onto
+// the first occurrence), and measured items stream out in completion
+// order. Per-target metrics match the scalar path: one request per
+// submitted target, hits/misses counted at the cache, coalesced counted
+// per follower.
+func (e *Engine) runFused(ctx context.Context, targets []string, ro resolved, out chan<- Item) {
+	start := time.Now()
+	for range targets {
+		e.metrics.begin()
+	}
+	loc := e.provider.CurrentLocalizer()
+	epoch := loc.Survey.Epoch
+	e.metrics.fused(len(targets))
+
+	emit := func(item Item) {
+		out <- item
+		e.metrics.end()
+	}
+
+	if err := ctx.Err(); err != nil {
+		for i, t := range targets {
+			emit(Item{Index: i, Target: t, Epoch: epoch, Err: err})
+		}
+		return
+	}
+
+	key := func(target string) string {
+		if ro.fp != "" {
+			return target + "\x1f" + ro.fp
+		}
+		return target
+	}
+
+	// Cache partition plus within-batch coalescing. Non-cacheable options
+	// (custom evidence sources) share nothing, exactly like the scalar
+	// path: no cache read, no cache insertion, no coalescing — every
+	// occurrence measures independently.
+	measure := make([]string, 0, len(targets))
+	followers := make([][]int, 0, len(targets)) // parallel to measure
+	leader := make(map[string]int, len(targets))
+	for i, t := range targets {
+		if ro.cacheable {
+			k := key(t)
+			if e.cache != nil {
+				if res, ok := e.cache.get(k, epoch); ok {
+					e.metrics.hit()
+					emit(Item{Index: i, Target: t, Epoch: epoch, Result: res, Cached: true, Elapsed: time.Since(start)})
+					continue
+				}
+			}
+			e.metrics.miss()
+			if j, ok := leader[k]; ok {
+				followers[j] = append(followers[j], i)
+				e.metrics.coalesce()
+				continue
+			}
+			leader[k] = len(measure)
+		} else {
+			e.metrics.miss()
+		}
+		measure = append(measure, t)
+		followers = append(followers, []int{i})
+	}
+	if len(measure) == 0 {
+		return
+	}
+
+	loc.LocalizeBatchDeadline(ctx, measure, e.opts.Workers, e.opts.TargetTimeout, ro.opts, func(j int, res *core.Result, err error) {
+		t := measure[j]
+		if err != nil {
+			// Match the per-target path's error shape: cancellations and
+			// per-target deadline expiries surface as "batch: <target>:
+			// <ctx error>".
+			for _, sentinel := range []error{context.Canceled, context.DeadlineExceeded} {
+				if errors.Is(err, sentinel) {
+					err = fmt.Errorf("batch: %s: %w", t, sentinel)
+					break
+				}
+			}
+		} else if e.cache != nil && ro.cacheable {
+			e.cache.put(key(t), epoch, res)
+		}
+		elapsed := time.Since(start)
+		for _, i := range followers[j] {
+			item := Item{Index: i, Target: t, Epoch: epoch, Elapsed: elapsed}
+			if err != nil {
+				e.metrics.fail()
+				item.Err = err
+			} else {
+				item.Result = res
+				e.metrics.observe(elapsed)
+			}
+			emit(item)
+		}
+	})
 }
 
 // resolved carries a request's pre-resolved options plus the derived

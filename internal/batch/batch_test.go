@@ -415,6 +415,82 @@ func TestStragglerDoesNotClobberFreshCache(t *testing.T) {
 	}
 }
 
+// TestFusedRunCachesAndCoalesces exercises the fused Run path's sharing
+// behaviour end to end: duplicates inside one batch measure once and
+// count as coalesced, measured results land in the LRU, a repeat batch is
+// served entirely from cache (still counted as a fused group), and the
+// fused counters report exactly the submitted traffic.
+func TestFusedRunCachesAndCoalesces(t *testing.T) {
+	f := sharedFixture(t)
+	cp := &countingProber{Prober: f.prober}
+	loc := core.NewLocalizer(cp, f.survey, core.Config{})
+	eng := batch.New(loc, batch.Options{Workers: 4})
+	ctx := context.Background()
+
+	// 6 submissions over 4 distinct targets: 4 measurements, 2 followers.
+	targets := []string{
+		f.targets[10], f.targets[11], f.targets[10],
+		f.targets[12], f.targets[13], f.targets[12],
+	}
+	results, errs := eng.Collect(ctx, targets)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("%s: %v", targets[i], err)
+		}
+	}
+	if results[2] != results[0] || results[5] != results[3] {
+		t.Error("within-batch duplicates should share the leader's *Result")
+	}
+	s := eng.Stats()
+	if s.FusedGroups != 1 || s.FusedTargets != uint64(len(targets)) {
+		t.Errorf("fused counters = %d groups / %d targets, want 1 / %d", s.FusedGroups, s.FusedTargets, len(targets))
+	}
+	if s.Coalesced != 2 {
+		t.Errorf("coalesced = %d, want 2 (one follower per duplicated target)", s.Coalesced)
+	}
+	if s.CacheLen != 4 {
+		t.Errorf("cache length %d after fused batch, want 4", s.CacheLen)
+	}
+
+	// Repeat batch: all hits, no probes, still one more fused group.
+	before := cp.pings.Load()
+	_, errs = eng.Collect(ctx, targets)
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cp.pings.Load() != before {
+		t.Error("repeat fused batch re-measured cached targets")
+	}
+	s = eng.Stats()
+	if s.FusedGroups != 2 || s.FusedTargets != uint64(2*len(targets)) {
+		t.Errorf("fused counters after repeat = %d groups / %d targets", s.FusedGroups, s.FusedTargets)
+	}
+	if s.CacheHits != uint64(len(targets)) {
+		t.Errorf("cache hits = %d, want %d", s.CacheHits, len(targets))
+	}
+
+	// A generous per-target timeout keeps the fused path (deadlines apply
+	// per target inside the group) and the batch still succeeds.
+	slow := batch.New(loc, batch.Options{Workers: 2, TargetTimeout: time.Minute})
+	if _, errs := slow.Collect(ctx, targets[:2]); errs[0] != nil || errs[1] != nil {
+		t.Fatalf("timeout engine errs: %v", errs)
+	}
+	if s := slow.Stats(); s.FusedGroups != 1 {
+		t.Errorf("TargetTimeout run skipped the fused path (%d groups)", s.FusedGroups)
+	}
+	// And an unmeetable one surfaces per-target deadline errors through
+	// the fused group, matching the scalar path's error shape.
+	tight := batch.New(loc, batch.Options{Workers: 2, CacheSize: -1, TargetTimeout: time.Nanosecond})
+	_, terrs := tight.Collect(ctx, targets[:2])
+	for i, err := range terrs {
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("tight-timeout err[%d] = %v, want deadline exceeded", i, err)
+		}
+	}
+}
+
 func TestUnknownTargetReportsError(t *testing.T) {
 	f := sharedFixture(t)
 	loc := core.NewLocalizer(f.prober, f.survey, core.Config{})

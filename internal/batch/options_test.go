@@ -152,6 +152,73 @@ func TestUncacheableOptionsBypassSharing(t *testing.T) {
 	}
 }
 
+// TestUncacheableSkipsCacheBothDirections pins the non-cacheable LRU
+// contract in both directions and on both engine paths: custom-source
+// requests must never READ a cache entry (every occurrence re-measures,
+// even duplicates inside one fused batch) and must never INSERT one (the
+// LRU stays empty, so they can't poison later cacheable traffic). The
+// deterministic simulator makes the probe arithmetic exact: localizing
+// one target always issues the same number of pings, so N occurrences
+// must cost exactly N units.
+func TestUncacheableSkipsCacheBothDirections(t *testing.T) {
+	f := sharedFixture(t)
+	cp := &countingProber{Prober: f.prober}
+	loc := core.NewLocalizer(cp, f.survey, core.Config{})
+	eng := batch.New(loc, batch.Options{Workers: 4})
+	ctx := context.Background()
+	tgt := f.targets[8]
+	src := betaSource{loc: geo.Pt(40, -75)}
+
+	// Calibrate the per-localization probe cost with one scalar call.
+	if _, err := eng.Localize(ctx, tgt, core.WithEvidenceSource(src)); err != nil {
+		t.Fatal(err)
+	}
+	unit := cp.pings.Load()
+	if unit == 0 {
+		t.Fatal("calibration call issued no probes")
+	}
+	if n := eng.Stats().CacheLen; n != 0 {
+		t.Fatalf("scalar custom-source request inserted a cache entry (len %d)", n)
+	}
+
+	// Fused path: a multi-target Run with duplicates. No read (the scalar
+	// call's result must not be served), no within-batch coalescing, no
+	// insertion afterwards — three occurrences, exactly three measurements.
+	before := cp.pings.Load()
+	_, errs := eng.Collect(ctx, []string{tgt, tgt, tgt}, core.WithEvidenceSource(src))
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cp.pings.Load() - before; got != 3*unit {
+		t.Errorf("3 custom-source occurrences issued %d probes, want exactly %d (3 × %d)", got, 3*unit, unit)
+	}
+	s := eng.Stats()
+	if s.CacheLen != 0 {
+		t.Errorf("custom-source batch inserted %d cache entries", s.CacheLen)
+	}
+	if s.CacheHits != 0 || s.Coalesced != 0 {
+		t.Errorf("custom-source traffic shared results: %d hits, %d coalesced", s.CacheHits, s.Coalesced)
+	}
+
+	// The skip is scoped to non-cacheable options: default traffic on the
+	// same engine still caches normally.
+	if _, err := eng.Localize(ctx, tgt); err != nil {
+		t.Fatal(err)
+	}
+	before = cp.pings.Load()
+	if _, err := eng.Localize(ctx, tgt); err != nil {
+		t.Fatal(err)
+	}
+	if cp.pings.Load() != before {
+		t.Error("cacheable repeat re-measured — default caching broken alongside the skip")
+	}
+	if n := eng.Stats().CacheLen; n != 1 {
+		t.Errorf("cache length %d after one cacheable target, want 1", n)
+	}
+}
+
 // TestMixedOptionsAcrossSwap drives concurrent mixed-option requests for
 // overlapping targets across a survey hot swap, asserting zero errors
 // and that every result matches a sequential localization under the

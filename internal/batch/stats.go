@@ -27,6 +27,13 @@ type Stats struct {
 	Errors    uint64 `json:"errors"`
 	InFlight  int64  `json:"in_flight"`
 	CacheLen  int    `json:"cache_len"`
+	// FusedGroups counts multi-target Run calls served by the fused batch
+	// solve (one group = one epoch × one options fingerprint), and
+	// FusedTargets how many submitted targets rode in them; FusedTargets /
+	// Requests is the fused rate — how much of the workload amortized its
+	// rasterization through batches.
+	FusedGroups  uint64 `json:"fused_groups"`
+	FusedTargets uint64 `json:"fused_targets"`
 	// HitRate is CacheHits / Requests (0 when idle).
 	HitRate float64 `json:"hit_rate"`
 	// P50Ms / P99Ms are localization latency quantiles over a sliding
@@ -53,6 +60,9 @@ type metrics struct {
 	errors    atomic.Uint64
 	inFlight  atomic.Int64
 
+	fusedGroups  atomic.Uint64
+	fusedTargets atomic.Uint64
+
 	mu    sync.Mutex
 	ring  [latWindow]float64 // latencies, ms
 	next  int
@@ -65,6 +75,11 @@ func (m *metrics) hit()      { m.hits.Add(1) }
 func (m *metrics) miss()     { m.misses.Add(1) }
 func (m *metrics) coalesce() { m.coalesced.Add(1) }
 func (m *metrics) fail()     { m.errors.Add(1) }
+
+func (m *metrics) fused(targets int) {
+	m.fusedGroups.Add(1)
+	m.fusedTargets.Add(uint64(targets))
+}
 
 func (m *metrics) observe(d time.Duration) {
 	ms := float64(d) / float64(time.Millisecond)
@@ -79,12 +94,14 @@ func (m *metrics) observe(d time.Duration) {
 
 func (m *metrics) snapshot() Stats {
 	s := Stats{
-		Requests:    m.requests.Load(),
-		CacheHits:   m.hits.Load(),
-		CacheMisses: m.misses.Load(),
-		Coalesced:   m.coalesced.Load(),
-		Errors:      m.errors.Load(),
-		InFlight:    m.inFlight.Load(),
+		Requests:     m.requests.Load(),
+		CacheHits:    m.hits.Load(),
+		CacheMisses:  m.misses.Load(),
+		Coalesced:    m.coalesced.Load(),
+		Errors:       m.errors.Load(),
+		InFlight:     m.inFlight.Load(),
+		FusedGroups:  m.fusedGroups.Load(),
+		FusedTargets: m.fusedTargets.Load(),
 	}
 	if s.Requests > 0 {
 		s.HitRate = float64(s.CacheHits) / float64(s.Requests)

@@ -70,6 +70,22 @@ type Request struct {
 	// Land is the solver's hard geographic mask (nil = no mask). Set by
 	// the GeographySource from the projection context.
 	Land []*geo.Region
+
+	// arena, when non-nil, bump-allocates disk-constraint memory. The
+	// fused batch path sets it (one arena per worker, alive for the whole
+	// batch); the scalar path leaves it nil and allocates per disk.
+	arena *constraintArena
+}
+
+// disk builds a disk constraint for this request, drawing its memory from
+// the request's arena when one is attached. Evidence sources should
+// prefer it over diskConstraint so their constraints fuse into batch
+// arenas automatically.
+func (req *Request) disk(kind Kind, cf, lf geo.Frame, radiusKm, weight float64, source string) Constraint {
+	if req.arena != nil {
+		return req.arena.disk(kind, cf, lf, radiusKm, weight, source)
+	}
+	return diskConstraint(kind, cf, lf, radiusKm, weight, source)
 }
 
 // SourceReport is one evidence source's provenance entry. Sources fill
@@ -225,8 +241,11 @@ func (LatencySource) Constraints(ctx context.Context, req *Request) ([]Constrain
 		return nil, rep, nil
 	}
 
-	// 3. Latency constraints from every landmark (§2.1).
-	var out []Constraint
+	// 3. Latency constraints from every landmark (§2.1). Sized for the
+	// worst case (positive + negative per landmark), with headroom the
+	// later pipeline stages' appends reuse through appendConstraints'
+	// ownership transfer.
+	out := make([]Constraint, 0, 2*n)
 	cf := req.PCtx.Center
 	for i, lm := range s.Landmarks {
 		rawMax := s.Calibs[i].MaxDistanceKm(adjPos[i])
@@ -241,13 +260,13 @@ func (LatencySource) Constraints(ctx context.Context, req *Request) ([]Constrain
 			continue
 		}
 		lf := req.PCtx.LandmarkFrames[i]
-		out = append(out, diskConstraint(Positive, cf, lf, maxKm, w, lm.Name))
+		out = append(out, req.disk(Positive, cf, lf, maxKm, w, lm.Name))
 		if !cfg.DisableNegative && minKm > 0 && minKm < maxKm {
 			wn := w * cfg.NegativeWeightFactor
 			if cfg.Unweighted {
 				wn = 1
 			}
-			out = append(out, diskConstraint(Negative, cf, lf, minKm, wn, lm.Name+"/neg"))
+			out = append(out, req.disk(Negative, cf, lf, minKm, wn, lm.Name+"/neg"))
 		}
 	}
 	return out, rep, nil
@@ -293,7 +312,7 @@ func (HintSource) Constraints(ctx context.Context, req *Request) ([]Constraint, 
 	if !cfg.DisableWhois {
 		if loc, _, ok := req.Prober.Whois(req.Target); ok && loc.Valid() {
 			out = append(out,
-				diskConstraint(Positive, cf, geo.NewFrame(loc), cfg.WhoisRadiusKm, cfg.WhoisWeight, "whois"))
+				req.disk(Positive, cf, geo.NewFrame(loc), cfg.WhoisRadiusKm, cfg.WhoisWeight, "whois"))
 		}
 	}
 	for _, h := range req.Opts.Hints {
@@ -307,7 +326,7 @@ func (HintSource) Constraints(ctx context.Context, req *Request) ([]Constraint, 
 		if label == "" {
 			label = "hint"
 		}
-		out = append(out, diskConstraint(Positive, cf, geo.NewFrame(h.Loc), radius, weight, label))
+		out = append(out, req.disk(Positive, cf, geo.NewFrame(h.Loc), radius, weight, label))
 	}
 	if len(out) == 0 && rep.Skipped == "" {
 		if cfg.DisableWhois {

@@ -109,11 +109,27 @@ func keyFor(regions []*geo.Region, cellKm float64) (maskKey, bool) {
 	return k, !first
 }
 
+// masterDims is the master lattice size for a key: the bounding box padded
+// by one cell on each side, at the key's cell size.
+func masterDims(key maskKey) (w, h int) {
+	cell := key.cellKm
+	w = int(math.Ceil((key.maxX+cell-(key.minX-cell))/cell)) + 1
+	h = int(math.Ceil((key.maxY+cell-(key.minY-cell))/cell)) + 1
+	return w, h
+}
+
 // entryFor returns the built master for (regions, cellKm), creating it on
 // first use. Returns nil when the set is empty or too large to cache.
 func (c *LandMaskCache) entryFor(regions []*geo.Region, cellKm float64) *maskEntry {
 	key, ok := keyFor(regions, cellKm)
 	if !ok {
+		return nil
+	}
+	// Dimensions follow from the key alone, so an oversized region set is
+	// rejected before it can evict a resident master to make room for an
+	// entry whose build is doomed.
+	if w, h := masterDims(key); w < 1 || h < 1 || w*h > maxMasterCells {
+		c.misses.Add(1)
 		return nil
 	}
 	c.mu.Lock()
@@ -170,8 +186,7 @@ func (e *maskEntry) build(key maskKey, regions []*geo.Region) {
 	cell := key.cellKm
 	minX := key.minX - cell
 	minY := key.minY - cell
-	w := int(math.Ceil((key.maxX+cell-minX)/cell)) + 1
-	h := int(math.Ceil((key.maxY+cell-minY)/cell)) + 1
+	w, h := masterDims(key)
 	if w < 1 || h < 1 || w*h > maxMasterCells {
 		return // leave mask nil: callers fall back to direct rasterization
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"octant/internal/geo"
@@ -86,6 +87,176 @@ func TestLandMaskCacheReuse(t *testing.T) {
 		t.Error("nil cache must report not-applied")
 	}
 	g2.Release()
+}
+
+// maskSquare builds a single-ring square region centred at (cx, cy) —
+// cheap enough to rasterize at many cell sizes, and centring it
+// differently yields a distinct maskKey (the key fingerprints the
+// bounding box), standing in for a different survey's projected
+// landmass.
+func maskSquare(cx, cy, half float64) *geo.Region {
+	return geo.RegionFromRing(geo.Ring{
+		geo.V2(cx-half, cy-half), geo.V2(cx+half, cy-half),
+		geo.V2(cx+half, cy+half), geo.V2(cx-half, cy+half),
+	})
+}
+
+// TestLandMaskCacheEvictionLRU fills the cache past its master capacity
+// with distinct cell sizes and checks that it sheds the least-recently
+// used master, not a recently touched one, and never exceeds capacity.
+func TestLandMaskCacheEvictionLRU(t *testing.T) {
+	regions := []*geo.Region{maskSquare(0, 0, 400)}
+	c := NewLandMaskCache()
+	const excluded = -math.MaxFloat64
+
+	apply := func(cellKm float64) {
+		g := geo.NewGrid(geo.V2(-500, -500), geo.V2(500, 500), cellKm)
+		if !c.Apply(g, regions, excluded) {
+			t.Fatalf("Apply failed at cell size %v", cellKm)
+		}
+		g.Release()
+	}
+
+	// One master per cell size, exactly at capacity.
+	for i := 0; i < defaultMaskCap; i++ {
+		apply(float64(4 + i))
+	}
+	if s := c.Stats(); s.Entries != defaultMaskCap || s.Misses != defaultMaskCap {
+		t.Fatalf("filling to capacity: %+v, want %d entries / %d misses", s, defaultMaskCap, defaultMaskCap)
+	}
+
+	// Touch the oldest master so the SECOND-oldest becomes LRU, then
+	// overflow with a new size.
+	apply(4)
+	apply(float64(4 + defaultMaskCap))
+	s := c.Stats()
+	if s.Entries != defaultMaskCap {
+		t.Errorf("after overflow: %d entries, want capacity %d", s.Entries, defaultMaskCap)
+	}
+
+	// The refreshed size must still be resident (hit); the un-touched
+	// second size must have been evicted (miss that rebuilds).
+	hitsBefore, missesBefore := s.Hits, s.Misses
+	apply(4)
+	if s := c.Stats(); s.Hits != hitsBefore+1 {
+		t.Errorf("recently-used master was evicted: %+v", s)
+	}
+	apply(5)
+	if s := c.Stats(); s.Misses != missesBefore+1 {
+		t.Errorf("LRU master (cell 5) should have been evicted and rebuilt: %+v", s)
+	}
+
+	// Unbuildable masters (bounding box over maxMasterCells at this
+	// resolution) must not occupy capacity or count as hits.
+	entriesBefore := c.Stats().Entries
+	huge := []*geo.Region{maskSquare(0, 0, 1e6)}
+	g := geo.NewGrid(geo.V2(-500, -500), geo.V2(500, 500), 0.25)
+	if c.Apply(g, huge, excluded) {
+		t.Error("Apply should refuse a master larger than maxMasterCells")
+	}
+	g.Release()
+	if s := c.Stats(); s.Entries != entriesBefore {
+		t.Errorf("unbuildable master left a cache entry: %+v", s)
+	}
+}
+
+// TestLandMaskCacheMixedSizesConcurrentSurveys hammers one cache from
+// concurrent goroutines mixing two region sets (standing in for two
+// surveys with different projections) and a coarse/fine spread of cell
+// sizes. Every (set, size) master must be built exactly once — the
+// per-entry once must absorb concurrent first users — and the resulting
+// masks must match a direct rasterization. Run under -race by CI.
+func TestLandMaskCacheMixedSizesConcurrentSurveys(t *testing.T) {
+	type sq struct{ cx, cy, half float64 }
+	surveySquares := [][]sq{
+		{{-120, -80, 350}},
+		{{200, 150, 275}, {-400, 300, 90}},
+	}
+	var surveys [][]*geo.Region
+	for _, sqs := range surveySquares {
+		var rs []*geo.Region
+		for _, s := range sqs {
+			rs = append(rs, maskSquare(s.cx, s.cy, s.half))
+		}
+		surveys = append(surveys, rs)
+	}
+	// Distance from p to the nearest square boundary — the only band where
+	// the cached mask may legitimately disagree with direct rasterization
+	// (master-lattice quantization plus grid-centre sampling).
+	boundaryDist := func(sqs []sq, p geo.Vec2) float64 {
+		best := math.MaxFloat64
+		for _, s := range sqs {
+			dx := math.Abs(p.X-s.cx) - s.half
+			dy := math.Abs(p.Y-s.cy) - s.half
+			var d float64
+			if dx > 0 || dy > 0 {
+				d = math.Hypot(math.Max(dx, 0), math.Max(dy, 0))
+			} else {
+				d = -math.Max(dx, dy)
+			}
+			best = math.Min(best, d)
+		}
+		return best
+	}
+
+	cells := []float64{4, 8, 32, 64} // fine pass through coarse passes
+	c := NewLandMaskCache()
+	const excluded = -math.MaxFloat64
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	const workers, iters = 8, 24
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Cycle every (survey, cell size) combination in every
+				// goroutine so all masters see concurrent first use.
+				combo := w*iters + i
+				si := combo % len(surveys)
+				cell := cells[(combo/len(surveys))%len(cells)]
+				off := float64(combo%3) * 13.5 // origins differ; only cellKm keys
+				g := geo.NewGrid(geo.V2(-600+off, -500), geo.V2(600+off, 500), cell)
+				if !c.Apply(g, surveys[si], excluded) {
+					errs <- "Apply returned false"
+					g.Release()
+					continue
+				}
+				land := make([]bool, g.W*g.H)
+				for _, r := range surveys[si] {
+					g.RasterizeRegionInto(r, land)
+				}
+				for y := 0; y < g.H; y++ {
+					for x := 0; x < g.W; x++ {
+						j := y*g.W + x
+						if (g.Weight[j] != excluded) == land[j] {
+							continue
+						}
+						centre := geo.V2(g.Min.X+(float64(x)+0.5)*cell, g.Min.Y+(float64(y)+0.5)*cell)
+						if boundaryDist(surveySquares[si], centre) > 1.6*cell {
+							errs <- "cached mask diverges from direct rasterization away from region boundaries"
+						}
+					}
+				}
+				g.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+
+	want := uint64(len(surveys) * len(cells))
+	s := c.Stats()
+	if s.Misses != want || s.Entries != int(want) {
+		t.Errorf("mixed concurrent load: %+v, want exactly %d masters built once each", s, want)
+	}
+	if s.Hits != workers*iters-want {
+		t.Errorf("hits %d, want every apply after the first per (survey, size) to hit (%d)", s.Hits, workers*iters-want)
+	}
 }
 
 // TestQuantizeCellKm pins the coarse-cell lattice the land-mask cache

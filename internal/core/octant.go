@@ -298,6 +298,16 @@ func (l *Localizer) LocalizeWith(ctx context.Context, target string, o *Localize
 		// default path allocation-identical to v1.
 		req.Prober = probe.WithContext(ctx, l.Prober)
 	}
+	return l.localizeRequest(ctx, req)
+}
+
+// localizeRequest runs the evidence pipeline and solve for one assembled
+// Request. It is the single body behind the scalar path (LocalizeWith)
+// and the fused batch path (LocalizeBatchWith) — the batch path differs
+// only in the Request it assembles (shared resolved config and prober
+// binding, a per-worker constraint arena), so per-target behaviour stays
+// bit-identical between the two by construction.
+func (l *Localizer) localizeRequest(ctx context.Context, req *Request) (*Result, error) {
 	explain := req.Opts.Explain
 	var prov *Provenance
 	if explain {
@@ -349,13 +359,13 @@ func (l *Localizer) LocalizeWith(ctx context.Context, target string, o *Localize
 		}
 	}
 	if len(constraints) == 0 {
-		return nil, fmt.Errorf("core: no usable constraints for %s", target)
+		return nil, fmt.Errorf("core: no usable constraints for %s", req.Target)
 	}
 
 	// Solve (§2.4), masking oceans (§2.5) when the GeographySource ran.
-	sopts := l.solverOpts(&cfg, &req.Opts)
+	sopts := l.solverOpts(&req.Cfg, &req.Opts)
 	sopts.LandRegions = req.Land
-	if cfg.Unweighted {
+	if req.Cfg.Unweighted {
 		// Discrete semantics: negatives are absolute vetoes.
 		for i := range constraints {
 			if constraints[i].Kind == Negative {
@@ -378,7 +388,7 @@ func (l *Localizer) LocalizeWith(ctx context.Context, target string, o *Localize
 	}
 	pr := req.PCtx.Proj
 	res := &Result{
-		Target:         target,
+		Target:         req.Target,
 		Region:         sol.Region,
 		Projection:     pr,
 		AreaKm2:        sol.Region.Area(),
@@ -602,7 +612,7 @@ func routerConstraints(req *Request) []Constraint {
 		if cfg.Unweighted {
 			w = 1
 		}
-		out = append(out, diskConstraint(Positive, cf, geo.NewFrame(rc.loc.Loc), rc.maxKm, w, "router:"+code))
+		out = append(out, req.disk(Positive, cf, geo.NewFrame(rc.loc.Loc), rc.maxKm, w, "router:"+code))
 	}
 	return out
 }

@@ -12,6 +12,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sort"
@@ -223,14 +224,23 @@ func (d *Deployment) RunFig4(octantCfg core.Config, counts []int, trials int, se
 			}
 			loc := core.NewLocalizer(d.Prober, sub, octantCfg)
 			gl := baselines.NewGeoLim(sub)
-			// Evaluate on every non-landmark node.
+			// Evaluate on every non-landmark node. The Octant side is one
+			// homogeneous batch per subset survey, so it runs through the
+			// fused batch solve (bit-identical to per-target Localize, see
+			// TestFig4FusedParity) and shares rasterized geography across
+			// the whole trial.
+			var evalIdx []int
+			var addrs []string
 			for ti := 0; ti < len(d.Landmarks); ti++ {
-				if isLandmark[ti] {
-					continue
+				if !isLandmark[ti] {
+					evalIdx = append(evalIdx, ti)
+					addrs = append(addrs, d.Landmarks[ti].Addr)
 				}
+			}
+			oress, oerrs := loc.LocalizeBatch(context.Background(), addrs)
+			for bi, ti := range evalIdx {
 				target := d.Landmarks[ti]
-				ores, err := loc.Localize(target.Addr)
-				if err == nil {
+				if ores := oress[bi]; oerrs[bi] == nil {
 					octTot++
 					if ores.ContainsTruth(target.Loc) {
 						octIn++

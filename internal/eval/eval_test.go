@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -112,6 +113,90 @@ func TestFig3QuickShape(t *testing.T) {
 	cdf := res.FormatCDF()
 	if !strings.Contains(cdf, "Octant") || !strings.Contains(cdf, "GeoTrack") {
 		t.Errorf("CDF table malformed:\n%s", cdf)
+	}
+}
+
+// TestFig3FusedParity drives the Figure 3 leave-one-out golden through
+// the fused batch solve: each held-out target is its own survey, so each
+// is a fused group of one, and every group must reproduce the scalar
+// Localize result bit-for-bit — the figure's error series is identical
+// whichever path computes it.
+func TestFig3FusedParity(t *testing.T) {
+	d := testDeployment(t)
+	const step = 5
+	scalar, err := d.RunFig3(core.Config{}, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var octErrors []float64
+	for _, row := range scalar.Rows {
+		if row.Name == "Octant" {
+			octErrors = row.Errors
+		}
+	}
+	ctx := context.Background()
+	bi := 0
+	for ti := 0; ti < len(d.Landmarks); ti += step {
+		target := d.Landmarks[ti]
+		sub, err := d.leaveOneOut(ti)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loc := core.NewLocalizer(d.Prober, sub, core.Config{})
+		results, errs := loc.LocalizeBatch(ctx, []string{target.Addr})
+		if errs[0] != nil {
+			t.Fatalf("fused leave-one-out on %s: %v", target.Name, errs[0])
+		}
+		if got := results[0].Point.DistanceMiles(target.Loc); got != octErrors[bi] {
+			t.Errorf("%s: fused error %.6f mi, scalar golden %.6f mi", target.Name, got, octErrors[bi])
+		}
+		bi++
+	}
+}
+
+// TestFig4FusedParity pins the Figure 4 production path: one subset
+// survey's full target sweep through LocalizeBatch must be bit-identical
+// (point, area, containment) to per-target scalar localization, so the
+// batched RunFig4 reproduces the pre-fused golden exactly.
+func TestFig4FusedParity(t *testing.T) {
+	d := testDeployment(t)
+	const k = 20
+	lmIdx := make([]int, k)
+	for i := range lmIdx {
+		lmIdx[i] = i * 2 // deterministic spread of 20 landmark sites
+	}
+	sub, err := d.Survey.Subset(lmIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isLandmark := make(map[int]bool, k)
+	for _, i := range lmIdx {
+		isLandmark[i] = true
+	}
+	loc := core.NewLocalizer(d.Prober, sub, core.Config{})
+	var targets []core.Landmark
+	var addrs []string
+	for ti := range d.Landmarks {
+		if !isLandmark[ti] {
+			targets = append(targets, d.Landmarks[ti])
+			addrs = append(addrs, d.Landmarks[ti].Addr)
+		}
+	}
+	results, errs := loc.LocalizeBatch(context.Background(), addrs)
+	for i, target := range targets {
+		sres, serr := loc.Localize(target.Addr)
+		if (serr == nil) != (errs[i] == nil) {
+			t.Fatalf("%s: scalar err %v, fused err %v", target.Name, serr, errs[i])
+		}
+		if serr != nil {
+			continue
+		}
+		fres := results[i]
+		if fres.Point != sres.Point || fres.AreaKm2 != sres.AreaKm2 ||
+			fres.ContainsTruth(target.Loc) != sres.ContainsTruth(target.Loc) {
+			t.Errorf("%s: fused (%v, %.6f km²) diverges from scalar (%v, %.6f km²)",
+				target.Name, fres.Point, fres.AreaKm2, sres.Point, sres.AreaKm2)
+		}
 	}
 }
 

@@ -26,6 +26,15 @@ type Grid struct {
 	// AddRegionBatched, (W+1)*H entries, returned to the pool by FlushAdds
 	// or Release.
 	diff []float64
+
+	// batchFn is the span callback AddRegionBatched hands to forEachSpan,
+	// built once per grid: the solver overlays ~a hundred constraints per
+	// grid, and a fresh closure per overlay was a measurable slice of the
+	// per-target allocation count. The weight travels through batchW
+	// (written before each fill, read-only during it, so the row-parallel
+	// fill path stays race-free).
+	batchW  float64
+	batchFn func(y, x0, x1 int)
 }
 
 // weightPool and maskPool recycle the two large per-solve buffers (a 1M-cell
@@ -200,11 +209,15 @@ func (g *Grid) AddRegionBatched(r *Region, w float64) {
 	if g.diff == nil {
 		g.diff = getWeightBuf((g.W + 1) * g.H)
 	}
-	stride := g.W + 1
-	g.forEachSpan(r, func(y, x0, x1 int) {
-		g.diff[y*stride+x0] += w
-		g.diff[y*stride+x1+1] -= w
-	})
+	if g.batchFn == nil {
+		g.batchFn = func(y, x0, x1 int) {
+			stride := g.W + 1
+			g.diff[y*stride+x0] += g.batchW
+			g.diff[y*stride+x1+1] -= g.batchW
+		}
+	}
+	g.batchW = w
+	g.forEachSpan(r, g.batchFn)
 }
 
 // FlushAdds applies all AddRegionBatched updates to the weight field and
@@ -382,6 +395,27 @@ func vkeyLess(a, b vkey) bool {
 	return a.y < b.y || (a.y == b.y && a.x < b.x)
 }
 
+// edgesByFrom stable-sorts boundary edges by start vertex. The concrete
+// sort.Interface shares the stable-sort template with the sort.SliceStable
+// call it replaced, so the edge order — and every ring traced from it —
+// is byte-identical, without the per-call closure/swapper allocations.
+type edgesByFrom []dirEdge
+
+func (e edgesByFrom) Len() int           { return len(e) }
+func (e edgesByFrom) Less(i, j int) bool { return vkeyLess(e[i].from, e[j].from) }
+func (e edgesByFrom) Swap(i, j int)      { e[i], e[j] = e[j], e[i] }
+
+// traceScratch pools the per-trace working set: the directed-edge table,
+// its used bitmap, and the current loop. Rings are retained by the caller
+// and stay off the scratch.
+type traceScratch struct {
+	edges []dirEdge
+	used  []bool
+	loop  []vkey
+}
+
+var tracePool = sync.Pool{New: func() any { return new(traceScratch) }}
+
 // traceBoundary converts a binary cell mask into a Region. Directed
 // boundary edges are emitted with the inside on the left, then linked into
 // loops, producing CCW outer rings and CW holes without post-processing.
@@ -397,33 +431,33 @@ func (g *Grid) traceBoundary(inside []bool) *Region {
 		}
 		return inside[y*g.W+x]
 	}
-	var edges []dirEdge
-	add := func(x0, y0, x1, y1 int) {
-		edges = append(edges, dirEdge{vkey{int32(x0), int32(y0)}, vkey{int32(x1), int32(y1)}})
-	}
+	ts := tracePool.Get().(*traceScratch)
+	defer tracePool.Put(ts)
+	edges := ts.edges[:0]
 	for y := 0; y < g.H; y++ {
 		for x := 0; x < g.W; x++ {
 			if !in(x, y) {
 				continue
 			}
 			if !in(x, y-1) { // bottom edge, rightward
-				add(x, y, x+1, y)
+				edges = append(edges, dirEdge{vkey{int32(x), int32(y)}, vkey{int32(x + 1), int32(y)}})
 			}
 			if !in(x, y+1) { // top edge, leftward
-				add(x+1, y+1, x, y+1)
+				edges = append(edges, dirEdge{vkey{int32(x + 1), int32(y + 1)}, vkey{int32(x), int32(y + 1)}})
 			}
 			if !in(x-1, y) { // left edge, downward
-				add(x, y+1, x, y)
+				edges = append(edges, dirEdge{vkey{int32(x), int32(y + 1)}, vkey{int32(x), int32(y)}})
 			}
 			if !in(x+1, y) { // right edge, upward
-				add(x+1, y, x+1, y+1)
+				edges = append(edges, dirEdge{vkey{int32(x + 1), int32(y)}, vkey{int32(x + 1), int32(y + 1)}})
 			}
 		}
 	}
+	ts.edges = edges
 	// Stable sort keeps edges sharing a start vertex in emission order, so
 	// saddle resolution sees candidates in the same order the adjacency-map
 	// representation produced (and ring output stays byte-identical).
-	sort.SliceStable(edges, func(i, j int) bool { return vkeyLess(edges[i].from, edges[j].from) })
+	sort.Stable(edgesByFrom(edges))
 	// findFrom returns the [i, j) range of edges starting at v.
 	findFrom := func(v vkey) (int, int) {
 		i := sort.Search(len(edges), func(k int) bool { return !vkeyLess(edges[k].from, v) })
@@ -433,11 +467,18 @@ func (g *Grid) traceBoundary(inside []bool) *Region {
 		}
 		return i, j
 	}
-	used := make([]bool, len(edges))
+	used := ts.used
+	if cap(used) >= len(edges) {
+		used = used[:len(edges)]
+		clear(used)
+	} else {
+		used = make([]bool, len(edges))
+	}
+	ts.used = used
 	remaining := len(edges)
 	cursor := 0 // edges before cursor are all used
 	var rings []Ring
-	var loop []vkey
+	loop := ts.loop
 	for remaining > 0 {
 		for used[cursor] {
 			cursor++
@@ -510,6 +551,7 @@ func (g *Grid) traceBoundary(inside []bool) *Region {
 			}
 		}
 	}
+	ts.loop = loop
 	return &Region{Rings: rings}
 }
 

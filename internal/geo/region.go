@@ -30,6 +30,16 @@ func NewRegion(rings ...Ring) *Region {
 	return r
 }
 
+// NormalizeRegion orients r's rings in place exactly as NewRegion does
+// (area rings CCW, odd-depth rings CW holes) and returns r. It exists for
+// callers that place the Region header and ring slice in caller-owned
+// memory (the constraint arena) instead of letting NewRegion allocate
+// them.
+func NormalizeRegion(r *Region) *Region {
+	r.normalize()
+	return r
+}
+
 // RegionFromRing wraps a single ring (made CCW) as a region.
 func RegionFromRing(ring Ring) *Region {
 	rr := ring.Clone()

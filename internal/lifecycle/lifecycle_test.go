@@ -209,6 +209,28 @@ func TestHotSwapSoak(t *testing.T) {
 			}
 		}()
 	}
+	// A third load generator drives core.LocalizeBatch directly on the
+	// current epoch's snapshot — the fused group path without the engine
+	// in front — so hot swaps land under both entry points. Its items
+	// join the same per-epoch bit-identity audit below.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			e := m.Current()
+			results, errs := e.Localizer.LocalizeBatch(ctx, f.targets[:4])
+			mu.Lock()
+			for i := range results {
+				items = append(items, batch.Item{
+					Index: i, Target: f.targets[i],
+					Result: results[i], Err: errs[i],
+					Epoch: e.Number(),
+				})
+			}
+			mu.Unlock()
+		}
+	}()
+
 	// waitPasses blocks until at least n full target sweeps completed, so
 	// every swap lands while localization load is genuinely in flight.
 	waitPasses := func(n int64) {
@@ -277,6 +299,10 @@ func TestHotSwapSoak(t *testing.T) {
 	}
 	if errored != 0 {
 		t.Errorf("%d of %d requests errored during hot-swaps, want 0", errored, len(items))
+	}
+	// The engine's multi-target sweeps must all have run as fused groups.
+	if s := engine.Stats(); s.FusedGroups == 0 || s.FusedTargets == 0 {
+		t.Errorf("soak ran no fused groups (stats %d groups / %d targets)", s.FusedGroups, s.FusedTargets)
 	}
 	perEpoch := map[uint64]int{}
 	for _, item := range items {

@@ -12,6 +12,23 @@ type NelderMeadOpts struct {
 	Step    float64 // initial simplex step per coordinate (default 1)
 }
 
+// nmVertex is one simplex vertex with its cached objective value.
+type nmVertex struct {
+	x []float64
+	f float64
+}
+
+// nmSimplex sorts vertices by objective value. A concrete sort.Interface
+// keeps the per-iteration sort allocation-free; sort.Sort and sort.Slice
+// instantiate the same pdqsort template, so the swap sequence — and with
+// it the tie-ordering of equal-valued vertices — is identical to the
+// sort.Slice formulation this replaced.
+type nmSimplex []nmVertex
+
+func (s nmSimplex) Len() int           { return len(s) }
+func (s nmSimplex) Less(i, j int) bool { return s[i].f < s[j].f }
+func (s nmSimplex) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
 // NelderMead minimizes f starting from x0 using the Nelder–Mead downhill
 // simplex method (reflection/expansion/contraction/shrink with the standard
 // coefficients). It returns the best point found and its value. The method
@@ -40,20 +57,27 @@ func NelderMead(f func([]float64) float64, x0 []float64, opts *NelderMeadOpts) (
 		rho   = 0.5 // contraction
 		sigma = 0.5 // shrink
 	)
-	type vertex struct {
-		x []float64
-		f float64
-	}
-	simplex := make([]vertex, n+1)
-	simplex[0] = vertex{append([]float64(nil), x0...), f(x0)}
+	simplex := make(nmSimplex, n+1)
+	simplex[0] = nmVertex{append([]float64(nil), x0...), f(x0)}
 	for i := 1; i <= n; i++ {
 		x := append([]float64(nil), x0...)
 		x[i-1] += o.Step
-		simplex[i] = vertex{x, f(x)}
+		simplex[i] = nmVertex{x, f(x)}
 	}
 	centroid := make([]float64, n)
+	// Two scratch buffers cycle through the reflection/expansion/
+	// contraction candidates. A candidate adopted into the simplex takes
+	// the evicted worst vertex's buffer with it, so the buffer count stays
+	// fixed at two for the whole run — every candidate coordinate is fully
+	// overwritten before use, which keeps the arithmetic bit-identical to
+	// the make-per-iteration formulation this replaced.
+	bufA := make([]float64, n)
+	bufB := make([]float64, n)
+	// Box the simplex into sort.Interface once: the conversion inside the
+	// loop would otherwise heap-allocate a slice header per iteration.
+	var byF sort.Interface = simplex
 	for iter := 0; iter < o.MaxIter; iter++ {
-		sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+		sort.Sort(byF)
 		if math.Abs(simplex[n].f-simplex[0].f) < o.Tol {
 			break
 		}
@@ -70,31 +94,35 @@ func NelderMead(f func([]float64) float64, x0 []float64, opts *NelderMeadOpts) (
 			centroid[j] /= float64(n)
 		}
 		worst := simplex[n]
-		refl := make([]float64, n)
+		refl := bufA
 		for j := 0; j < n; j++ {
 			refl[j] = centroid[j] + alpha*(centroid[j]-worst.x[j])
 		}
 		fr := f(refl)
 		switch {
 		case fr < simplex[0].f:
-			exp := make([]float64, n)
+			exp := bufB
 			for j := 0; j < n; j++ {
 				exp[j] = centroid[j] + gamma*(refl[j]-centroid[j])
 			}
 			if fe := f(exp); fe < fr {
-				simplex[n] = vertex{exp, fe}
+				simplex[n] = nmVertex{exp, fe}
+				bufB = worst.x
 			} else {
-				simplex[n] = vertex{refl, fr}
+				simplex[n] = nmVertex{refl, fr}
+				bufA = worst.x
 			}
 		case fr < simplex[n-1].f:
-			simplex[n] = vertex{refl, fr}
+			simplex[n] = nmVertex{refl, fr}
+			bufA = worst.x
 		default:
-			contr := make([]float64, n)
+			contr := bufB
 			for j := 0; j < n; j++ {
 				contr[j] = centroid[j] + rho*(worst.x[j]-centroid[j])
 			}
 			if fc := f(contr); fc < worst.f {
-				simplex[n] = vertex{contr, fc}
+				simplex[n] = nmVertex{contr, fc}
+				bufB = worst.x
 			} else {
 				// Shrink toward best.
 				for i := 1; i <= n; i++ {
@@ -106,6 +134,6 @@ func NelderMead(f func([]float64) float64, x0 []float64, opts *NelderMeadOpts) (
 			}
 		}
 	}
-	sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+	sort.Sort(byF)
 	return simplex[0].x, simplex[0].f
 }

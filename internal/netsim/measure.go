@@ -3,6 +3,7 @@ package netsim
 import (
 	"math"
 	"math/rand/v2"
+	"sync"
 
 	"octant/internal/geo"
 )
@@ -99,13 +100,37 @@ func (w *World) pathBaseRTT(path []int) float64 {
 	return 2 * oneWay
 }
 
-// probeRNG returns a deterministic noise stream for ordered probe traffic
-// between two nodes.
-func (w *World) probeRNG(src, dst int, stream uint64) *rand.Rand {
+// probeSeed derives the deterministic first seed word for ordered probe
+// traffic between two nodes; the second word is the caller's stream tag.
+func (w *World) probeSeed(src, dst int) uint64 {
 	k := w.seed ^ 0x9e3779b97f4a7c15
 	k ^= uint64(src+1) * 0xbf58476d1ce4e5b9
 	k ^= uint64(dst+1) * 0x94d049bb133111eb
-	return rand.New(rand.NewPCG(k, stream))
+	return k
+}
+
+// prng is a pooled, reseedable probe-noise generator. rand.Rand holds no
+// stream state of its own and PCG.Seed(a, b) puts the generator in
+// exactly the state NewPCG(a, b) constructs, so reseeding a pooled pair
+// reproduces the per-call-constructed stream bit for bit — without the
+// two heap objects per probe call (the Rand's source is consumed through
+// an interface, which defeats stack allocation of a fresh pair).
+type prng struct {
+	pcg *rand.PCG
+	rng *rand.Rand
+}
+
+var prngPool = sync.Pool{New: func() any {
+	p := rand.NewPCG(0, 0)
+	return &prng{pcg: p, rng: rand.New(p)}
+}}
+
+// getRNG returns a generator seeded as rand.New(rand.NewPCG(seed,
+// stream)) would be; return it with prngPool.Put when done.
+func getRNG(seed, stream uint64) *prng {
+	p := prngPool.Get().(*prng)
+	p.pcg.Seed(seed, stream)
+	return p
 }
 
 // jitter draws one per-probe elastic delay: exponential with a heavy tail
@@ -131,10 +156,11 @@ func (w *World) Ping(src, dst, n int) []float64 {
 		return out
 	}
 	base := w.BaseRTTMs(src, dst)
-	rng := w.probeRNG(src, dst, 0xfeed)
+	p := getRNG(w.probeSeed(src, dst), 0xfeed)
 	for i := range out {
-		out[i] = base + jitter(rng, w.Cfg.JitterMeanMs)
+		out[i] = base + jitter(p.rng, w.Cfg.JitterMeanMs)
 	}
+	prngPool.Put(p)
 	return out
 }
 
@@ -164,8 +190,10 @@ func (w *World) Traceroute(src, dst, nProbe int) []Hop {
 	if path == nil {
 		return nil
 	}
-	rng := w.probeRNG(src, dst, 0x7ace)
-	var hops []Hop
+	p := getRNG(w.probeSeed(src, dst), 0x7ace)
+	defer prngPool.Put(p)
+	rng := p.rng
+	hops := make([]Hop, 0, len(path)-1)
 	for i := 1; i < len(path); i++ {
 		sub := path[:i+1]
 		base := w.pathBaseRTT(sub) + w.Nodes[src].accessMs

@@ -69,27 +69,35 @@ func (w *World) shortestTree(src int) *routeTable {
 }
 
 // Route returns the node-ID path from src to dst (inclusive of both), or
-// nil if dst is unreachable.
+// nil if dst is unreachable. The tree walk runs twice — once to count,
+// once to fill — so the path is built in one exact-size allocation
+// (Route sits under every Ping; append-grown paths dominated the
+// simulator's allocation profile).
 func (w *World) Route(src, dst int) []int {
 	t := w.shortestTree(src)
 	if t.cost[dst] >= 1e18 {
 		return nil
 	}
-	var rev []int
+	n := 0
 	for cur := dst; cur != -1; cur = t.prev[cur] {
-		rev = append(rev, cur)
+		n++
 		if cur == src {
 			break
 		}
 	}
-	// Reverse into forward order.
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
+	path := make([]int, n)
+	i := n - 1
+	for cur := dst; cur != -1; cur = t.prev[cur] {
+		path[i] = cur
+		i--
+		if cur == src {
+			break
+		}
 	}
-	if rev[0] != src {
+	if path[0] != src {
 		return nil
 	}
-	return rev
+	return path
 }
 
 // linkBetween returns the link index connecting a and b, or -1.
