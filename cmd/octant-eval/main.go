@@ -27,6 +27,14 @@
 // the fused results are bit-identical to the sequential references:
 //
 //	octant-eval -bulk | octant-eval -bench-json - -commit $SHA
+//
+// The -cluster mode load-tests the sharded serving tier over in-process
+// fleets: 1/2/4-node scaling legs emitted as ClusterNodes{1,2,4} bench
+// lines (gated: 2 nodes must clear -cluster-min-scale × the 1-node
+// throughput) followed by a rolling-swap soak that fails on any request
+// error, mixed-epoch batch, or cross-node bit-identity violation:
+//
+//	octant-eval -cluster | octant-eval -bench-json - -commit $SHA
 package main
 
 import (
@@ -72,8 +80,20 @@ func main() {
 		bulkTargets = flag.Int("bulk-targets", 64, "bulk mode: targets per batch (cycles over the 8 held-out hosts)")
 		bulkWorkers = flag.Int("bulk-workers", 8, "bulk mode: fused worker count")
 		bulkPace    = flag.Duration("bulk-pace", 5*time.Millisecond, "bulk mode: simulated wire time per ping train")
+
+		clusterOn       = flag.Bool("cluster", false, "cluster mode: 1/2/4-node fleet scaling legs (emitted as bench lines) plus a rolling-swap soak; exits non-zero on the scaling gate or any soak violation")
+		clusterKeys     = flag.Int("cluster-keys", 64, "cluster mode: unique (target, fingerprint) keys per scaling leg")
+		clusterPace     = flag.Duration("cluster-pace", 2*time.Millisecond, "cluster mode: wire time each ping train occupies a node's serialized measurement pipeline (makes per-node capacity the bottleneck)")
+		clusterMinScale = flag.Float64("cluster-min-scale", 1.7, "cluster mode: fail unless the 2-node fleet clears this multiple of 1-node throughput")
 	)
 	flag.Parse()
+
+	if *clusterOn {
+		if err := runCluster(*seed, *clusterKeys, *clusterPace, *clusterMinScale); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *bulk {
 		if err := runBulk(*seed, *bulkTargets, *bulkWorkers, *bulkPace); err != nil {

@@ -6,14 +6,21 @@
 // calibrations that drifted, and hot-swaps the new epoch under live
 // traffic with zero dropped requests.
 //
-// Endpoints:
+// Endpoints (see internal/serve for the full set, including the v2 API
+// and the cluster coordination surface):
 //
 //	POST /v1/localize        {"target": "host"}            → JSON result
 //	POST /v1/localize/batch  {"targets": ["h1", "h2", …]}  → NDJSON stream
-//	POST /v1/survey/refresh  {"landmarks": ["name", …]?}   → reprobe + recalibrate (all landmarks when body empty)
-//	GET  /v1/survey                                        → epoch, κ, swap/refresh counters, last refresh report
-//	GET  /v1/healthz                                       → liveness + survey size + epoch
-//	GET  /v1/stats                                         → cache hit rate, in-flight, p50/p99 latency, epoch
+//	POST /v2/localize        options/hints/provenance      → JSON result
+//	POST /v2/localize/batch  per-request options           → NDJSON stream
+//	POST /v1/survey/refresh  {"landmarks": ["name", …]?}   → reprobe + recalibrate
+//	GET  /v1/survey/snapshot                               → versioned epoch snapshot
+//	POST /v1/survey/install  (snapshot body)               → stage a pushed epoch
+//	POST /v1/survey/activate                               → drain + swap to staged epoch
+//	GET  /v1/survey                                        → epoch, κ, swap/refresh counters
+//	GET  /v1/healthz                                       → liveness
+//	GET  /v1/readyz                                        → readiness (epoch published, not draining)
+//	GET  /v1/stats                                         → cache, latency, epoch
 //	GET  /debug/pprof/…                                    → live profiling (only with -pprof)
 //
 // Usage (simulated Internet, first 8 hosts held out as targets,
@@ -26,8 +33,9 @@
 // given file and, when the file already exists at startup, loads it and
 // starts serving without issuing a single landmark probe.
 //
-// On SIGINT/SIGTERM the daemon stops accepting connections and drains
-// in-flight requests (including streaming batches) before exiting.
+// On SIGINT/SIGTERM the daemon flips readiness to draining, stops
+// accepting connections, and drains in-flight requests (including
+// streaming batches) before exiting.
 //
 // Against real networks, swap the prober and supply landmarks yourself:
 //
@@ -39,26 +47,19 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
-	"fmt"
-	"io/fs"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
 	"octant/internal/batch"
 	"octant/internal/core"
-	"octant/internal/geo"
 	"octant/internal/lifecycle"
-	"octant/internal/netsim"
-	"octant/internal/probe"
+	"octant/internal/serve"
 )
 
 func main() {
@@ -80,16 +81,17 @@ func main() {
 		snapshot  = flag.String("survey-snapshot", "", "survey snapshot file: loaded at startup when present (warm start, no probing), rewritten on every published epoch")
 		refresh   = flag.Duration("refresh", 0, "periodic survey recalibration interval (0 = on-demand only, via POST /v1/survey/refresh)")
 		driftTol  = flag.Duration("drift-tolerance", 500*time.Microsecond, "min per-pair RTT drift for a refresh to count a landmark dirty (0 = any change counts)")
+		drain     = flag.Duration("activate-drain", 2*time.Second, "in-flight drain budget before an epoch activation swaps anyway")
 		grace     = flag.Duration("shutdown-grace", 30*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
-	prober, landmarks, err := buildProber(*proberKnd, *seed, *holdout, *lmFile)
+	prober, landmarks, err := serve.BuildProber(*proberKnd, *seed, *holdout, *lmFile)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	survey, err := loadOrProbeSurvey(prober, landmarks, *probes, *snapshot)
+	survey, err := serve.LoadOrProbeSurvey(prober, landmarks, *probes, *snapshot)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -109,8 +111,13 @@ func main() {
 			if r == nil {
 				return // initial epoch, already logged
 			}
-			log.Printf("epoch %d published: %d/%d landmarks dirty, %d calibrations refitted (%.0f ms)",
-				e.Number(), len(r.DirtyLandmarks), e.Survey.N(), r.RebuiltCalibs, r.ElapsedMs)
+			if r.Installed {
+				log.Printf("epoch %d installed from pushed snapshot (%d landmarks)",
+					e.Number(), e.Survey.N())
+			} else {
+				log.Printf("epoch %d published: %d/%d landmarks dirty, %d calibrations refitted (%.0f ms)",
+					e.Number(), len(r.DirtyLandmarks), e.Survey.N(), r.RebuiltCalibs, r.ElapsedMs)
+			}
 			if r.SnapshotError != "" {
 				log.Printf("snapshot autosave failed: %s", r.SnapshotError)
 			}
@@ -122,8 +129,11 @@ func main() {
 		TTL:           *cacheTTL,
 		TargetTimeout: *timeout,
 	})
-	srv := newServer(engine, manager, *maxBatch)
-	srv.pprof = *pprofOn
+	srv := serve.New(engine, manager, serve.Options{
+		MaxBatch:      *maxBatch,
+		Pprof:         *pprofOn,
+		ActivateDrain: *drain,
+	})
 	if *pprofOn {
 		log.Printf("pprof enabled at /debug/pprof/")
 	}
@@ -134,6 +144,12 @@ func main() {
 		log.Printf("recalibrating every %v", *refresh)
 		go manager.Run(ctx)
 	}
+	go func() {
+		// Fail readiness as soon as shutdown starts so fleet routers stop
+		// sending new work while the listener drains.
+		<-ctx.Done()
+		srv.SetDraining(true)
+	}()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -141,172 +157,8 @@ func main() {
 	}
 	log.Printf("listening on %s (%d workers, cache %d, epoch %d)",
 		ln.Addr(), *workers, *cacheSize, manager.Current().Number())
-	if err := serveUntilShutdown(ctx, &http.Server{Handler: srv.handler()}, ln, *grace); err != nil {
+	if err := serve.ServeUntilShutdown(ctx, &http.Server{Handler: srv.Handler()}, ln, *grace); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("drained, exiting")
-}
-
-// serveUntilShutdown serves httpSrv on ln until ctx is cancelled, then
-// drains: the listener closes immediately, in-flight requests (batch
-// streams included) get up to grace to complete, and only then does the
-// function return. A nil return means every accepted request finished.
-func serveUntilShutdown(ctx context.Context, httpSrv *http.Server, ln net.Listener, grace time.Duration) error {
-	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.Serve(ln) }()
-	select {
-	case err := <-errc:
-		return err // listener failed before any shutdown was requested
-	case <-ctx.Done():
-	}
-	shCtx := context.Background()
-	if grace > 0 {
-		var cancel context.CancelFunc
-		shCtx, cancel = context.WithTimeout(shCtx, grace)
-		defer cancel()
-	}
-	if err := httpSrv.Shutdown(shCtx); err != nil {
-		return fmt.Errorf("shutdown: %w", err)
-	}
-	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
-		return err
-	}
-	return nil
-}
-
-// loadOrProbeSurvey starts warm from an existing snapshot when one is
-// available, otherwise probes the full landmark mesh and seeds the
-// snapshot file if a path was given (the lifecycle manager rewrites it
-// on every recalibrated epoch).
-func loadOrProbeSurvey(prober probe.Prober, landmarks []core.Landmark, probes int, snapshot string) (*core.Survey, error) {
-	if snapshot != "" {
-		switch _, err := os.Stat(snapshot); {
-		case err == nil:
-			survey, err := core.LoadSnapshotFile(snapshot)
-			if err != nil {
-				return nil, fmt.Errorf("%s exists but is unusable (%w); move it aside to reprobe", snapshot, err)
-			}
-			// A snapshot silently overriding the configured landmark set
-			// would make the -seed/-holdout/-landmarks flags dead and the
-			// calibrations wrong for the mesh the operator asked for.
-			if err := landmarksMatch(survey.Landmarks, landmarks); err != nil {
-				return nil, fmt.Errorf("%s does not match the configured landmark set (%w); move it aside to reprobe", snapshot, err)
-			}
-			// Min-of-n RTTs are only comparable at the same n: a probe
-			// count mismatch would bias every later drift comparison.
-			if survey.Probes != probes {
-				return nil, fmt.Errorf("%s was measured with -probes %d, configuration says %d; move it aside to reprobe", snapshot, survey.Probes, probes)
-			}
-			log.Printf("warm start from %s: epoch %d, %d landmarks, no probing (κ=%.2f)",
-				snapshot, survey.Epoch, survey.N(), survey.Kappa)
-			return survey, nil
-		case !errors.Is(err, fs.ErrNotExist):
-			// Permission or I/O trouble is a misconfiguration to surface,
-			// not a license to reprobe on every restart.
-			return nil, fmt.Errorf("checking snapshot %s: %w", snapshot, err)
-		}
-	}
-	log.Printf("surveying %d landmarks (O(n²) pings + calibration)…", len(landmarks))
-	start := time.Now()
-	survey, err := core.NewSurvey(prober, landmarks, core.SurveyOpts{Probes: probes, UseHeights: true})
-	if err != nil {
-		return nil, err
-	}
-	log.Printf("survey ready in %v (κ=%.2f)", time.Since(start).Round(time.Millisecond), survey.Kappa)
-	if snapshot != "" {
-		if err := survey.SaveSnapshotFile(snapshot); err != nil {
-			return nil, fmt.Errorf("seeding snapshot: %w", err)
-		}
-		log.Printf("seeded snapshot %s", snapshot)
-	}
-	return survey, nil
-}
-
-// landmarksMatch reports whether a snapshot's landmark set is exactly the
-// configured one (same order, addresses, names, positions).
-func landmarksMatch(snap, cfg []core.Landmark) error {
-	if len(snap) != len(cfg) {
-		return fmt.Errorf("snapshot has %d landmarks, configuration has %d", len(snap), len(cfg))
-	}
-	for i := range snap {
-		if snap[i] != cfg[i] {
-			return fmt.Errorf("landmark %d is %s (%s), configuration says %s (%s)",
-				i, snap[i].Name, snap[i].Addr, cfg[i].Name, cfg[i].Addr)
-		}
-	}
-	return nil
-}
-
-// buildProber assembles the measurement source and its landmark set.
-func buildProber(kind string, seed uint64, holdout int, lmFile string) (probe.Prober, []core.Landmark, error) {
-	switch kind {
-	case "sim":
-		world := netsim.NewWorld(netsim.Config{Seed: seed})
-		hosts := world.HostNodes()
-		if holdout < 0 || holdout > len(hosts)-3 {
-			return nil, nil, fmt.Errorf("holdout %d leaves fewer than 3 landmarks", holdout)
-		}
-		var landmarks []core.Landmark
-		for _, h := range hosts[holdout:] {
-			landmarks = append(landmarks, core.Landmark{Addr: h.Name, Name: h.Inst, Loc: h.Loc})
-		}
-		return probe.NewSimProber(world), landmarks, nil
-	case "tcp":
-		if lmFile == "" {
-			return nil, nil, fmt.Errorf("-prober tcp requires -landmarks")
-		}
-		landmarks, err := loadLandmarks(lmFile)
-		if err != nil {
-			return nil, nil, err
-		}
-		return probe.NewTCPProber(), landmarks, nil
-	default:
-		return nil, nil, fmt.Errorf("unknown prober %q (want sim|tcp)", kind)
-	}
-}
-
-// loadLandmarks parses "addr,name,lat,lon" lines ('#' comments allowed).
-func loadLandmarks(path string) ([]core.Landmark, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var out []core.Landmark
-	seenName := make(map[string]int)
-	seenAddr := make(map[string]int)
-	for ln, line := range strings.Split(string(data), "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		parts := strings.Split(line, ",")
-		if len(parts) != 4 {
-			return nil, fmt.Errorf("%s:%d: want addr,name,lat,lon", path, ln+1)
-		}
-		lat, err1 := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
-		lon, err2 := strconv.ParseFloat(strings.TrimSpace(parts[3]), 64)
-		if err1 != nil || err2 != nil {
-			return nil, fmt.Errorf("%s:%d: bad coordinates", path, ln+1)
-		}
-		lm := core.Landmark{
-			Addr: strings.TrimSpace(parts[0]),
-			Name: strings.TrimSpace(parts[1]),
-			Loc:  geo.Pt(lat, lon),
-		}
-		// Names address landmarks in the admin API (scoped refresh) and
-		// addresses identify probe endpoints; ambiguity in either would
-		// silently misdirect recalibration.
-		if prev, ok := seenName[lm.Name]; ok {
-			return nil, fmt.Errorf("%s:%d: duplicate landmark name %q (first at line %d)", path, ln+1, lm.Name, prev)
-		}
-		if prev, ok := seenAddr[lm.Addr]; ok {
-			return nil, fmt.Errorf("%s:%d: duplicate landmark address %q (first at line %d)", path, ln+1, lm.Addr, prev)
-		}
-		seenName[lm.Name], seenAddr[lm.Addr] = ln+1, ln+1
-		out = append(out, lm)
-	}
-	if len(out) < 3 {
-		return nil, fmt.Errorf("%s: need ≥ 3 landmarks, have %d", path, len(out))
-	}
-	return out, nil
 }

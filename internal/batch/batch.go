@@ -462,11 +462,40 @@ func (e *Engine) measure(ctx context.Context, loc *core.Localizer, target string
 	return res, nil
 }
 
+// Peek looks up a cached result for (target, fingerprint, epoch) without
+// measuring, coalescing, or counting a request. It is the cluster tier's
+// peer-fetch read path: a sibling node (or the fleet router) may ask
+// whether this engine already holds a result it can reuse. Entries from
+// non-cacheable requests never exist (they bypass the LRU on insert), so
+// Peek can never leak an un-shareable result. The lookup follows the
+// cache's epoch discipline: an entry from an older epoch than asked for
+// is evicted as stale, an entry from a newer one is left alone.
+func (e *Engine) Peek(target, fingerprint string, epoch uint64) (*core.Result, bool) {
+	if e.cache == nil {
+		return nil, false
+	}
+	key := target
+	if fingerprint != "" {
+		key = target + "\x1f" + fingerprint
+	}
+	res, ok := e.cache.get(key, epoch)
+	if ok {
+		e.metrics.peerHit()
+	}
+	return res, ok
+}
+
+// InFlight reports how many requests the engine currently has in flight —
+// the cheap accessor drain loops poll (Stats snapshots the whole latency
+// window).
+func (e *Engine) InFlight() int64 { return e.metrics.inFlight.Load() }
+
 // Stats returns a snapshot of the engine's counters and latency quantiles.
 func (e *Engine) Stats() Stats {
 	s := e.metrics.snapshot()
 	if e.cache != nil {
 		s.CacheLen = e.cache.len()
+		s.CacheCap = e.cache.cap
 	}
 	s.Workers = e.opts.Workers
 	loc := e.provider.CurrentLocalizer()

@@ -1,0 +1,226 @@
+package batch
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"octant/internal/core"
+)
+
+// resAt mints a result whose Weight encodes the epoch it was "computed"
+// under, so epoch-discipline violations are visible in the value itself.
+func resAt(epoch uint64) *core.Result {
+	return &core.Result{Weight: float64(epoch)}
+}
+
+// TestLRUEpochDiscipline pins the cache's per-entry epoch rules in both
+// directions: an entry from a NEWER epoch than the requester's snapshot
+// is a miss that leaves the entry alone (it is exactly what current
+// requests want), an entry from an OLDER epoch is a miss that evicts the
+// stale entry, and a put can never clobber a fresher entry with a
+// straggler's superseded result.
+func TestLRUEpochDiscipline(t *testing.T) {
+	c := newLRU(8, 0)
+	c.put("k", 1, resAt(1))
+
+	if _, ok := c.get("k", 0); ok {
+		t.Fatal("epoch-0 borrower hit an epoch-1 entry")
+	}
+	if c.len() != 1 {
+		t.Fatalf("newer entry was evicted by an older request (len %d)", c.len())
+	}
+	if res, ok := c.get("k", 1); !ok || res.Weight != 1 {
+		t.Fatalf("same-epoch get = %v, %v; want the epoch-1 result", res, ok)
+	}
+	if _, ok := c.get("k", 2); ok {
+		t.Fatal("epoch-2 borrower hit a stale epoch-1 entry")
+	}
+	if c.len() != 0 {
+		t.Fatalf("stale entry not evicted on first touch (len %d)", c.len())
+	}
+
+	c.put("k", 2, resAt(2))
+	c.put("k", 1, resAt(1)) // straggler from before the swap
+	if res, ok := c.get("k", 2); !ok || res.Weight != 2 {
+		t.Fatalf("straggler clobbered the fresh entry: get = %v, %v", res, ok)
+	}
+}
+
+func TestLRUTTLExpiry(t *testing.T) {
+	c := newLRU(8, 10*time.Millisecond)
+	c.put("k", 0, resAt(0))
+	if _, ok := c.get("k", 0); !ok {
+		t.Fatal("fresh entry missed")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if _, ok := c.get("k", 0); ok {
+		t.Fatal("expired entry served")
+	}
+	if c.len() != 0 {
+		t.Fatalf("expired entry not evicted (len %d)", c.len())
+	}
+}
+
+// TestLRUConcurrentMixedEpochs hammers one cache from readers and
+// writers pinned to different epochs — the live shape during a rolling
+// survey swap, when stragglers on the old snapshot and requests on the
+// new one share the LRU. The invariant: a hit observed at epoch e is
+// always a result computed at epoch e, no matter how the interleaving
+// falls. Run under -race this is also the cache's data-race test.
+func TestLRUConcurrentMixedEpochs(t *testing.T) {
+	const (
+		workers = 8
+		iters   = 2000
+		nKeys   = 16
+		maxE    = 3
+	)
+	c := newLRU(nKeys/2, 0) // undersized on purpose: eviction churn included
+	var wg sync.WaitGroup
+	var violations sync.Map
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < iters; i++ {
+				// Fingerprint-qualified and bare keys mixed, as the engine
+				// composes them.
+				key := fmt.Sprintf("target-%d", rng.Intn(nKeys))
+				if rng.Intn(2) == 0 {
+					key += "\x1f" + "fpA"
+				}
+				epoch := uint64(rng.Intn(maxE + 1))
+				if rng.Intn(2) == 0 {
+					c.put(key, epoch, resAt(epoch))
+					continue
+				}
+				if res, ok := c.get(key, epoch); ok && res.Weight != float64(epoch) {
+					violations.Store(fmt.Sprintf("epoch %d served weight %v", epoch, res.Weight), true)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	violations.Range(func(k, _ any) bool {
+		t.Errorf("cross-epoch hit: %s", k)
+		return true
+	})
+	if c.len() > nKeys/2 {
+		t.Errorf("cache over capacity after churn: %d > %d", c.len(), nKeys/2)
+	}
+	// Whatever survived, a max-epoch reader can only ever see max-epoch
+	// results (older entries evict on touch).
+	for i := 0; i < nKeys; i++ {
+		if res, ok := c.get(fmt.Sprintf("target-%d", i), maxE); ok && res.Weight != maxE {
+			t.Errorf("target-%d: max-epoch get returned epoch-%v result", i, res.Weight)
+		}
+	}
+}
+
+// TestFlightKeyUniqueness exercises the singleflight group with keys
+// composed exactly as the engine does (epoch + target + options
+// fingerprint): concurrent calls for one target under DIFFERENT
+// fingerprints must run independently — coalescing them would hand a
+// caller a result under options it did not ask for — while calls under
+// the SAME fingerprint coalesce onto one measurement.
+func TestFlightKeyUniqueness(t *testing.T) {
+	g := flightGroup{calls: make(map[string]*flightCall)}
+	flightKey := func(epoch uint64, target, fp string) string {
+		key := target
+		if fp != "" {
+			key += "\x1f" + fp
+		}
+		return strconv.FormatUint(epoch, 36) + "\x00" + key
+	}
+
+	// Distinct fingerprints (and distinct epochs) for one target: every
+	// leader must run its own fn. Leaders block on gate so the calls are
+	// genuinely concurrent — coalescing would deadlock-free but report
+	// shared=true and return another key's result.
+	keys := []string{
+		flightKey(0, "host", ""),
+		flightKey(0, "host", "fpA"),
+		flightKey(0, "host", "fpB"),
+		flightKey(1, "host", "fpA"),
+	}
+	gate := make(chan struct{})
+	started := make(chan int, len(keys))
+	results := make([]*core.Result, len(keys))
+	shareds := make([]bool, len(keys))
+	var wg sync.WaitGroup
+	for i, key := range keys {
+		wg.Add(1)
+		go func(i int, key string) {
+			defer wg.Done()
+			want := resAt(uint64(i))
+			results[i], _, shareds[i] = g.do(context.Background(), key, func() (*core.Result, error) {
+				started <- i
+				<-gate
+				return want, nil
+			})
+		}(i, key)
+	}
+	// All four fns must start before any finishes — proof none coalesced.
+	for range keys {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatal("calls with distinct fingerprint keys coalesced: not all leaders started")
+		}
+	}
+	close(gate)
+	wg.Wait()
+	for i := range keys {
+		if shareds[i] {
+			t.Errorf("call %d reported shared=true under a unique key", i)
+		}
+		if results[i] == nil || results[i].Weight != float64(i) {
+			t.Errorf("call %d got result %+v, want its own (weight %d)", i, results[i], i)
+		}
+	}
+
+	// Control: the SAME key does coalesce — one leader, one follower, one
+	// shared result.
+	var ran int
+	gate2 := make(chan struct{})
+	leaderIn := make(chan struct{})
+	key := flightKey(2, "host", "fpA")
+	var follower *core.Result
+	var followerShared bool
+	var wg2 sync.WaitGroup
+	wg2.Add(1)
+	go func() {
+		defer wg2.Done()
+		_, _, _ = g.do(context.Background(), key, func() (*core.Result, error) {
+			ran++
+			close(leaderIn)
+			<-gate2
+			return resAt(99), nil
+		})
+	}()
+	<-leaderIn
+	wg2.Add(1)
+	go func() {
+		defer wg2.Done()
+		follower, _, followerShared = g.do(context.Background(), key, func() (*core.Result, error) {
+			ran++
+			return resAt(100), nil
+		})
+	}()
+	// Give the follower a moment to park on the leader's call, then
+	// release.
+	time.Sleep(10 * time.Millisecond)
+	close(gate2)
+	wg2.Wait()
+	if ran != 1 {
+		t.Fatalf("same-key concurrent calls ran %d fns, want 1", ran)
+	}
+	if !followerShared || follower == nil || follower.Weight != 99 {
+		t.Fatalf("follower got %+v (shared=%v), want the leader's result shared", follower, followerShared)
+	}
+}

@@ -26,7 +26,15 @@ type Stats struct {
 	Coalesced uint64 `json:"coalesced"`
 	Errors    uint64 `json:"errors"`
 	InFlight  int64  `json:"in_flight"`
-	CacheLen  int    `json:"cache_len"`
+	// CacheLen and CacheCap are the LRU's occupancy and capacity;
+	// CacheLen/CacheCap is how full the cache is, which the fleet router
+	// and the soak harness read when judging node balance.
+	CacheLen int `json:"cache_len"`
+	CacheCap int `json:"cache_cap"`
+	// PeerHits counts cache entries served to cluster peers through Peek
+	// (the /v1/cache/lookup endpoint) — results this node computed that
+	// saved another node a measurement.
+	PeerHits uint64 `json:"peer_hits"`
 	// FusedGroups counts multi-target Run calls served by the fused batch
 	// solve (one group = one epoch × one options fingerprint), and
 	// FusedTargets how many submitted targets rode in them; FusedTargets /
@@ -36,6 +44,10 @@ type Stats struct {
 	FusedTargets uint64 `json:"fused_targets"`
 	// HitRate is CacheHits / Requests (0 when idle).
 	HitRate float64 `json:"hit_rate"`
+	// CacheHitRatio is CacheHits / (CacheHits + CacheMisses) — the cache's
+	// own efficiency, independent of how much traffic was coalesced or
+	// errored before reaching it.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
 	// P50Ms / P99Ms are localization latency quantiles over a sliding
 	// window of recent uncached measurements.
 	P50Ms float64 `json:"p50_ms"`
@@ -62,6 +74,7 @@ type metrics struct {
 
 	fusedGroups  atomic.Uint64
 	fusedTargets atomic.Uint64
+	peerHits     atomic.Uint64
 
 	mu    sync.Mutex
 	ring  [latWindow]float64 // latencies, ms
@@ -75,6 +88,7 @@ func (m *metrics) hit()      { m.hits.Add(1) }
 func (m *metrics) miss()     { m.misses.Add(1) }
 func (m *metrics) coalesce() { m.coalesced.Add(1) }
 func (m *metrics) fail()     { m.errors.Add(1) }
+func (m *metrics) peerHit()  { m.peerHits.Add(1) }
 
 func (m *metrics) fused(targets int) {
 	m.fusedGroups.Add(1)
@@ -102,9 +116,13 @@ func (m *metrics) snapshot() Stats {
 		InFlight:     m.inFlight.Load(),
 		FusedGroups:  m.fusedGroups.Load(),
 		FusedTargets: m.fusedTargets.Load(),
+		PeerHits:     m.peerHits.Load(),
 	}
 	if s.Requests > 0 {
 		s.HitRate = float64(s.CacheHits) / float64(s.Requests)
+	}
+	if looked := s.CacheHits + s.CacheMisses; looked > 0 {
+		s.CacheHitRatio = float64(s.CacheHits) / float64(looked)
 	}
 	m.mu.Lock()
 	window := append([]float64(nil), m.ring[:m.count]...)

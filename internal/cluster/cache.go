@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"container/list"
+	"sync"
+
+	"octant/internal/serve"
+)
+
+// Key identifies one cacheable localization result cluster-wide. It is
+// the same triple the per-node engine LRUs key on — target, options
+// fingerprint ("" for a default request), and survey epoch — so a front
+// door, a node LRU, and a peer lookup all name the same result the same
+// way. Non-cacheable requests (custom evidence sources) never get a Key:
+// the router bypasses every cache tier for them, exactly as the batch
+// engine does.
+type Key struct {
+	Target      string
+	Fingerprint string
+	Epoch       uint64
+}
+
+// Cache is the front door's in-process L1 of the cluster result cache:
+// an LRU of wire-form results keyed by Key. Entries are full
+// TargetResultV2 values, so an L1 hit is served without touching any
+// node. Epoch is part of the key, so stale epochs age out by disuse
+// instead of needing invalidation — the same lazy scheme as the node
+// LRUs.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[Key]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key Key
+	res serve.TargetResultV2
+}
+
+// NewCache builds an L1 of at most capacity entries (capacity <= 0
+// disables caching; every Get misses and Put is a no-op).
+func NewCache(capacity int) *Cache {
+	return &Cache{cap: capacity, ll: list.New(), items: make(map[Key]*list.Element)}
+}
+
+// Get returns the cached result for key, marking it most recently used.
+func (c *Cache) Get(key Key) (serve.TargetResultV2, bool) {
+	if c == nil || c.cap <= 0 {
+		return serve.TargetResultV2{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return serve.TargetResultV2{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put inserts a result, evicting the least recently used entry at
+// capacity.
+func (c *Cache) Put(key Key, res serve.TargetResultV2) {
+	if c == nil || c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	if c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the current occupancy.
+func (c *Cache) Len() int {
+	if c == nil || c.cap <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Counters returns (hits, misses) since construction.
+func (c *Cache) Counters() (uint64, uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

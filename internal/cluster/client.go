@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"octant/internal/batch"
+	"octant/internal/lifecycle"
+	"octant/internal/serve"
+)
+
+// NodeClient speaks the internal/serve wire protocol to one fleet
+// member. It is the only place the cluster tier touches HTTP details, so
+// the router and coordinator read as protocol logic.
+type NodeClient struct {
+	// Name is the member's ring identity (stable across restarts; the
+	// ring hashes it, so renaming a node reshards its keys).
+	Name string
+	// BaseURL is the node's root, e.g. "http://10.0.0.7:8080".
+	BaseURL string
+	// HTTP is the client used for every call (nil = http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (n *NodeClient) client() *http.Client {
+	if n.HTTP != nil {
+		return n.HTTP
+	}
+	return http.DefaultClient
+}
+
+// apiError is a node's JSON error envelope surfaced as a Go error with
+// its HTTP status attached.
+type apiError struct {
+	Status  int
+	Message string
+}
+
+func (e *apiError) Error() string { return e.Message }
+
+// decodeError turns a non-2xx response into an *apiError.
+func decodeError(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	msg := resp.Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil && body.Error != "" {
+		msg = body.Error
+	}
+	return &apiError{Status: resp.StatusCode, Message: msg}
+}
+
+func (n *NodeClient) postJSON(ctx context.Context, path string, body any, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (n *NodeClient) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := n.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// LocalizeV2 runs one localization on the node.
+func (n *NodeClient) LocalizeV2(ctx context.Context, target string, opts *serve.WireOptions) (serve.TargetResultV2, error) {
+	var tr serve.TargetResultV2
+	err := n.postJSON(ctx, "/v2/localize", map[string]any{"target": target, "options": opts}, &tr)
+	return tr, err
+}
+
+// BatchV2 streams a batch through the node, invoking fn for every NDJSON
+// line in arrival order. fn returning an error aborts the stream.
+func (n *NodeClient) BatchV2(ctx context.Context, targets []string, opts *serve.WireOptions, fn func(serve.TargetResultV2) error) error {
+	b, err := json.Marshal(map[string]any{"targets": targets, "options": opts})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.BaseURL+"/v2/localize/batch", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var tr serve.TargetResultV2
+		if err := json.Unmarshal(sc.Bytes(), &tr); err != nil {
+			return fmt.Errorf("%s: bad batch line: %w", n.Name, err)
+		}
+		if err := fn(tr); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// CacheLookup probes the node's result cache for key without triggering
+// any measurement. ok is false on a clean miss.
+func (n *NodeClient) CacheLookup(ctx context.Context, key Key) (serve.TargetResultV2, bool, error) {
+	q := url.Values{}
+	q.Set("target", key.Target)
+	if key.Fingerprint != "" {
+		q.Set("fp", key.Fingerprint)
+	}
+	q.Set("epoch", strconv.FormatUint(key.Epoch, 10))
+	var tr serve.TargetResultV2
+	err := n.getJSON(ctx, "/v1/cache/lookup?"+q.Encode(), &tr)
+	if err != nil {
+		var ae *apiError
+		if asAPIError(err, &ae) && ae.Status == http.StatusNotFound {
+			return serve.TargetResultV2{}, false, nil
+		}
+		return serve.TargetResultV2{}, false, err
+	}
+	return tr, true, nil
+}
+
+// asAPIError is errors.As without the import dance for the one local type.
+func asAPIError(err error, out **apiError) bool {
+	ae, ok := err.(*apiError)
+	if ok {
+		*out = ae
+	}
+	return ok
+}
+
+// Ready fetches the node's readiness. A 503 is a valid (not-ready)
+// answer, not an error; err is reserved for transport trouble.
+func (n *NodeClient) Ready(ctx context.Context) (serve.Readiness, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.BaseURL+"/v1/readyz", nil)
+	if err != nil {
+		return serve.Readiness{}, err
+	}
+	resp, err := n.client().Do(req)
+	if err != nil {
+		return serve.Readiness{}, err
+	}
+	defer resp.Body.Close()
+	var rd serve.Readiness
+	if err := json.NewDecoder(resp.Body).Decode(&rd); err != nil {
+		return serve.Readiness{}, err
+	}
+	return rd, nil
+}
+
+// Stats fetches the node's engine counters.
+func (n *NodeClient) Stats(ctx context.Context) (batch.Stats, error) {
+	var st batch.Stats
+	err := n.getJSON(ctx, "/v1/stats", &st)
+	return st, err
+}
+
+// Snapshot pulls the node's current survey epoch in snapshot form.
+func (n *NodeClient) Snapshot(ctx context.Context) ([]byte, uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.BaseURL+"/v1/survey/snapshot", nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := n.client().Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, decodeError(resp)
+	}
+	epoch, err := strconv.ParseUint(resp.Header.Get("Octant-Epoch"), 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: bad Octant-Epoch header: %w", n.Name, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, epoch, nil
+}
+
+// Install stages a snapshot on the node for a later Activate.
+func (n *NodeClient) Install(ctx context.Context, snapshot []byte) (staged uint64, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.BaseURL+"/v1/survey/install", bytes.NewReader(snapshot))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, decodeError(resp)
+	}
+	var out struct {
+		Staged uint64 `json:"staged_epoch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.Staged, nil
+}
+
+// Activate drains the node and swaps its staged epoch in.
+func (n *NodeClient) Activate(ctx context.Context) (uint64, error) {
+	var out struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := n.postJSON(ctx, "/v1/survey/activate", nil, &out); err != nil {
+		return 0, err
+	}
+	return out.Epoch, nil
+}
+
+// Refresh triggers a full reprobe + recalibration on the node.
+func (n *NodeClient) Refresh(ctx context.Context) (lifecycle.RefreshReport, error) {
+	var rep lifecycle.RefreshReport
+	err := n.postJSON(ctx, "/v1/survey/refresh", map[string]any{}, &rep)
+	return rep, err
+}

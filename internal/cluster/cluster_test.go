@@ -1,0 +1,331 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"octant/internal/core"
+	"octant/internal/serve"
+)
+
+// startFleet builds a small fleet with cleanup registered.
+func startFleet(t *testing.T, n int, seed uint64) *LocalFleet {
+	t.Helper()
+	fleet, err := StartLocalFleet(FleetConfig{Nodes: n, Seed: seed, Holdout: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fleet.Close)
+	return fleet
+}
+
+func nodeByName(t *testing.T, fleet *LocalFleet, name string) *FleetNode {
+	t.Helper()
+	for _, n := range fleet.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	t.Fatalf("no fleet node %q", name)
+	return nil
+}
+
+// TestClusterCacheComputedOnAServedForB is the shared-cache acceptance
+// check: a result computed on the key's owner node is later served, for
+// the same key, through a different node's request path via the L2 peer
+// fetch — no recomputation, no measurement.
+func TestClusterCacheComputedOnAServedForB(t *testing.T) {
+	fleet := startFleet(t, 2, 7)
+	ctx := context.Background()
+	cfg := RouterConfig{ReadyTTL: 15 * time.Millisecond}
+
+	r1, err := NewRouter(fleet.Clients(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := fleet.Targets[0]
+	ownerName, _ := r1.Ring().Owner(routeKey(target, ""))
+	owner := nodeByName(t, fleet, ownerName)
+
+	first, err := r1.Localize(ctx, target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first localization reported cached")
+	}
+	if got := owner.Server.Engine().Stats().Requests; got == 0 {
+		t.Fatalf("owner %s did not compute the first request", ownerName)
+	}
+
+	// Take the owner out of rotation (draining, as during a rolling swap)
+	// and route the same key through a fresh front door with a cold L1.
+	owner.Server.SetDraining(true)
+	defer owner.Server.SetDraining(false)
+
+	r2, err := NewRouter(fleet.Clients(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var other *FleetNode
+	for _, n := range fleet.Nodes {
+		if n.Name != ownerName {
+			other = n
+		}
+	}
+	beforeRequests := other.Server.Engine().Stats().Requests
+	beforePings := fleet.World.PingCalls()
+
+	second, err := r2.Localize(ctx, target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Error("peer-fetched result not marked cached")
+	}
+	if second.Lat == nil || first.Lat == nil || *second.Lat != *first.Lat || *second.Lon != *first.Lon ||
+		second.AreaKm2 != first.AreaKm2 || second.Epoch != first.Epoch {
+		t.Errorf("peer-fetched result differs: %+v vs %+v", second, first)
+	}
+	if got := r2.peerFetches.Load(); got != 1 {
+		t.Errorf("peer fetches = %d, want 1", got)
+	}
+	if got := other.Server.Engine().Stats().Requests - beforeRequests; got != 0 {
+		t.Errorf("node %s recomputed a peer-cached key (%d requests)", other.Name, got)
+	}
+	if got := fleet.World.PingCalls() - beforePings; got != 0 {
+		t.Errorf("peer fetch issued %d probes, want 0", got)
+	}
+	// The owner's engine counts the lookup as a peer hit.
+	if got := owner.Server.Engine().Stats().PeerHits; got == 0 {
+		t.Error("owner engine recorded no peer hit")
+	}
+}
+
+// nopSource is a trivial custom evidence source — present only to make a
+// request non-cacheable.
+type nopSource struct{}
+
+func (nopSource) Name() string { return "nop" }
+func (nopSource) Constraints(ctx context.Context, req *core.Request) ([]core.Constraint, core.SourceReport, error) {
+	return nil, core.SourceReport{Source: "nop"}, nil
+}
+
+// TestNonCacheableNeverEntersSharedTier checks the bypass in both
+// directions: a non-cacheable result computed by a node's engine is
+// unreachable through the peer-cache surface, and a non-cacheable
+// request through the router touches no cache tier.
+func TestNonCacheableNeverEntersSharedTier(t *testing.T) {
+	fleet := startFleet(t, 2, 9)
+	ctx := context.Background()
+	node := fleet.Nodes[0]
+	target := fleet.Targets[0]
+
+	// Direction 1: engine → shared tier. Compute with a custom evidence
+	// source; neither Peek nor /v1/cache/lookup may ever serve it.
+	item := node.Server.Engine().LocalizeItem(ctx, target, core.WithEvidenceSource(nopSource{}))
+	if item.Err != nil {
+		t.Fatal(item.Err)
+	}
+	o := core.NewLocalizeOptions(core.WithEvidenceSource(nopSource{}))
+	if o.Cacheable() {
+		t.Fatal("options with a custom source report cacheable")
+	}
+	fp := o.Fingerprint()
+	if _, ok := node.Server.Engine().Peek(target, fp, item.Epoch); ok {
+		t.Error("non-cacheable result served from the engine LRU")
+	}
+	client := fleet.Clients()[0]
+	if _, ok, err := client.CacheLookup(ctx, Key{Target: target, Fingerprint: fp, Epoch: item.Epoch}); err != nil {
+		t.Fatal(err)
+	} else if ok {
+		t.Error("non-cacheable result served over /v1/cache/lookup")
+	}
+
+	// Direction 2: router → shared tier. A request flagged non-cacheable
+	// skips L1 and L2 entirely and inserts nothing.
+	r, err := NewRouter(fleet.Clients(), RouterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.route(ctx, target, nil, fp, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.cache.Len(); got != 0 {
+		t.Errorf("non-cacheable request left %d entries in the front-door cache", got)
+	}
+	hits, misses := r.cache.Counters()
+	if hits+misses != 0 {
+		t.Errorf("non-cacheable request consulted the front-door cache (%d hits, %d misses)", hits, misses)
+	}
+	if got := r.bypassed.Load(); got != 1 {
+		t.Errorf("bypassed = %d, want 1", got)
+	}
+	// Running it again must dispatch again, not hit any cache.
+	tr, err := r.route(ctx, target, nil, fp, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.dispatched.Load(); got != 2 {
+		t.Errorf("dispatched = %d, want 2 (no cache short-circuit)", got)
+	}
+	_ = tr
+}
+
+// TestRouterBatchScatterGather: a batch through the router spans the
+// fleet, returns results in submission order, stays single-epoch, and is
+// bit-identical to a sequential localization of the same targets.
+func TestRouterBatchScatterGather(t *testing.T) {
+	fleet := startFleet(t, 2, 11)
+	ctx := context.Background()
+	r, err := NewRouter(fleet.Clients(), RouterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := fleet.Targets[:8]
+
+	results, err := r.Batch(ctx, targets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(targets) {
+		t.Fatalf("got %d results for %d targets", len(results), len(targets))
+	}
+	loc := fleet.Nodes[0].Server.Manager().CurrentLocalizer()
+	for i, res := range results {
+		if res.Target != targets[i] {
+			t.Fatalf("result %d is %q, want %q (submission order)", i, res.Target, targets[i])
+		}
+		if res.Error != "" {
+			t.Fatalf("%s: %s", res.Target, res.Error)
+		}
+		if res.Epoch != results[0].Epoch {
+			t.Fatalf("mixed epochs in one batch: %d vs %d", res.Epoch, results[0].Epoch)
+		}
+		want, err := loc.Localize(targets[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Lat == nil || *res.Lat != want.Point.Lat || *res.Lon != want.Point.Lon || res.AreaKm2 != want.AreaKm2 {
+			t.Errorf("%s: cluster result differs from sequential", res.Target)
+		}
+	}
+
+	// The ring decides the split; verify each node that owns targets did
+	// serve them.
+	wantNodes := make(map[string]bool)
+	for _, tgt := range targets {
+		owner, _ := r.Ring().Owner(routeKey(tgt, ""))
+		wantNodes[owner] = true
+	}
+	for name := range wantNodes {
+		if got := nodeByName(t, fleet, name).Server.Engine().Stats().Requests; got == 0 {
+			t.Errorf("node %s owns batch targets but served none", name)
+		}
+	}
+
+	// A repeat of the same batch is served entirely from the front-door
+	// L1 — zero extra dispatches.
+	before := r.dispatched.Load()
+	again, err := r.Batch(ctx, targets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.dispatched.Load() - before; got != 0 {
+		t.Errorf("repeat batch dispatched %d targets, want 0 (L1)", got)
+	}
+	for i := range again {
+		if *again[i].Lat != *results[i].Lat {
+			t.Errorf("%s: cached repeat differs", again[i].Target)
+		}
+	}
+}
+
+// TestFrontDoorHTTP smoke-tests the cluster front door's wire surface
+// over a real fleet: localize, batch NDJSON, stats, cluster view, and a
+// no-op rollout.
+func TestFrontDoorHTTP(t *testing.T) {
+	fleet := startFleet(t, 2, 13)
+	r, err := NewRouter(fleet.Clients(), RouterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(fleet.Clients())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewFront(r, coord).Handler()
+
+	post := func(path string, body any) *httptest.ResponseRecorder {
+		b, _ := json.Marshal(body)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path, bytes.NewReader(b)))
+		return rec
+	}
+
+	rec := post("/v2/localize", map[string]any{"target": fleet.Targets[0]})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("localize: %d %s", rec.Code, rec.Body)
+	}
+	var tr serve.TargetResultV2
+	if err := json.Unmarshal(rec.Body.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Target != fleet.Targets[0] || tr.Lat == nil {
+		t.Errorf("localize = %+v", tr)
+	}
+
+	if rec := post("/v2/localize", map[string]any{"target": "no.such.host"}); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("unknown target through front door: %d, want 422", rec.Code)
+	}
+	if rec := post("/v2/localize", map[string]any{"target": fleet.Targets[0], "options": map[string]any{"disable": []string{"sonar"}}}); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad options through front door: %d, want 400", rec.Code)
+	}
+
+	rec = post("/v2/localize/batch", map[string]any{"targets": fleet.Targets[:3]})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch: %d %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("batch content type %q", ct)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	var cs ClusterStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &cs); err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Nodes) != 2 || cs.Router.Dispatched == 0 {
+		t.Errorf("cluster stats = %+v", cs)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/cluster", nil))
+	var view clusterView
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatal(err)
+	}
+	if len(view.Nodes) != 2 || !view.Nodes[0].Ready {
+		t.Errorf("cluster view = %+v", view)
+	}
+
+	// A skip-refresh rollout with an already-coherent fleet is a no-op
+	// that still reports per-node state.
+	rec = post("/v1/rollout", map[string]any{"skip_refresh": true})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("rollout: %d %s", rec.Code, rec.Body)
+	}
+	var report RolloutReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Refreshed || len(report.Nodes) != 1 || !report.Nodes[0].Skipped {
+		t.Errorf("no-op rollout report = %+v", report)
+	}
+}

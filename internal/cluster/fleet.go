@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"octant/internal/batch"
+	"octant/internal/core"
+	"octant/internal/lifecycle"
+	"octant/internal/netsim"
+	"octant/internal/probe"
+	"octant/internal/serve"
+)
+
+// FleetConfig shapes a LocalFleet.
+type FleetConfig struct {
+	// Nodes is the fleet size (required, ≥ 1).
+	Nodes int
+	// Seed derives the shared simulated world.
+	Seed uint64
+	// Holdout hosts are excluded from the survey so they stay
+	// localizable targets (0 = default 8).
+	Holdout int
+	// Workers per node engine (0 = default 4).
+	Workers int
+	// CacheSize per node engine LRU (0 = default 1024).
+	CacheSize int
+	// ActivateDrain bounds each node's epoch-activation drain
+	// (0 = serve default).
+	ActivateDrain time.Duration
+	// ProbePace gives each node a serialized measurement pipeline: its
+	// prober issues one ping train at a time, each taking this long (the
+	// initial survey builds unpaced). The simulator answers instantly, so
+	// without pacing co-resident nodes just contend for CPU and fleet
+	// size proves nothing; with it, every node has a fixed measurement
+	// capacity — the shape a real deployment gets from one raw-socket
+	// pinger per machine — and scaling curves become machine-independent.
+	ProbePace time.Duration
+}
+
+// pacedProber models a node's measurement pipeline: ping trains are
+// serialized (one in flight per node) and each occupies the pipeline for
+// a fixed wire time. The underlying simulator answers instantly outside
+// the critical section.
+type pacedProber struct {
+	probe.Prober
+	mu   sync.Mutex
+	pace time.Duration
+}
+
+func (p *pacedProber) Ping(src, dst string, n int) ([]float64, error) {
+	p.mu.Lock()
+	time.Sleep(p.pace)
+	p.mu.Unlock()
+	return p.Prober.Ping(src, dst, n)
+}
+
+// FleetNode is one in-process serving node of a LocalFleet.
+type FleetNode struct {
+	Name   string
+	URL    string
+	Server *serve.Server
+	ln     net.Listener
+	hs     *http.Server
+}
+
+// LocalFleet is a real multi-node Octant fleet running in one process:
+// every node is a full serve stack (lifecycle manager, batch engine,
+// HTTP listener on 127.0.0.1) over one shared simulated world, so
+// cluster behaviour — routing, peer caching, rolling swaps — is
+// exercised over genuine HTTP with genuine concurrency. Tests and the
+// octant-eval cluster harness both build on it.
+type LocalFleet struct {
+	World   *netsim.World
+	Nodes   []*FleetNode
+	Targets []string
+}
+
+// StartLocalFleet builds and starts a fleet. All nodes adopt the same
+// initial survey (probed once), so the fleet starts epoch-coherent and
+// bit-identical — the same property a production fleet gets from
+// snapshot distribution.
+func StartLocalFleet(cfg FleetConfig) (*LocalFleet, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("fleet needs ≥ 1 node, got %d", cfg.Nodes)
+	}
+	if cfg.Holdout == 0 {
+		cfg.Holdout = 8
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 1024
+	}
+	prober, landmarks, err := serve.BuildProber("sim", cfg.Seed, cfg.Holdout, "")
+	if err != nil {
+		return nil, err
+	}
+	world := prober.(*probe.SimProber).World
+	f := &LocalFleet{World: world}
+	for _, h := range world.HostNodes()[:cfg.Holdout] {
+		f.Targets = append(f.Targets, h.Name)
+	}
+
+	// One survey measurement for the whole fleet; every node gets its own
+	// deserialized copy via the snapshot round trip, exactly as a replica
+	// adopting a pushed epoch would, so per-node surveys are independent
+	// objects with identical calibrations.
+	survey, err := core.NewSurvey(prober, landmarks, core.SurveyOpts{Probes: 10, UseHeights: true})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		nodeSurvey := survey
+		if i > 0 {
+			nodeSurvey, err = roundTripSurvey(survey)
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		nodeProber := prober
+		if cfg.ProbePace > 0 {
+			nodeProber = &pacedProber{Prober: prober, pace: cfg.ProbePace}
+		}
+		manager := lifecycle.New(nodeProber, nodeSurvey, core.Config{Probes: 10}, lifecycle.Options{Probes: 10})
+		engine := batch.NewWithProvider(manager, batch.Options{
+			Workers:   cfg.Workers,
+			CacheSize: cfg.CacheSize,
+		})
+		srv := serve.New(engine, manager, serve.Options{ActivateDrain: cfg.ActivateDrain})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		f.Nodes = append(f.Nodes, &FleetNode{
+			Name:   fmt.Sprintf("node-%d", i),
+			URL:    "http://" + ln.Addr().String(),
+			Server: srv,
+			ln:     ln,
+			hs:     hs,
+		})
+	}
+	return f, nil
+}
+
+// roundTripSurvey clones a survey through the snapshot codec — the same
+// path a pushed epoch takes, and the reason replica calibrations are
+// bit-identical to the source's.
+func roundTripSurvey(s *core.Survey) (*core.Survey, error) {
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		return nil, err
+	}
+	return core.ReadSnapshot(&buf)
+}
+
+// Clients returns one NodeClient per fleet member, in node order.
+func (f *LocalFleet) Clients() []*NodeClient {
+	out := make([]*NodeClient, len(f.Nodes))
+	for i, n := range f.Nodes {
+		out[i] = &NodeClient{Name: n.Name, BaseURL: n.URL}
+	}
+	return out
+}
+
+// Close shuts every node down immediately.
+func (f *LocalFleet) Close() {
+	for _, n := range f.Nodes {
+		if n.hs != nil {
+			_ = n.hs.Close()
+		}
+		if n.ln != nil {
+			_ = n.ln.Close()
+		}
+	}
+}

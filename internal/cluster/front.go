@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"octant/internal/serve"
+)
+
+// Front is the cluster front door's HTTP surface: the client-facing
+// localization API (served through the Router) plus the operator surface
+// (merged stats, ring view, rollout trigger). It deliberately speaks the
+// same /v2 wire format as a single node, so clients cannot tell a fleet
+// from one process.
+//
+// Endpoints:
+//
+//	POST /v2/localize        {"target", "options"}  → routed result
+//	POST /v2/localize/batch  {"targets", "options"} → NDJSON stream (epoch-coherent)
+//	GET  /v1/stats                                  → merged router + per-node stats
+//	GET  /v1/cluster                                → ring members, loads, readiness
+//	POST /v1/rollout         {"skip_refresh"?}      → coordinated epoch rollout
+//	GET  /v1/healthz                                → front-door liveness
+//	GET  /v1/readyz                                 → 200 when ≥ 1 node is ready
+type Front struct {
+	router *Router
+	coord  *Coordinator
+}
+
+// NewFront wires the front door over a router and a coordinator.
+func NewFront(router *Router, coord *Coordinator) *Front {
+	return &Front{router: router, coord: coord}
+}
+
+// Handler builds the front door's route table.
+func (f *Front) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v2/localize", f.handleLocalize)
+	mux.HandleFunc("/v2/localize/batch", f.handleBatch)
+	mux.HandleFunc("/v1/stats", f.handleStats)
+	mux.HandleFunc("/v1/cluster", f.handleCluster)
+	mux.HandleFunc("/v1/rollout", f.handleRollout)
+	mux.HandleFunc("/v1/healthz", f.handleHealthz)
+	mux.HandleFunc("/v1/readyz", f.handleReadyz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeRouteError maps a router failure onto the wire.
+func writeRouteError(w http.ResponseWriter, err error) {
+	if re, ok := err.(*RouteError); ok {
+		writeError(w, re.Status, "%s", re.Message)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "%v", err)
+}
+
+func (f *Front) handleLocalize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req struct {
+		Target  string             `json:"target"`
+		Options *serve.WireOptions `json:"options"`
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	tr, err := f.router.Localize(r.Context(), req.Target, req.Options)
+	if err != nil {
+		writeRouteError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
+}
+
+func (f *Front) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req struct {
+		Targets []string           `json:"targets"`
+		Options *serve.WireOptions `json:"options"`
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	// The router gathers before emitting (epoch coherence needs the whole
+	// response in hand), so the stream starts only once the batch is
+	// complete — same wire shape as a node, different latency profile.
+	results, err := f.router.Batch(r.Context(), req.Targets, req.Options)
+	if err != nil {
+		writeRouteError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for _, tr := range results {
+		if err := enc.Encode(tr); err != nil {
+			return
+		}
+	}
+}
+
+func (f *Front) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, f.router.Stats(r.Context()))
+}
+
+// clusterView is the /v1/cluster wire shape: ring membership with live
+// routing state.
+type clusterView struct {
+	Epoch uint64         `json:"epoch"`
+	Nodes []clusterNode  `json:"nodes"`
+	Loads map[string]int `json:"loads"`
+}
+
+type clusterNode struct {
+	Name  string `json:"name"`
+	URL   string `json:"url"`
+	Ready bool   `json:"ready"`
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+func (f *Front) handleCluster(w http.ResponseWriter, r *http.Request) {
+	view := clusterView{Epoch: f.router.Epoch(), Loads: f.router.Ring().Loads()}
+	for _, name := range f.router.Ring().Nodes() {
+		node := f.router.nodes[name]
+		cn := clusterNode{Name: name, URL: node.BaseURL}
+		if rd, err := node.Ready(r.Context()); err == nil {
+			cn.Ready, cn.Epoch = rd.Ready, rd.Epoch
+		}
+		view.Nodes = append(view.Nodes, cn)
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (f *Front) handleRollout(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req struct {
+		SkipRefresh bool `json:"skip_refresh"`
+	}
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+	}
+	report, err := f.coord.Rollout(r.Context(), RolloutOptions{SkipRefresh: req.SkipRefresh})
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "rollout failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, report)
+}
+
+func (f *Front) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"nodes":  f.router.Ring().Len(),
+		"epoch":  f.router.Epoch(),
+	})
+}
+
+// handleReadyz reports the front door ready when at least one fleet
+// member is ready to take traffic.
+func (f *Front) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), f.router.cfg.ReadyTTL)
+	defer cancel()
+	for _, name := range f.router.Ring().Nodes() {
+		if f.router.isReady(ctx, name) {
+			writeJSON(w, http.StatusOK, serve.Readiness{Ready: true, Epoch: f.router.Epoch()})
+			return
+		}
+	}
+	writeJSON(w, http.StatusServiceUnavailable, serve.Readiness{Ready: false, Reason: "no ready nodes"})
+}

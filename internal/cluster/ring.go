@@ -1,0 +1,242 @@
+// Package cluster is Octant's sharded serving tier: a consistent-hash
+// fleet router that assigns every (target, options-fingerprint) key a
+// stable owner node, a cluster-wide result cache layered over the
+// per-node LRUs, and a rollout coordinator that pushes survey epochs
+// through a fleet as a rolling wave. One octant-serve process scales to
+// one machine's cores; this package is what lets a fleet of them behave
+// like one cache-coherent, epoch-coherent service.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// RingConfig tunes a Ring. The zero value is usable.
+type RingConfig struct {
+	// VNodes is how many virtual nodes each member projects onto the ring
+	// (0 = default 128). More vnodes smooth the key distribution and
+	// shrink per-join movement variance at the cost of a larger table.
+	VNodes int
+	// LoadFactor is the bounded-load ceiling c: no node is assigned more
+	// than ⌈c · load/n⌉ concurrently routed keys (0 = default 1.25,
+	// negative = unbounded). Bounding keeps one hot shard from pinning a
+	// node while the rest of the fleet idles.
+	LoadFactor float64
+}
+
+const (
+	defaultVNodes     = 128
+	defaultLoadFactor = 1.25
+)
+
+// Ring is a consistent-hash ring with virtual nodes and bounded-load
+// assignment. Hashes are FNV-64a of plain strings, so two processes
+// building rings from the same member names agree on every owner —
+// front doors can be replicated without coordination.
+type Ring struct {
+	mu     sync.RWMutex
+	cfg    RingConfig
+	points []ringPoint // sorted by hash
+	nodes  map[string]bool
+	// load tracks keys currently checked out via Acquire, for the
+	// bounded-load walk.
+	load  map[string]int
+	total int
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds an empty ring.
+func NewRing(cfg RingConfig) *Ring {
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = defaultVNodes
+	}
+	if cfg.LoadFactor == 0 {
+		cfg.LoadFactor = defaultLoadFactor
+	}
+	return &Ring{cfg: cfg, nodes: make(map[string]bool), load: make(map[string]int)}
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Add inserts a member. Adding an existing member is a no-op.
+func (r *Ring) Add(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nodes[name] {
+		return
+	}
+	r.nodes[name] = true
+	for i := 0; i < r.cfg.VNodes; i++ {
+		r.points = append(r.points, ringPoint{hash: hash64(name + "#" + strconv.Itoa(i)), node: name})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a member; keys it owned redistribute to their next
+// points clockwise, and no key owned by a surviving member moves.
+func (r *Ring) Remove(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.nodes[name] {
+		return
+	}
+	delete(r.nodes, name)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != name {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Nodes returns the members in sorted order.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Owner returns the key's owner: the member of the first virtual node at
+// or clockwise of the key's hash. It ignores load — use Acquire for the
+// bounded-load assignment.
+func (r *Ring) Owner(key string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	return r.points[r.search(hash64(key))].node, true
+}
+
+// search returns the index of the first point at or clockwise of h.
+// Callers hold at least the read lock.
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Preference returns up to n distinct members in the key's clockwise
+// order: the owner first, then each successive failover choice. Every
+// front door computes the same list for the same key, so retries across
+// replicas converge on the same fallback nodes (and their caches).
+func (r *Ring) Preference(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i, start := 0, r.search(hash64(key)); len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// Acquire checks out the key against the bounded-load rule: walk the
+// key's preference order, skip members the eligible filter rejects
+// (nil = all eligible), and take the first whose checked-out load stays
+// within ⌈LoadFactor · (total+1)/n⌉. The returned release must be called
+// when the routed work completes. With a non-positive LoadFactor it
+// degenerates to readiness-filtered consistent hashing.
+func (r *Ring) Acquire(key string, eligible func(string) bool) (string, func(), error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.points) == 0 {
+		return "", nil, fmt.Errorf("ring is empty")
+	}
+	limit := 0
+	if r.cfg.LoadFactor > 0 {
+		limit = int(r.cfg.LoadFactor * float64(r.total+1) / float64(len(r.nodes)))
+		if limit < 1 {
+			limit = 1
+		}
+	}
+	start := r.search(hash64(key))
+	pick, fallback := "", ""
+	seen := make(map[string]bool, len(r.nodes))
+	for i := 0; i < len(r.points) && len(seen) < len(r.nodes); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		if eligible != nil && !eligible(p.node) {
+			continue
+		}
+		if fallback == "" {
+			fallback = p.node
+		}
+		if limit == 0 || r.load[p.node] < limit {
+			pick = p.node
+			break
+		}
+	}
+	if pick == "" {
+		// Every eligible member is at the ceiling (tiny fleets, bursty
+		// load): fall back to the owner-most eligible node rather than
+		// failing the request.
+		pick = fallback
+	}
+	if pick == "" {
+		return "", nil, fmt.Errorf("no eligible node for key")
+	}
+	r.load[pick]++
+	r.total++
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			r.mu.Lock()
+			r.load[pick]--
+			r.total--
+			r.mu.Unlock()
+		})
+	}
+	return pick, release, nil
+}
+
+// Loads returns a snapshot of checked-out load per member.
+func (r *Ring) Loads() map[string]int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int, len(r.load))
+	for n, l := range r.load {
+		out[n] = l
+	}
+	return out
+}

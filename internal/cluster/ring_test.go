@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("target-%d.example.net", i)
+	}
+	return out
+}
+
+func owners(r *Ring, ks []string) map[string]string {
+	out := make(map[string]string, len(ks))
+	for _, k := range ks {
+		o, ok := r.Owner(k)
+		if !ok {
+			panic("empty ring")
+		}
+		out[k] = o
+	}
+	return out
+}
+
+// TestRingDeterminism: two rings built from the same member names agree
+// on every owner — the property that lets front doors be replicated
+// without coordination.
+func TestRingDeterminism(t *testing.T) {
+	a, b := NewRing(RingConfig{}), NewRing(RingConfig{})
+	for _, n := range []string{"node-2", "node-0", "node-1"} {
+		a.Add(n)
+	}
+	for _, n := range []string{"node-0", "node-1", "node-2"} { // different insert order
+		b.Add(n)
+	}
+	for _, k := range keys(500) {
+		oa, _ := a.Owner(k)
+		ob, _ := b.Owner(k)
+		if oa != ob {
+			t.Fatalf("rings disagree on %q: %s vs %s", k, oa, ob)
+		}
+	}
+}
+
+// TestRingMovementOnJoinLeave is the minimal-rebalancing property test:
+// adding a member moves ≈ 1/(n+1) of the keys — all of them TO the new
+// member — and removing it restores the exact prior assignment. Removing
+// an original member moves only the keys it owned.
+func TestRingMovementOnJoinLeave(t *testing.T) {
+	const nKeys = 10000
+	ks := keys(nKeys)
+	r := NewRing(RingConfig{VNodes: 128})
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("node-%d", i))
+	}
+	before := owners(r, ks)
+
+	r.Add("node-4")
+	after := owners(r, ks)
+	moved := 0
+	for _, k := range ks {
+		if before[k] != after[k] {
+			moved++
+			if after[k] != "node-4" {
+				t.Fatalf("join: %q moved %s → %s, not to the joining node", k, before[k], after[k])
+			}
+		}
+	}
+	// Expected movement is nKeys/5 = 2000; allow generous variance for
+	// vnode placement luck but fail on anything structurally wrong
+	// (a naive mod-N hash would move ~80% here).
+	if moved == 0 || moved > 2*nKeys/5 {
+		t.Errorf("join moved %d/%d keys, want ≈ %d", moved, nKeys, nKeys/5)
+	}
+
+	r.Remove("node-4")
+	restored := owners(r, ks)
+	for _, k := range ks {
+		if restored[k] != before[k] {
+			t.Fatalf("leave did not restore %q: %s vs %s", k, restored[k], before[k])
+		}
+	}
+
+	r.Remove("node-0")
+	final := owners(r, ks)
+	for _, k := range ks {
+		if before[k] != "node-0" && final[k] != before[k] {
+			t.Fatalf("removing node-0 moved %q owned by %s", k, before[k])
+		}
+		if final[k] == "node-0" {
+			t.Fatalf("%q still owned by removed node", k)
+		}
+	}
+}
+
+// TestRingBoundedLoad: a single hot key spills to other members once the
+// owner hits the load ceiling, and never does when the bound is off.
+func TestRingBoundedLoad(t *testing.T) {
+	bounded := NewRing(RingConfig{VNodes: 64, LoadFactor: 1.25})
+	for i := 0; i < 4; i++ {
+		bounded.Add(fmt.Sprintf("node-%d", i))
+	}
+	var releases []func()
+	for i := 0; i < 100; i++ {
+		node, release, err := bounded.Acquire("hot-key", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if node == "" {
+			t.Fatal("empty assignment")
+		}
+		releases = append(releases, release)
+	}
+	loads := bounded.Loads()
+	busy := 0
+	for _, l := range loads {
+		if l > 0 {
+			busy++
+		}
+		// Ceiling for the final acquire: ⌈1.25 · 100/4⌉ = 32 (+1 for the
+		// walk happening before the increment).
+		if l > 33 {
+			t.Errorf("bounded ring let a node reach load %d (loads %v)", l, loads)
+		}
+	}
+	if busy < 3 {
+		t.Errorf("hot key spilled to only %d nodes: %v", busy, loads)
+	}
+	for _, rel := range releases {
+		rel()
+	}
+	for n, l := range bounded.Loads() {
+		if l != 0 {
+			t.Errorf("load leak on %s: %d after all releases", n, l)
+		}
+	}
+
+	unbounded := NewRing(RingConfig{VNodes: 64, LoadFactor: -1})
+	for i := 0; i < 4; i++ {
+		unbounded.Add(fmt.Sprintf("node-%d", i))
+	}
+	first, rel, err := unbounded.Acquire("hot-key", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	for i := 0; i < 50; i++ {
+		n, rel, err := unbounded.Acquire("hot-key", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rel()
+		if n != first {
+			t.Fatalf("unbounded ring moved the hot key: %s vs %s", n, first)
+		}
+	}
+}
+
+// TestRingAcquireEligibility: the eligibility filter routes around
+// rejected members and errors when nothing is eligible.
+func TestRingAcquireEligibility(t *testing.T) {
+	r := NewRing(RingConfig{VNodes: 64})
+	r.Add("node-0")
+	r.Add("node-1")
+	owner, _ := r.Owner("some-key")
+	n, rel, err := r.Acquire("some-key", func(name string) bool { return name != owner })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	if n == owner {
+		t.Errorf("acquire returned ineligible owner %s", n)
+	}
+	if _, _, err := r.Acquire("some-key", func(string) bool { return false }); err == nil {
+		t.Error("acquire with nothing eligible should error")
+	}
+}

@@ -1,0 +1,547 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"octant/internal/batch"
+	"octant/internal/core"
+	"octant/internal/serve"
+)
+
+// RouterConfig tunes a Router. The zero value is usable.
+type RouterConfig struct {
+	// VNodes and LoadFactor configure the consistent-hash ring
+	// (see RingConfig).
+	VNodes     int
+	LoadFactor float64
+	// CacheSize is the front door's L1 result-cache capacity
+	// (0 = default 4096, negative disables).
+	CacheSize int
+	// MaxBatch bounds targets per batch request (0 = default 1024).
+	MaxBatch int
+	// ReadyTTL is how long a node's readiness verdict is trusted before
+	// the router re-probes /v1/readyz (0 = default 500ms). Shorter means
+	// rolling swaps shed traffic faster; longer means fewer probe
+	// round-trips per request.
+	ReadyTTL time.Duration
+	// Retries bounds how many distinct nodes one request may be
+	// dispatched to before the router reports failure (0 = every node).
+	Retries int
+}
+
+// RouterStats counts the front door's own activity, alongside the
+// per-node engine stats in ClusterStats.
+type RouterStats struct {
+	// L1Hits / L1Misses are front-door result-cache outcomes for
+	// cacheable requests.
+	L1Hits   uint64 `json:"l1_hits"`
+	L1Misses uint64 `json:"l1_misses"`
+	// L1Len / L1Cap are the front-door cache's occupancy and capacity.
+	L1Len int `json:"l1_len"`
+	L1Cap int `json:"l1_cap"`
+	// PeerFetches counts results served from a peer node's cache (L2)
+	// when the request was routed to a different node.
+	PeerFetches uint64 `json:"peer_fetches"`
+	// Dispatched counts localizations actually sent to a node.
+	Dispatched uint64 `json:"dispatched"`
+	// Failovers counts dispatches retried on another node after a node
+	// error.
+	Failovers uint64 `json:"failovers"`
+	// EpochRepairs counts batch results recomputed because they answered
+	// at an older epoch than the rest of their batch (the mixed-epoch
+	// guard during rolling swaps).
+	EpochRepairs uint64 `json:"epoch_repairs"`
+	// Bypassed counts non-cacheable requests that skipped every cache
+	// tier.
+	Bypassed uint64 `json:"bypassed"`
+}
+
+// ClusterStats is the front door's merged view: its own counters plus
+// every reachable node's engine stats.
+type ClusterStats struct {
+	// Epoch is the newest survey epoch the router has observed.
+	Epoch  uint64                 `json:"epoch"`
+	Router RouterStats            `json:"router"`
+	Nodes  map[string]batch.Stats `json:"nodes"`
+	// Unreachable lists nodes whose stats fetch failed.
+	Unreachable []string `json:"unreachable,omitempty"`
+}
+
+// readyState is one node's cached readiness verdict.
+type readyState struct {
+	ready bool
+	at    time.Time
+}
+
+// Router is the cluster front door's brain: it owns the ring, routes
+// every (target, fingerprint) key to its owner node, consults the
+// cluster result cache before dispatching, and keeps batch responses
+// epoch-coherent during rolling swaps. It is safe for concurrent use.
+type Router struct {
+	ring  *Ring
+	nodes map[string]*NodeClient
+	cache *Cache
+	cfg   RouterConfig
+
+	// epoch is the newest epoch observed in any node response; cache
+	// lookups key on it, so the front door converges to a new epoch as
+	// soon as the first post-swap response arrives.
+	epoch atomic.Uint64
+
+	mu    sync.Mutex
+	ready map[string]readyState
+
+	l1Hits, l1Misses, peerFetches atomic.Uint64
+	dispatched, failovers         atomic.Uint64
+	epochRepairs, bypassed        atomic.Uint64
+}
+
+// NewRouter builds a router over the given fleet members.
+func NewRouter(nodes []*NodeClient, cfg RouterConfig) (*Router, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 4096
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1024
+	}
+	if cfg.ReadyTTL <= 0 {
+		cfg.ReadyTTL = 500 * time.Millisecond
+	}
+	if cfg.Retries <= 0 || cfg.Retries > len(nodes) {
+		cfg.Retries = len(nodes)
+	}
+	r := &Router{
+		ring:  NewRing(RingConfig{VNodes: cfg.VNodes, LoadFactor: cfg.LoadFactor}),
+		nodes: make(map[string]*NodeClient, len(nodes)),
+		cache: NewCache(cfg.CacheSize),
+		cfg:   cfg,
+		ready: make(map[string]readyState, len(nodes)),
+	}
+	for _, n := range nodes {
+		if _, dup := r.nodes[n.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+		r.nodes[n.Name] = n
+		r.ring.Add(n.Name)
+	}
+	return r, nil
+}
+
+// Ring exposes the router's ring (the /v1/cluster view reads it).
+func (r *Router) Ring() *Ring { return r.ring }
+
+// Epoch returns the newest epoch the router has observed.
+func (r *Router) Epoch() uint64 { return r.epoch.Load() }
+
+// observeEpoch advances the router's epoch watermark.
+func (r *Router) observeEpoch(e uint64) {
+	for {
+		cur := r.epoch.Load()
+		if e <= cur || r.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// markReady records a readiness verdict for a node.
+func (r *Router) markReady(name string, ready bool) {
+	r.mu.Lock()
+	r.ready[name] = readyState{ready: ready, at: time.Now()}
+	r.mu.Unlock()
+}
+
+// isReady returns the node's cached readiness, re-probing /v1/readyz
+// when the verdict is older than ReadyTTL. Probe failures count as
+// not-ready (and stay cached, so a dead node costs one probe per TTL,
+// not one per request).
+func (r *Router) isReady(ctx context.Context, name string) bool {
+	r.mu.Lock()
+	st, ok := r.ready[name]
+	r.mu.Unlock()
+	if ok && time.Since(st.at) < r.cfg.ReadyTTL {
+		return st.ready
+	}
+	// The probe deadline is decoupled from the TTL: a short TTL means
+	// "re-check often", not "give up fast", and a loopback round-trip can
+	// exceed a millisecond-scale TTL under instrumentation.
+	timeout := r.cfg.ReadyTTL
+	if timeout < 250*time.Millisecond {
+		timeout = 250 * time.Millisecond
+	}
+	probeCtx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	rd, err := r.nodes[name].Ready(probeCtx)
+	ready := err == nil && rd.Ready
+	if err == nil {
+		r.observeEpoch(rd.Epoch)
+	}
+	r.markReady(name, ready)
+	return ready
+}
+
+// freshEpoch returns the router's epoch watermark after making sure it
+// is no staler than ReadyTTL: a readiness probe of the given node
+// (TTL-cached, so at most one round-trip per node per TTL) carries the
+// node's current epoch, so even a 100%-cache-hit workload observes a
+// rolling swap within one TTL instead of serving the old epoch forever.
+func (r *Router) freshEpoch(ctx context.Context, node string) uint64 {
+	r.isReady(ctx, node)
+	return r.epoch.Load()
+}
+
+// routeKey is the composite the ring hashes: target plus options
+// fingerprint, so differently-tuned requests for one target can land on
+// different owners but identical requests always converge.
+func routeKey(target, fp string) string {
+	if fp == "" {
+		return target
+	}
+	return target + "\x1f" + fp
+}
+
+// RouteError is a front-door failure with the HTTP status the cluster
+// handler should answer with.
+type RouteError struct {
+	Status  int
+	Message string
+}
+
+func (e *RouteError) Error() string { return e.Message }
+
+func routeErrorf(status int, format string, args ...any) *RouteError {
+	return &RouteError{Status: status, Message: fmt.Sprintf(format, args...)}
+}
+
+// resolveWire validates wire options and derives the cache identity the
+// cluster tiers key on. It mirrors the batch engine's resolveOpts: ""
+// fingerprint for a default request, cacheable unless the options carry
+// state that cannot be fingerprinted.
+func resolveWire(wo *serve.WireOptions) (fp string, cacheable bool, err error) {
+	opts, err := wo.Options()
+	if err != nil {
+		return "", false, err
+	}
+	if len(opts) == 0 {
+		return "", true, nil
+	}
+	o := core.NewLocalizeOptions(opts...)
+	return o.Fingerprint(), o.Cacheable(), nil
+}
+
+// Localize routes one localization through the cluster: L1 front-door
+// cache, L2 owner-cache peer fetch (when the dispatch node differs from
+// the key's owner), then a bounded-load, readiness-filtered dispatch
+// with failover. Errors are *RouteError with the status to serve.
+func (r *Router) Localize(ctx context.Context, target string, wo *serve.WireOptions) (serve.TargetResultV2, error) {
+	if target == "" {
+		return serve.TargetResultV2{}, routeErrorf(http.StatusBadRequest, "missing target")
+	}
+	fp, cacheable, err := resolveWire(wo)
+	if err != nil {
+		return serve.TargetResultV2{}, routeErrorf(http.StatusBadRequest, "bad options: %v", err)
+	}
+	return r.route(ctx, target, wo, fp, cacheable)
+}
+
+// route is Localize after validation; tests drive it directly to
+// exercise the non-cacheable bypass, which wire options cannot express.
+func (r *Router) route(ctx context.Context, target string, wo *serve.WireOptions, fp string, cacheable bool) (serve.TargetResultV2, error) {
+	key := routeKey(target, fp)
+	owner, _ := r.ring.Owner(key)
+	epoch := r.freshEpoch(ctx, owner)
+	if cacheable {
+		if res, ok := r.cache.Get(Key{Target: target, Fingerprint: fp, Epoch: epoch}); ok {
+			r.l1Hits.Add(1)
+			return res, nil
+		}
+		r.l1Misses.Add(1)
+	} else {
+		r.bypassed.Add(1)
+	}
+
+	var lastErr error
+	tried := make(map[string]bool, r.cfg.Retries)
+	for attempt := 0; attempt < r.cfg.Retries; attempt++ {
+		node, release, err := r.ring.Acquire(key, func(name string) bool {
+			return !tried[name] && r.isReady(ctx, name)
+		})
+		if err != nil {
+			// Readiness can be transiently all-false mid-swap (one node
+			// draining while another's probe times out); fall back to any
+			// untried node rather than failing the request outright.
+			node, release, err = r.ring.Acquire(key, func(name string) bool { return !tried[name] })
+			if err != nil {
+				break // every node tried
+			}
+		}
+		tried[node] = true
+
+		// L2: the key's owner holds the cluster's canonical cached copy.
+		// When load or readiness routed us elsewhere, probe the owner's
+		// cache before computing — even a draining owner still answers
+		// lookups. Dispatching to the owner itself makes the probe
+		// redundant (its engine checks the same LRU first).
+		if cacheable && node != owner {
+			if res, ok, err := r.nodes[owner].CacheLookup(ctx, Key{Target: target, Fingerprint: fp, Epoch: epoch}); err == nil && ok {
+				release()
+				r.peerFetches.Add(1)
+				r.cache.Put(Key{Target: target, Fingerprint: fp, Epoch: epoch}, res)
+				return res, nil
+			}
+		}
+
+		r.dispatched.Add(1)
+		tr, err := r.nodes[node].LocalizeV2(ctx, target, wo)
+		release()
+		if err == nil {
+			r.observeEpoch(tr.Epoch)
+			if cacheable {
+				r.cache.Put(Key{Target: target, Fingerprint: fp, Epoch: tr.Epoch}, tr)
+			}
+			return tr, nil
+		}
+		var ae *apiError
+		if asAPIError(err, &ae) && ae.Status < http.StatusInternalServerError && ae.Status != http.StatusServiceUnavailable {
+			// The node understood the request and rejected it (bad target,
+			// bad options): another node will say the same thing.
+			return serve.TargetResultV2{}, routeErrorf(ae.Status, "%s", ae.Message)
+		}
+		// Node trouble: mark it not-ready and fail over.
+		r.markReady(node, false)
+		r.failovers.Add(1)
+		lastErr = err
+	}
+	if lastErr != nil {
+		return serve.TargetResultV2{}, routeErrorf(http.StatusBadGateway, "all nodes failed: %v", lastErr)
+	}
+	return serve.TargetResultV2{}, routeErrorf(http.StatusServiceUnavailable, "no ready node")
+}
+
+// Batch scatter-gathers a batch across the fleet: cacheable targets are
+// served from the front-door cache where possible, the rest are grouped
+// by owner node and dispatched as per-node sub-batches, and the merged
+// response is epoch-repaired so one batch never mixes survey epochs —
+// the per-node engines guarantee that within a node, and the repair pass
+// extends it across nodes mid-rollout. Results come back in submission
+// order.
+func (r *Router) Batch(ctx context.Context, targets []string, wo *serve.WireOptions) ([]serve.TargetResultV2, error) {
+	if len(targets) == 0 {
+		return nil, routeErrorf(http.StatusBadRequest, "missing targets")
+	}
+	if len(targets) > r.cfg.MaxBatch {
+		return nil, routeErrorf(http.StatusRequestEntityTooLarge,
+			"%d targets exceeds the %d per-request limit", len(targets), r.cfg.MaxBatch)
+	}
+	fp, cacheable, err := resolveWire(wo)
+	if err != nil {
+		return nil, routeErrorf(http.StatusBadRequest, "bad options: %v", err)
+	}
+
+	for i, tgt := range targets {
+		if tgt == "" {
+			return nil, routeErrorf(http.StatusBadRequest, "empty target at index %d", i)
+		}
+	}
+	results := make([]serve.TargetResultV2, len(targets))
+	filled := make([]bool, len(targets))
+	firstOwner, _ := r.ring.Owner(routeKey(targets[0], fp))
+	epoch := r.freshEpoch(ctx, firstOwner)
+	var pending []int
+	for i, tgt := range targets {
+		if cacheable {
+			if res, ok := r.cache.Get(Key{Target: tgt, Fingerprint: fp, Epoch: epoch}); ok {
+				r.l1Hits.Add(1)
+				results[i], filled[i] = res, true
+				continue
+			}
+			r.l1Misses.Add(1)
+		} else {
+			r.bypassed.Add(1)
+		}
+		pending = append(pending, i)
+	}
+
+	if err := r.scatter(ctx, targets, wo, fp, pending, results, filled); err != nil {
+		return nil, err
+	}
+
+	// Epoch repair: if a rolling swap landed mid-batch, some lines carry
+	// the old epoch (computed or cached). Recompute them, pinned to the
+	// fleet's newest epoch, until the whole response is single-epoch.
+	for round := 0; round < 4; round++ {
+		maxE := uint64(0)
+		for _, res := range results {
+			if res.Epoch > maxE {
+				maxE = res.Epoch
+			}
+		}
+		var stale []int
+		for i, res := range results {
+			if res.Epoch < maxE {
+				stale = append(stale, i)
+				filled[i] = false
+			}
+		}
+		if len(stale) == 0 {
+			break
+		}
+		r.epochRepairs.Add(uint64(len(stale)))
+		r.observeEpoch(maxE)
+		if err := r.scatter(ctx, targets, wo, fp, stale, results, filled); err != nil {
+			return nil, err
+		}
+	}
+	maxE := uint64(0)
+	for _, res := range results {
+		if res.Epoch > maxE {
+			maxE = res.Epoch
+		}
+	}
+	for _, res := range results {
+		if res.Epoch != maxE {
+			return nil, routeErrorf(http.StatusBadGateway,
+				"fleet would not converge on one epoch (%d vs %d)", res.Epoch, maxE)
+		}
+	}
+	if cacheable {
+		for _, res := range results {
+			r.cache.Put(Key{Target: res.Target, Fingerprint: fp, Epoch: res.Epoch}, res)
+		}
+	}
+	return results, nil
+}
+
+// scatter dispatches the pending target indices as per-owner sub-batches
+// and fills results. Node failures re-group the node's targets onto the
+// rest of the fleet; it fails only when every node is unusable.
+func (r *Router) scatter(ctx context.Context, targets []string, wo *serve.WireOptions, fp string, pending []int, results []serve.TargetResultV2, filled []bool) error {
+	excluded := make(map[string]bool)
+	for attempt := 0; attempt <= len(r.nodes); attempt++ {
+		var left []int
+		for _, i := range pending {
+			if !filled[i] {
+				left = append(left, i)
+			}
+		}
+		if len(left) == 0 {
+			return nil
+		}
+		groups := make(map[string][]int)
+		for _, i := range left {
+			var node string
+			for _, cand := range r.ring.Preference(routeKey(targets[i], fp), len(r.nodes)) {
+				if !excluded[cand] && r.isReady(ctx, cand) {
+					node = cand
+					break
+				}
+			}
+			if node == "" {
+				// Readiness may be transiently all-false mid-swap; fall back
+				// to any non-excluded node rather than failing the batch.
+				for _, cand := range r.ring.Preference(routeKey(targets[i], fp), len(r.nodes)) {
+					if !excluded[cand] {
+						node = cand
+						break
+					}
+				}
+			}
+			if node == "" {
+				return routeErrorf(http.StatusBadGateway, "no usable node for %s", targets[i])
+			}
+			groups[node] = append(groups[node], i)
+		}
+
+		type groupResult struct {
+			node string
+			err  error
+		}
+		var wg sync.WaitGroup
+		resc := make(chan groupResult, len(groups))
+		for node, idxs := range groups {
+			wg.Add(1)
+			go func(node string, idxs []int) {
+				defer wg.Done()
+				byTarget := make(map[string][]int, len(idxs))
+				sub := make([]string, 0, len(idxs))
+				for _, i := range idxs {
+					if prior := byTarget[targets[i]]; len(prior) == 0 {
+						sub = append(sub, targets[i])
+					}
+					byTarget[targets[i]] = append(byTarget[targets[i]], i)
+				}
+				r.dispatched.Add(uint64(len(sub)))
+				err := r.nodes[node].BatchV2(ctx, sub, wo, func(tr serve.TargetResultV2) error {
+					for _, i := range byTarget[tr.Target] {
+						results[i], filled[i] = tr, true
+					}
+					return nil
+				})
+				resc <- groupResult{node: node, err: err}
+			}(node, idxs)
+		}
+		wg.Wait()
+		close(resc)
+		anyErr := false
+		for gr := range resc {
+			if gr.err != nil {
+				var ae *apiError
+				if asAPIError(gr.err, &ae) && ae.Status < http.StatusInternalServerError && ae.Status != http.StatusServiceUnavailable {
+					return routeErrorf(ae.Status, "%s", ae.Message)
+				}
+				r.markReady(gr.node, false)
+				r.failovers.Add(1)
+				excluded[gr.node] = true
+				anyErr = true
+			}
+		}
+		if anyErr && len(excluded) >= len(r.nodes) {
+			return routeErrorf(http.StatusBadGateway, "all nodes failed")
+		}
+		// Observe the newest epoch the sub-batches reported.
+		for _, i := range pending {
+			if filled[i] {
+				r.observeEpoch(results[i].Epoch)
+			}
+		}
+	}
+	return routeErrorf(http.StatusBadGateway, "batch did not complete")
+}
+
+// Stats merges the router's counters with every node's engine stats.
+func (r *Router) Stats(ctx context.Context) ClusterStats {
+	hits, misses := r.cache.Counters()
+	cs := ClusterStats{
+		Epoch: r.epoch.Load(),
+		Router: RouterStats{
+			L1Hits:       hits,
+			L1Misses:     misses,
+			L1Len:        r.cache.Len(),
+			L1Cap:        r.cfg.CacheSize,
+			PeerFetches:  r.peerFetches.Load(),
+			Dispatched:   r.dispatched.Load(),
+			Failovers:    r.failovers.Load(),
+			EpochRepairs: r.epochRepairs.Load(),
+			Bypassed:     r.bypassed.Load(),
+		},
+		Nodes: make(map[string]batch.Stats, len(r.nodes)),
+	}
+	for name, node := range r.nodes {
+		st, err := node.Stats(ctx)
+		if err != nil {
+			cs.Unreachable = append(cs.Unreachable, name)
+			continue
+		}
+		cs.Nodes[name] = st
+	}
+	sort.Strings(cs.Unreachable)
+	return cs
+}

@@ -110,6 +110,9 @@ type RefreshReport struct {
 	// SnapshotError carries a non-fatal autosave failure ("" if none,
 	// or if autosaving is off).
 	SnapshotError string `json:"snapshot_error,omitempty"`
+	// Installed marks an epoch that was pushed in from a cluster
+	// coordinator (Stage + ActivateStaged) rather than probed locally.
+	Installed bool `json:"installed,omitempty"`
 	// ElapsedMs is the refresh wall time, probing included.
 	ElapsedMs float64 `json:"elapsed_ms"`
 }
@@ -127,6 +130,13 @@ type Stats struct {
 	Swaps uint64 `json:"swaps"`
 	// Refreshes counts completed Refresh rounds (swapped or not).
 	Refreshes uint64 `json:"refreshes"`
+	// Installs counts epochs adopted from a cluster coordinator's push
+	// (a subset of Swaps).
+	Installs uint64 `json:"installs,omitempty"`
+	// StagedEpoch is a pushed epoch waiting for activation (0 = none;
+	// epoch numbers of staged snapshots are always > 0 because they must
+	// exceed the current epoch).
+	StagedEpoch uint64 `json:"staged_epoch,omitempty"`
 	// LastRefresh is the most recent refresh round's report (nil before
 	// the first).
 	LastRefresh *RefreshReport `json:"last_refresh,omitempty"`
@@ -157,8 +167,14 @@ type Manager struct {
 
 	swaps      atomic.Uint64
 	refreshes  atomic.Uint64
+	installs   atomic.Uint64
 	lastReport atomic.Pointer[RefreshReport]
 	lastErr    atomic.Pointer[string]
+
+	// staged is a coordinator-pushed survey awaiting ActivateStaged.
+	// Writers (Stage, ActivateStaged) serialize on mu; Stats reads the
+	// pointer lock-free, so it must never block behind a long reprobe.
+	staged atomic.Pointer[core.Survey]
 }
 
 // New starts a lifecycle around an existing survey — freshly probed by
@@ -313,6 +329,85 @@ func (m *Manager) Refresh(ctx context.Context, scope []int) (*RefreshReport, err
 	return report, nil
 }
 
+// Stage validates and parks a coordinator-pushed survey snapshot for a
+// later ActivateStaged — the first half of a coordinated epoch rollout.
+// The snapshot must describe the same landmark mesh (set, order,
+// positions) at the same per-pair probe count, and must carry a newer
+// epoch than the one currently serving; anything else is a configuration
+// error surfaced to the coordinator, never adopted silently. Staging
+// publishes nothing: traffic keeps serving the current epoch untouched.
+func (m *Manager) Stage(survey *core.Survey) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := m.Current().Survey
+	if survey.N() != cur.N() {
+		return fmt.Errorf("lifecycle: staged survey has %d landmarks, serving survey has %d", survey.N(), cur.N())
+	}
+	for i := range cur.Landmarks {
+		if survey.Landmarks[i] != cur.Landmarks[i] {
+			return fmt.Errorf("lifecycle: staged landmark %d is %s (%s), serving survey says %s (%s)",
+				i, survey.Landmarks[i].Name, survey.Landmarks[i].Addr, cur.Landmarks[i].Name, cur.Landmarks[i].Addr)
+		}
+	}
+	if survey.Probes != cur.Probes {
+		return fmt.Errorf("lifecycle: staged survey was measured with %d probes/pair, serving survey with %d", survey.Probes, cur.Probes)
+	}
+	if survey.Epoch <= cur.Epoch {
+		return fmt.Errorf("lifecycle: staged epoch %d is not newer than serving epoch %d", survey.Epoch, cur.Epoch)
+	}
+	m.staged.Store(survey)
+	return nil
+}
+
+// StagedEpoch reports the epoch number of a staged snapshot, if any.
+func (m *Manager) StagedEpoch() (uint64, bool) {
+	if s := m.staged.Load(); s != nil {
+		return s.Epoch, true
+	}
+	return 0, false
+}
+
+// ActivateStaged publishes the staged snapshot as the current epoch with
+// the same RCU swap a local refresh uses: in-flight requests finish on
+// the epoch they borrowed, new requests pick up the staged one, and
+// epoch-qualified caches invalidate lazily. The new epoch reuses the
+// superseded Localizer's land-mask masters and resolver (the mesh is
+// unchanged — Stage verified it), so it serves its first solve warm.
+// Fails if nothing is staged or a newer epoch was published meanwhile.
+func (m *Manager) ActivateStaged() (*Epoch, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	staged := m.staged.Load()
+	if staged == nil {
+		return nil, fmt.Errorf("lifecycle: no staged epoch to activate")
+	}
+	cur := m.Current()
+	if staged.Epoch <= cur.Survey.Epoch {
+		m.staged.Store(nil)
+		return nil, fmt.Errorf("lifecycle: staged epoch %d superseded by serving epoch %d", staged.Epoch, cur.Survey.Epoch)
+	}
+	e := &Epoch{
+		Survey:    staged,
+		Localizer: core.NewLocalizerReusing(m.prober, staged, m.cfg, cur.Localizer),
+		Published: time.Now(),
+	}
+	report := &RefreshReport{PrevEpoch: cur.Survey.Epoch, Epoch: staged.Epoch, Swapped: true, Installed: true}
+	if m.opts.SnapshotPath != "" {
+		if err := staged.SaveSnapshotFile(m.opts.SnapshotPath); err != nil {
+			report.SnapshotError = err.Error()
+		}
+	}
+	m.staged.Store(nil)
+	m.cur.Store(e)
+	m.swaps.Add(1)
+	m.installs.Add(1)
+	m.lastReport.Store(report)
+	if m.opts.OnSwap != nil {
+		m.opts.OnSwap(e, report)
+	}
+	return e, nil
+}
+
 // Run refreshes all pairs every Options.Interval until ctx is done. A
 // failed round is recorded (Stats.LastError) and the loop keeps going —
 // transient probe failures must not kill recalibration for good. Run
@@ -358,7 +453,11 @@ func (m *Manager) Stats() Stats {
 		EpochAgeS:   time.Since(e.Published).Seconds(),
 		Swaps:       m.swaps.Load(),
 		Refreshes:   m.refreshes.Load(),
+		Installs:    m.installs.Load(),
 		LastRefresh: m.lastReport.Load(),
+	}
+	if s := m.staged.Load(); s != nil {
+		st.StagedEpoch = s.Epoch
 	}
 	if s := m.lastErr.Load(); s != nil {
 		st.LastError = *s

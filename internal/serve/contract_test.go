@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bufio"
@@ -21,7 +21,7 @@ import (
 // the archived golden byte-for-byte in structure and value. Regenerate
 // with:
 //
-//	go test ./cmd/octant-serve -run TestV2Contract -update
+//	go test ./internal/serve -run TestV2Contract -update
 var update = flag.Bool("update", false, "rewrite the /v2 contract goldens from the current responses")
 
 // normalizeWire strips the response fields that legitimately vary run to
@@ -189,7 +189,7 @@ func runContractCase(t *testing.T, h http.Handler, path, reqFile, goldenFile str
 // WithExplain provenance payload — and pins the responses.
 func TestV2Contract(t *testing.T) {
 	s := contractStack(t)
-	h := s.srv.handler()
+	h := s.srv.Handler()
 	runContractCase(t, h, "/v2/localize", "v2_localize_request.json", "v2_localize_golden.json", false)
 	runContractCase(t, h, "/v2/localize/batch", "v2_batch_request.json", "v2_batch_golden.json", true)
 }
@@ -198,6 +198,6 @@ func TestV2Contract(t *testing.T) {
 // must not drift while it remains published.
 func TestV1Contract(t *testing.T) {
 	s := contractStack(t)
-	h := s.srv.handler()
+	h := s.srv.Handler()
 	runContractCase(t, h, "/v1/localize", "v1_localize_request.json", "v1_localize_golden.json", false)
 }

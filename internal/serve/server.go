@@ -1,4 +1,28 @@
-package main
+// Package serve is the HTTP serving layer of the Octant daemon: the
+// route table, wire formats, and admin surface that cmd/octant-serve
+// mounts over a batch engine and a survey lifecycle manager. It lives in
+// its own package (rather than inside the binary) so the cluster tier
+// can embed real serving nodes — in-process fleets for tests and the
+// soak harness — and so the octant-cluster front door speaks exactly
+// these wire types.
+//
+// Endpoints:
+//
+//	POST /v1/localize        {"target": "host"}            → JSON result
+//	POST /v1/localize/batch  {"targets": ["h1", "h2", …]}  → NDJSON stream
+//	POST /v2/localize        {"target", "options"}         → result + epoch (+ provenance)
+//	POST /v2/localize/batch  {"targets", "options"}        → NDJSON stream of v2 results
+//	POST /v1/survey/refresh  {"landmarks": ["name", …]?}   → reprobe + recalibrate
+//	POST /v1/survey/install  (survey snapshot JSON)        → stage a pushed epoch
+//	POST /v1/survey/activate                               → drain + RCU-swap the staged epoch
+//	GET  /v1/survey/snapshot                               → current epoch as snapshot JSON
+//	GET  /v1/survey                                        → epoch, κ, swap/refresh counters
+//	GET  /v1/cache/lookup?target=&fp=&epoch=               → peer cache read (404 on miss)
+//	GET  /v1/healthz                                       → liveness
+//	GET  /v1/readyz                                        → readiness (epoch published, not draining)
+//	GET  /v1/stats                                         → engine counters and latency quantiles
+//	GET  /debug/pprof/…                                    → live profiling (Options.Pprof)
+package serve
 
 import (
 	"encoding/json"
@@ -6,6 +30,8 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"octant/internal/batch"
@@ -14,30 +40,61 @@ import (
 	"octant/internal/lifecycle"
 )
 
-// server is the HTTP surface over a batch engine and its survey lifecycle
+// Options tunes a Server. The zero value is usable.
+type Options struct {
+	// MaxBatch bounds targets per batch request (0 = default 1024).
+	MaxBatch int
+	// Pprof mounts the net/http/pprof handlers under /debug/pprof/ so
+	// production hot paths can be profiled live.
+	Pprof bool
+	// ActivateDrain bounds how long /v1/survey/activate waits for
+	// in-flight requests to finish before swapping the staged epoch
+	// (0 = default 2s). The wait is belt and braces — the engine's
+	// per-request epoch borrow already keeps every response
+	// single-epoch — but it lets a rolling rollout hand a quiesced node
+	// to the swap.
+	ActivateDrain time.Duration
+}
+
+// Server is the HTTP surface over a batch engine and its survey lifecycle
 // manager. All state it touches is either immutable (epoch snapshots) or
 // internally synchronized (the engine, the manager), so the handlers need
 // no locking of their own.
-type server struct {
+type Server struct {
 	engine  *batch.Engine
 	manager *lifecycle.Manager
 	started time.Time
-	// maxBatch bounds targets per batch request (0 = default 1024).
-	maxBatch int
-	// pprof mounts the net/http/pprof handlers under /debug/pprof/ so
-	// production hot paths can be profiled live.
-	pprof bool
+	opts    Options
+	// draining flips readiness off while an epoch activation (or process
+	// shutdown) is quiescing the node; the cluster router routes around
+	// not-ready nodes, which is what makes rolling swaps zero-error.
+	draining atomic.Bool
 }
 
-func newServer(engine *batch.Engine, manager *lifecycle.Manager, maxBatch int) *server {
-	if maxBatch <= 0 {
-		maxBatch = 1024
+// New builds a Server over an engine and a lifecycle manager.
+func New(engine *batch.Engine, manager *lifecycle.Manager, opts Options) *Server {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 1024
 	}
-	return &server{engine: engine, manager: manager, started: time.Now(), maxBatch: maxBatch}
+	if opts.ActivateDrain <= 0 {
+		opts.ActivateDrain = 2 * time.Second
+	}
+	return &Server{engine: engine, manager: manager, started: time.Now(), opts: opts}
 }
 
-// handler builds the route table.
-func (s *server) handler() http.Handler {
+// Engine returns the batch engine the server fronts.
+func (s *Server) Engine() *batch.Engine { return s.engine }
+
+// Manager returns the lifecycle manager the server fronts.
+func (s *Server) Manager() *lifecycle.Manager { return s.manager }
+
+// SetDraining flips the node's readiness. The process shutdown path sets
+// it before the listener closes so fleet routers stop sending new work a
+// beat before connections start being refused.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Handler builds the route table.
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/localize", s.handleLocalize)
 	mux.HandleFunc("/v1/localize/batch", s.handleBatch)
@@ -45,9 +102,14 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v2/localize/batch", s.handleBatchV2)
 	mux.HandleFunc("/v1/survey", s.handleSurvey)
 	mux.HandleFunc("/v1/survey/refresh", s.handleRefresh)
+	mux.HandleFunc("/v1/survey/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/v1/survey/install", s.handleInstall)
+	mux.HandleFunc("/v1/survey/activate", s.handleActivate)
+	mux.HandleFunc("/v1/cache/lookup", s.handleCacheLookup)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/readyz", s.handleReadyz)
 	mux.HandleFunc("/v1/stats", s.handleStats)
-	if s.pprof {
+	if s.opts.Pprof {
 		// Explicit registration: the daemon serves its own mux, so the
 		// side-effect registrations on http.DefaultServeMux from importing
 		// net/http/pprof never reach clients unless mounted here.
@@ -60,10 +122,10 @@ func (s *server) handler() http.Handler {
 	return mux
 }
 
-// targetResult is the wire form of one localization outcome. Latitude and
+// TargetResult is the wire form of one localization outcome. Latitude and
 // longitude are pointers because an empty estimated region has no point
 // (NaN is not representable in JSON).
-type targetResult struct {
+type TargetResult struct {
 	Target      string   `json:"target"`
 	Lat         *float64 `json:"lat,omitempty"`
 	Lon         *float64 `json:"lon,omitempty"`
@@ -76,8 +138,9 @@ type targetResult struct {
 	Error       string   `json:"error,omitempty"`
 }
 
-func toTargetResult(item batch.Item) targetResult {
-	tr := targetResult{Target: item.Target}
+// ToTargetResult converts a batch item to its wire form.
+func ToTargetResult(item batch.Item) TargetResult {
+	tr := TargetResult{Target: item.Target}
 	if item.Err != nil {
 		tr.Error = item.Err.Error()
 		return tr
@@ -112,8 +175,8 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // The v2 surface maps request bodies 1:1 onto the core.LocalizeOption
 // set: every knob a library caller can turn, a wire caller can too.
 
-// wireHint is one exogenous positive prior (core.Hint) on the wire.
-type wireHint struct {
+// WireHint is one exogenous positive prior (core.Hint) on the wire.
+type WireHint struct {
 	Lat      float64 `json:"lat"`
 	Lon      float64 `json:"lon"`
 	RadiusKm float64 `json:"radius_km,omitempty"`
@@ -121,10 +184,12 @@ type wireHint struct {
 	Label    string  `json:"label,omitempty"`
 }
 
-// wireOptions is the JSON form of a request's options. Zero values mean
+// WireOptions is the JSON form of a request's options. Zero values mean
 // "server default" throughout, so an empty object is exactly a v1
-// request.
-type wireOptions struct {
+// request. The cluster router decodes it both to validate requests at
+// the front door and to derive the options fingerprint its cache tiers
+// key on.
+type WireOptions struct {
 	// Disable lists evidence sources to skip: "latency", "router",
 	// "hint", "geography".
 	Disable []string `json:"disable,omitempty"`
@@ -140,7 +205,7 @@ type wireOptions struct {
 	// Explain attaches per-source provenance to the response.
 	Explain bool `json:"explain,omitempty"`
 	// Hints are extra positive priors for the hint source.
-	Hints []wireHint `json:"hints,omitempty"`
+	Hints []WireHint `json:"hints,omitempty"`
 }
 
 // knownSources guards source names on the wire: a typo must 400, not
@@ -152,8 +217,8 @@ var knownSources = map[string]bool{
 	core.SourceGeography: true,
 }
 
-// toOptions converts the wire options (nil = none) into request options.
-func (wo *wireOptions) toOptions() ([]core.LocalizeOption, error) {
+// Options converts the wire options (nil = none) into request options.
+func (wo *WireOptions) Options() ([]core.LocalizeOption, error) {
 	if wo == nil {
 		return nil, nil
 	}
@@ -204,16 +269,17 @@ func (wo *wireOptions) toOptions() ([]core.LocalizeOption, error) {
 	return opts, nil
 }
 
-// targetResultV2 extends the v1 wire result with the serving epoch and,
+// TargetResultV2 extends the v1 wire result with the serving epoch and,
 // when the request asked to explain itself, the evidence provenance.
-type targetResultV2 struct {
-	targetResult
+type TargetResultV2 struct {
+	TargetResult
 	Epoch      uint64           `json:"epoch"`
 	Provenance *core.Provenance `json:"provenance,omitempty"`
 }
 
-func toTargetResultV2(item batch.Item) targetResultV2 {
-	tr := targetResultV2{targetResult: toTargetResult(item), Epoch: item.Epoch}
+// ToTargetResultV2 converts a batch item to its v2 wire form.
+func ToTargetResultV2(item batch.Item) TargetResultV2 {
+	tr := TargetResultV2{TargetResult: ToTargetResult(item), Epoch: item.Epoch}
 	if item.Err == nil && item.Result.Provenance != nil {
 		tr.Provenance = item.Result.Provenance
 	}
@@ -223,7 +289,7 @@ func toTargetResultV2(item batch.Item) targetResultV2 {
 // handleLocalize serves POST /v1/localize: {"target": "..."} → one
 // result. It is a thin adapter over the same request path as /v2 with no
 // options, kept for wire compatibility.
-func (s *server) handleLocalize(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
@@ -246,20 +312,20 @@ func (s *server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "%v", item.Err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toTargetResult(item))
+	writeJSON(w, http.StatusOK, ToTargetResult(item))
 }
 
 // handleLocalizeV2 serves POST /v2/localize:
 // {"target": "...", "options": {...}} → one result with epoch and
 // optional provenance. Options map 1:1 onto core.LocalizeOption.
-func (s *server) handleLocalizeV2(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleLocalizeV2(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	var req struct {
 		Target  string       `json:"target"`
-		Options *wireOptions `json:"options"`
+		Options *WireOptions `json:"options"`
 	}
 	// DisallowUnknownFields: /v2 is a new surface, so a misspelled
 	// option key ("weight" for "weights") must 400 rather than silently
@@ -274,7 +340,7 @@ func (s *server) handleLocalizeV2(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing target")
 		return
 	}
-	opts, err := req.Options.toOptions()
+	opts, err := req.Options.Options()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad options: %v", err)
 		return
@@ -284,13 +350,13 @@ func (s *server) handleLocalizeV2(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "%v", item.Err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toTargetResultV2(item))
+	writeJSON(w, http.StatusOK, ToTargetResultV2(item))
 }
 
 // handleBatch serves POST /v1/localize/batch: {"targets": [...]} → one
 // NDJSON line per target, streamed in completion order as the worker pool
 // drains the batch. A thin adapter over the /v2 stream with no options.
-func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
@@ -303,21 +369,21 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.streamBatch(w, r, req.Targets, nil, func(item batch.Item) any {
-		return toTargetResult(item)
+		return ToTargetResult(item)
 	})
 }
 
 // handleBatchV2 serves POST /v2/localize/batch:
 // {"targets": [...], "options": {...}} → NDJSON stream of v2 results.
 // The options apply to every target of the batch.
-func (s *server) handleBatchV2(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleBatchV2(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	var req struct {
 		Targets []string     `json:"targets"`
-		Options *wireOptions `json:"options"`
+		Options *WireOptions `json:"options"`
 	}
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -325,26 +391,26 @@ func (s *server) handleBatchV2(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	opts, err := req.Options.toOptions()
+	opts, err := req.Options.Options()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad options: %v", err)
 		return
 	}
 	s.streamBatch(w, r, req.Targets, opts, func(item batch.Item) any {
-		return toTargetResultV2(item)
+		return ToTargetResultV2(item)
 	})
 }
 
 // streamBatch validates the target list and streams one encoded line per
 // completed target — the shared engine of both batch endpoints.
-func (s *server) streamBatch(w http.ResponseWriter, r *http.Request, targets []string, opts []core.LocalizeOption, encode func(batch.Item) any) {
+func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, targets []string, opts []core.LocalizeOption, encode func(batch.Item) any) {
 	if len(targets) == 0 {
 		writeError(w, http.StatusBadRequest, "missing targets")
 		return
 	}
-	if len(targets) > s.maxBatch {
+	if len(targets) > s.opts.MaxBatch {
 		writeError(w, http.StatusRequestEntityTooLarge,
-			"%d targets exceeds the %d per-request limit", len(targets), s.maxBatch)
+			"%d targets exceeds the %d per-request limit", len(targets), s.opts.MaxBatch)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -370,7 +436,7 @@ func (s *server) streamBatch(w http.ResponseWriter, r *http.Request, targets []s
 // handleSurvey serves GET /v1/survey: the lifecycle view — current
 // epoch, calibration parameters, swap/refresh counters, and the last
 // refresh report.
-func (s *server) handleSurvey(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSurvey(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
@@ -384,7 +450,7 @@ func (s *server) handleSurvey(w http.ResponseWriter, r *http.Request) {
 // named landmarks (on-demand recalibration of suspects at O(k·n) probes);
 // an empty or absent body refreshes every pair. Responds with the refresh
 // report; traffic is served uninterrupted throughout.
-func (s *server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
@@ -426,8 +492,124 @@ func (s *server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, report)
 }
 
-// handleHealthz serves GET /v1/healthz.
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// handleSnapshot serves GET /v1/survey/snapshot: the current epoch's
+// survey in the versioned-JSON snapshot format — what a cluster
+// coordinator pulls from the refresh source and pushes to replicas for a
+// probe-free warm adoption.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	e := s.manager.Current()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Octant-Epoch", strconv.FormatUint(e.Number(), 10))
+	if err := e.Survey.WriteSnapshot(w); err != nil {
+		// Headers are already gone; cut the stream so the client sees a
+		// truncated body instead of a silently short snapshot.
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// handleInstall serves POST /v1/survey/install: the request body is a
+// survey snapshot (the exact bytes /v1/survey/snapshot emits) which is
+// validated against the serving mesh and staged for a later activate.
+// Staging changes nothing observable — traffic stays on the current
+// epoch until /v1/survey/activate.
+func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	survey, err := core.ReadSnapshot(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad snapshot: %v", err)
+		return
+	}
+	if err := s.manager.Stage(survey); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"staged_epoch":  survey.Epoch,
+		"serving_epoch": s.manager.Current().Number(),
+	})
+}
+
+// handleActivate serves POST /v1/survey/activate: flip readiness off,
+// give in-flight requests a bounded drain window, RCU-swap the staged
+// epoch in, and flip readiness back on. The drain is cooperative — the
+// engine's per-request epoch borrow already guarantees no response mixes
+// epochs — but it means a router honoring readiness sees the node go
+// not-ready → swapped → ready with no request ever landing mid-swap.
+func (s *Server) handleActivate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if _, ok := s.manager.StagedEpoch(); !ok {
+		writeError(w, http.StatusConflict, "no staged epoch to activate")
+		return
+	}
+	s.draining.Store(true)
+	deadline := time.Now().Add(s.opts.ActivateDrain)
+	for s.engine.InFlight() > 0 && time.Now().Before(deadline) {
+		select {
+		case <-r.Context().Done():
+			s.draining.Store(false)
+			writeError(w, http.StatusUnprocessableEntity, "activate cancelled: %v", r.Context().Err())
+			return
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	e, err := s.manager.ActivateStaged()
+	s.draining.Store(false)
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"epoch": e.Number()})
+}
+
+// handleCacheLookup serves GET /v1/cache/lookup?target=&fp=&epoch=: the
+// cluster cache tier's peer-fetch read path. It consults the engine's
+// LRU without measuring; a hit answers with the full v2 wire result
+// (marked cached), a miss is 404. Results from non-cacheable requests
+// can never be served here — they are never inserted into the LRU in the
+// first place.
+func (s *Server) handleCacheLookup(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := r.URL.Query()
+	target := q.Get("target")
+	if target == "" {
+		writeError(w, http.StatusBadRequest, "missing target")
+		return
+	}
+	epoch, err := strconv.ParseUint(q.Get("epoch"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad epoch: %v", err)
+		return
+	}
+	res, ok := s.engine.Peek(target, q.Get("fp"), epoch)
+	if !ok {
+		writeError(w, http.StatusNotFound, "miss")
+		return
+	}
+	writeJSON(w, http.StatusOK, ToTargetResultV2(batch.Item{
+		Target: target,
+		Result: res,
+		Epoch:  epoch,
+		Cached: true,
+	}))
+}
+
+// handleHealthz serves GET /v1/healthz — pure liveness: the process is up
+// and handling HTTP. Readiness (should this node receive traffic?) is
+// /v1/readyz; a draining node is alive but not ready.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	e := s.manager.Current()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
@@ -437,8 +619,32 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// Readiness is the readyz wire shape — also what the cluster router's
+// health prober decodes.
+type Readiness struct {
+	Ready bool   `json:"ready"`
+	Epoch uint64 `json:"epoch"`
+	// Reason explains a not-ready state ("draining").
+	Reason string `json:"reason,omitempty"`
+}
+
+// handleReadyz serves GET /v1/readyz: 200 when the node should receive
+// traffic — a survey epoch is published and the engine is accepting work
+// — and 503 while draining (epoch activation or shutdown). Rolling
+// rollouts and the cluster router key off this, not healthz: a draining
+// node is still alive.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	rd := Readiness{Ready: !s.draining.Load(), Epoch: s.manager.Current().Number()}
+	status := http.StatusOK
+	if !rd.Ready {
+		rd.Reason = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, rd)
+}
+
 // handleStats serves GET /v1/stats: the engine's counters, cache hit
 // rate, in-flight count, and latency quantiles.
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.engine.Stats())
 }

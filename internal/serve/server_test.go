@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bufio"
@@ -24,9 +24,9 @@ import (
 )
 
 // testServer builds a serve stack over the simulated world with the first
-// 32 hosts held out as targets, mirroring what main() wires up.
+// 32 hosts held out as targets, mirroring what octant-serve wires up.
 type testStack struct {
-	srv     *server
+	srv     *Server
 	world   *netsim.World
 	targets []string
 	seq     map[string]*core.Result // sequential ground truth per target
@@ -41,7 +41,7 @@ var (
 // buildStack wires a full serve stack (prober → survey → lifecycle →
 // engine → server) over a fresh simulated world.
 func buildStack(seed uint64, holdout int) (testStack, error) {
-	prober, landmarks, err := buildProber("sim", seed, holdout, "")
+	prober, landmarks, err := BuildProber("sim", seed, holdout, "")
 	if err != nil {
 		return testStack{}, err
 	}
@@ -65,7 +65,8 @@ func buildStack(seed uint64, holdout int) (testStack, error) {
 		seq[tgt] = res
 	}
 	engine := batch.NewWithProvider(manager, batch.Options{Workers: 8})
-	return testStack{srv: newServer(engine, manager, 256), world: world, targets: targets, seq: seq}, nil
+	srv := New(engine, manager, Options{MaxBatch: 256})
+	return testStack{srv: srv, world: world, targets: targets, seq: seq}, nil
 }
 
 func sharedStack(t *testing.T) testStack {
@@ -94,7 +95,7 @@ func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.Res
 // Localize ground truth.
 func TestBatchEndpointEndToEnd(t *testing.T) {
 	s := sharedStack(t)
-	h := s.srv.handler()
+	h := s.srv.Handler()
 
 	rec := postJSON(t, h, "/v1/localize/batch", map[string]any{"targets": s.targets})
 	if rec.Code != http.StatusOK {
@@ -106,7 +107,7 @@ func TestBatchEndpointEndToEnd(t *testing.T) {
 	seen := make(map[string]bool)
 	sc := bufio.NewScanner(rec.Body)
 	for sc.Scan() {
-		var tr targetResult
+		var tr TargetResult
 		if err := json.Unmarshal(sc.Bytes(), &tr); err != nil {
 			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
 		}
@@ -141,10 +142,10 @@ func TestBatchEndpointEndToEnd(t *testing.T) {
 
 func TestSingleLocalizeAndCacheFlag(t *testing.T) {
 	s := sharedStack(t)
-	h := s.srv.handler()
+	h := s.srv.Handler()
 	tgt := s.targets[0]
 
-	var trs [2]targetResult
+	var trs [2]TargetResult
 	for i := range trs {
 		rec := postJSON(t, h, "/v1/localize", map[string]string{"target": tgt})
 		if rec.Code != http.StatusOK {
@@ -169,7 +170,7 @@ func TestSingleLocalizeAndCacheFlag(t *testing.T) {
 
 func TestValidationErrors(t *testing.T) {
 	s := sharedStack(t)
-	h := s.srv.handler()
+	h := s.srv.Handler()
 
 	if rec := postJSON(t, h, "/v1/localize", map[string]string{}); rec.Code != http.StatusBadRequest {
 		t.Errorf("missing target: status %d", rec.Code)
@@ -197,7 +198,7 @@ func TestValidationErrors(t *testing.T) {
 
 func TestHealthzAndStats(t *testing.T) {
 	s := sharedStack(t)
-	h := s.srv.handler()
+	h := s.srv.Handler()
 
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
@@ -211,7 +212,7 @@ func TestHealthzAndStats(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &hz); err != nil {
 		t.Fatal(err)
 	}
-	if hz.Status != "ok" || hz.Landmarks != s.srv.manager.Current().Survey.N() {
+	if hz.Status != "ok" || hz.Landmarks != s.srv.Manager().Current().Survey.N() {
 		t.Errorf("healthz = %+v", hz)
 	}
 
@@ -240,11 +241,55 @@ func TestHealthzAndStats(t *testing.T) {
 	if st.Workers != 8 {
 		t.Errorf("workers = %d, want 8", st.Workers)
 	}
+	if st.CacheHits+st.CacheMisses > 0 && st.CacheHitRatio == 0 && st.CacheHits > 0 {
+		t.Error("cache_hit_ratio not derived from hits/misses")
+	}
 	if st.LandMasks.Misses == 0 {
 		t.Error("stats report no land-mask masters built after localizations")
 	}
 	if st.LandMasks.Hits == 0 {
 		t.Error("stats report no land-mask reuse across localizations")
+	}
+}
+
+// TestReadyzLifecycle verifies readiness flips with draining while
+// liveness stays green.
+func TestReadyzLifecycle(t *testing.T) {
+	s, err := buildStack(17, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.srv.Handler()
+
+	get := func(path string) (*httptest.ResponseRecorder, Readiness) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		var rd Readiness
+		_ = json.Unmarshal(rec.Body.Bytes(), &rd)
+		return rec, rd
+	}
+
+	rec, rd := get("/v1/readyz")
+	if rec.Code != http.StatusOK || !rd.Ready {
+		t.Fatalf("fresh node not ready: %d %+v", rec.Code, rd)
+	}
+
+	s.srv.SetDraining(true)
+	rec, rd = get("/v1/readyz")
+	if rec.Code != http.StatusServiceUnavailable || rd.Ready || rd.Reason != "draining" {
+		t.Errorf("draining node still ready: %d %+v", rec.Code, rd)
+	}
+	// Liveness must stay green while draining: the process is healthy, it
+	// just should not receive new routed work.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz failed while draining: %d", rec.Code)
+	}
+	s.srv.SetDraining(false)
+	rec, rd = get("/v1/readyz")
+	if rec.Code != http.StatusOK || !rd.Ready {
+		t.Errorf("node not ready after drain cleared: %d %+v", rec.Code, rd)
 	}
 }
 
@@ -254,20 +299,19 @@ func TestPprofGating(t *testing.T) {
 	s := sharedStack(t)
 
 	rec := httptest.NewRecorder()
-	s.srv.handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	s.srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
 	if rec.Code != http.StatusNotFound {
 		t.Errorf("pprof disabled: status %d, want 404", rec.Code)
 	}
 
-	enabled := *s.srv
-	enabled.pprof = true
+	enabled := New(s.srv.Engine(), s.srv.Manager(), Options{MaxBatch: 256, Pprof: true})
 	rec = httptest.NewRecorder()
-	enabled.handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	enabled.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
 	if rec.Code != http.StatusOK {
 		t.Errorf("pprof enabled: status %d, want 200", rec.Code)
 	}
 	rec = httptest.NewRecorder()
-	enabled.handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/cmdline", nil))
+	enabled.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/cmdline", nil))
 	if rec.Code != http.StatusOK {
 		t.Errorf("pprof cmdline: status %d, want 200", rec.Code)
 	}
@@ -286,7 +330,7 @@ func TestLoadLandmarksParsing(t *testing.T) {
 	if err := writeFile(path, csv); err != nil {
 		t.Fatal(err)
 	}
-	lms, err := loadLandmarks(path)
+	lms, err := LoadLandmarks(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,21 +340,21 @@ func TestLoadLandmarksParsing(t *testing.T) {
 	if err := writeFile(path, "one,two,three\n"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadLandmarks(path); err == nil {
+	if _, err := LoadLandmarks(path); err == nil {
 		t.Error("malformed line should error")
 	}
 	dupName := "a:80, Site X, 1, 2\nb:80, Site X, 3, 4\nc:80, Site Z, 5, 6\n"
 	if err := writeFile(path, dupName); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadLandmarks(path); err == nil {
+	if _, err := LoadLandmarks(path); err == nil {
 		t.Error("duplicate landmark name should error (names address scoped refreshes)")
 	}
 	dupAddr := "a:80, Site X, 1, 2\na:80, Site Y, 3, 4\nc:80, Site Z, 5, 6\n"
 	if err := writeFile(path, dupAddr); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadLandmarks(path); err == nil {
+	if _, err := LoadLandmarks(path); err == nil {
 		t.Error("duplicate landmark address should error")
 	}
 }
@@ -330,7 +374,7 @@ func TestSurveyRefreshEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := s.srv.handler()
+	h := s.srv.Handler()
 
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/survey", nil))
@@ -359,7 +403,7 @@ func TestSurveyRefreshEndpoints(t *testing.T) {
 	}
 
 	// Drift one landmark pair beyond tolerance and refresh again.
-	survey := s.srv.manager.Current().Survey
+	survey := s.srv.Manager().Current().Survey
 	a, _ := s.world.HostByName(survey.Landmarks[0].Addr)
 	b, _ := s.world.HostByName(survey.Landmarks[1].Addr)
 	s.world.SetPairDriftMs(a.ID, b.ID, 25)
@@ -391,11 +435,153 @@ func TestSurveyRefreshEndpoints(t *testing.T) {
 	}
 }
 
+// TestSnapshotInstallActivate drives the cluster coordination surface on
+// one node pair: pull a snapshot from a source stack that has advanced an
+// epoch, install it on a second stack, activate, and verify the replica
+// serves the pushed epoch without having probed for it.
+func TestSnapshotInstallActivate(t *testing.T) {
+	src, err := buildStack(19, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := buildStack(19, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, hd := src.srv.Handler(), dst.srv.Handler()
+
+	// Advance the source to epoch 1 via injected drift.
+	survey := src.srv.Manager().Current().Survey
+	a, _ := src.world.HostByName(survey.Landmarks[0].Addr)
+	b, _ := src.world.HostByName(survey.Landmarks[1].Addr)
+	src.world.SetPairDriftMs(a.ID, b.ID, 25)
+	if rec := postJSON(t, hs, "/v1/survey/refresh", map[string]any{}); rec.Code != http.StatusOK {
+		t.Fatalf("refresh: %d %s", rec.Code, rec.Body)
+	}
+
+	// Pull the snapshot.
+	rec := httptest.NewRecorder()
+	hs.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/survey/snapshot", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("snapshot: %d %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("Octant-Epoch"); got != "1" {
+		t.Errorf("snapshot epoch header = %q, want 1", got)
+	}
+	snap := rec.Body.Bytes()
+
+	// Install on the replica: staged, not yet serving.
+	rec = httptest.NewRecorder()
+	hd.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/survey/install", bytes.NewReader(snap)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("install: %d %s", rec.Code, rec.Body)
+	}
+	var inst struct {
+		Staged  uint64 `json:"staged_epoch"`
+		Serving uint64 `json:"serving_epoch"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &inst); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Staged != 1 || inst.Serving != 0 {
+		t.Errorf("install = %+v, want staged 1 serving 0", inst)
+	}
+	before := dst.world.PingCalls()
+
+	// Activate: the replica swaps to the staged epoch.
+	rec = postJSON(t, hd, "/v1/survey/activate", map[string]any{})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("activate: %d %s", rec.Code, rec.Body)
+	}
+	var act struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &act); err != nil {
+		t.Fatal(err)
+	}
+	if act.Epoch != 1 {
+		t.Errorf("activated epoch %d, want 1", act.Epoch)
+	}
+	if got := dst.world.PingCalls() - before; got != 0 {
+		t.Errorf("install+activate issued %d probes, want 0 (probe-free rollout)", got)
+	}
+	rec = httptest.NewRecorder()
+	hd.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	var st batch.Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 1 {
+		t.Errorf("replica engine epoch %d, want 1", st.Epoch)
+	}
+
+	// A second activate with nothing staged is a conflict.
+	if rec := postJSON(t, hd, "/v1/survey/activate", map[string]any{}); rec.Code != http.StatusConflict {
+		t.Errorf("re-activate: %d, want 409", rec.Code)
+	}
+	// Re-installing the now-serving epoch is a conflict (epoch must advance).
+	rec = httptest.NewRecorder()
+	hd.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/survey/install", bytes.NewReader(snap)))
+	if rec.Code != http.StatusConflict {
+		t.Errorf("stale install: %d, want 409", rec.Code)
+	}
+}
+
+// TestCacheLookupEndpoint verifies the peer-cache surface: a result this
+// node computed is served by key, a cold key 404s, and lookups never
+// trigger measurements.
+func TestCacheLookupEndpoint(t *testing.T) {
+	s, err := buildStack(23, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.srv.Handler()
+	tgt := s.world.HostNodes()[0].Name
+
+	// Warm the cache through the normal path.
+	if rec := postJSON(t, h, "/v1/localize", map[string]string{"target": tgt}); rec.Code != http.StatusOK {
+		t.Fatalf("localize: %d %s", rec.Code, rec.Body)
+	}
+	before := s.world.PingCalls()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/cache/lookup?target="+tgt+"&epoch=0", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warm lookup: %d %s", rec.Code, rec.Body)
+	}
+	var tr TargetResultV2
+	if err := json.Unmarshal(rec.Body.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Target != tgt || !tr.Cached || tr.Lat == nil {
+		t.Errorf("lookup = %+v", tr)
+	}
+	if tr.Epoch != 0 {
+		t.Errorf("lookup epoch = %d, want 0", tr.Epoch)
+	}
+
+	// Cold key: miss, no side effects.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/cache/lookup?target="+s.world.HostNodes()[1].Name+"&epoch=0", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("cold lookup: %d, want 404", rec.Code)
+	}
+	// Wrong epoch: miss.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/cache/lookup?target="+tgt+"&epoch=7", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("future-epoch lookup: %d, want 404", rec.Code)
+	}
+	if got := s.world.PingCalls() - before; got != 0 {
+		t.Errorf("cache lookups issued %d probes, want 0", got)
+	}
+}
+
 // TestWarmStartSkipsProbing is the daemon-level acceptance check for
 // -survey-snapshot: with a snapshot on disk, startup issues zero
 // landmark probes and serves the persisted epoch.
 func TestWarmStartSkipsProbing(t *testing.T) {
-	prober, landmarks, err := buildProber("sim", 13, 45, "")
+	prober, landmarks, err := BuildProber("sim", 13, 45, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -403,7 +589,7 @@ func TestWarmStartSkipsProbing(t *testing.T) {
 	path := t.TempDir() + "/survey.json"
 
 	// Cold path: no file yet → probes the mesh and seeds the snapshot.
-	cold, err := loadOrProbeSurvey(prober, landmarks, 10, path)
+	cold, err := LoadOrProbeSurvey(prober, landmarks, 10, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,7 +598,7 @@ func TestWarmStartSkipsProbing(t *testing.T) {
 	}
 
 	before := world.PingCalls()
-	warm, err := loadOrProbeSurvey(prober, landmarks, 10, path)
+	warm, err := LoadOrProbeSurvey(prober, landmarks, 10, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -426,7 +612,7 @@ func TestWarmStartSkipsProbing(t *testing.T) {
 	if err := writeFile(path, "{"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadOrProbeSurvey(prober, landmarks, 10, path); err == nil {
+	if _, err := LoadOrProbeSurvey(prober, landmarks, 10, path); err == nil {
 		t.Error("corrupt snapshot silently ignored")
 	}
 	// So must a snapshot for a different landmark set: the flags, not
@@ -434,17 +620,17 @@ func TestWarmStartSkipsProbing(t *testing.T) {
 	if err := cold.SaveSnapshotFile(path); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadOrProbeSurvey(prober, landmarks[1:], 10, path); err == nil {
+	if _, err := LoadOrProbeSurvey(prober, landmarks[1:], 10, path); err == nil {
 		t.Error("snapshot with mismatched landmark set silently served")
 	}
 	renamed := append([]core.Landmark(nil), landmarks...)
 	renamed[0].Name = "someone-else"
-	if _, err := loadOrProbeSurvey(prober, renamed, 10, path); err == nil {
+	if _, err := LoadOrProbeSurvey(prober, renamed, 10, path); err == nil {
 		t.Error("snapshot with renamed landmark silently served")
 	}
 	// …and so must a probe-count mismatch: min-of-n baselines are only
 	// drift-comparable at the same n.
-	if _, err := loadOrProbeSurvey(prober, landmarks, 30, path); err == nil {
+	if _, err := LoadOrProbeSurvey(prober, landmarks, 30, path); err == nil {
 		t.Error("snapshot with different probe count silently served")
 	}
 }
@@ -465,7 +651,7 @@ func (p delayProber) Ping(src, dst string, n int) ([]float64, error) {
 // in flight, triggers shutdown, and requires the in-flight request to
 // complete successfully while new connections are refused.
 func TestGracefulShutdownDrains(t *testing.T) {
-	prober, landmarks, err := buildProber("sim", 5, 45, "")
+	prober, landmarks, err := BuildProber("sim", 5, 45, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -476,7 +662,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	slow := delayProber{Prober: prober, d: 4 * time.Millisecond}
 	manager := lifecycle.New(slow, survey, core.Config{}, lifecycle.Options{})
 	engine := batch.NewWithProvider(manager, batch.Options{Workers: 2})
-	srv := newServer(engine, manager, 16)
+	srv := New(engine, manager, Options{MaxBatch: 16})
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -485,7 +671,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		done <- serveUntilShutdown(ctx, &http.Server{Handler: srv.handler()}, ln, 10*time.Second)
+		done <- ServeUntilShutdown(ctx, &http.Server{Handler: srv.Handler()}, ln, 10*time.Second)
 	}()
 
 	target := prober.(*probe.SimProber).World.HostNodes()[0].Name

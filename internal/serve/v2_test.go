@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bufio"
@@ -10,14 +10,14 @@ import (
 // plus the epoch field — same point, area, constraint count.
 func TestV2NoOptionsMatchesV1(t *testing.T) {
 	s := sharedStack(t)
-	h := s.srv.handler()
+	h := s.srv.Handler()
 	tgt := s.targets[1]
 
 	rec := postJSON(t, h, "/v2/localize", map[string]any{"target": tgt})
 	if rec.Code != 200 {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body)
 	}
-	var v2 targetResultV2
+	var v2 TargetResultV2
 	if err := json.Unmarshal(rec.Body.Bytes(), &v2); err != nil {
 		t.Fatal(err)
 	}
@@ -31,8 +31,8 @@ func TestV2NoOptionsMatchesV1(t *testing.T) {
 	if v2.Provenance != nil {
 		t.Error("no-options v2 response carries provenance")
 	}
-	if v2.Epoch != s.srv.manager.Current().Number() {
-		t.Errorf("epoch %d, want %d", v2.Epoch, s.srv.manager.Current().Number())
+	if v2.Epoch != s.srv.Manager().Current().Number() {
+		t.Errorf("epoch %d, want %d", v2.Epoch, s.srv.Manager().Current().Number())
 	}
 }
 
@@ -40,7 +40,7 @@ func TestV2NoOptionsMatchesV1(t *testing.T) {
 // the router source changes the constraint count.
 func TestV2OptionsApplied(t *testing.T) {
 	s := sharedStack(t)
-	h := s.srv.handler()
+	h := s.srv.Handler()
 	tgt := s.targets[2]
 
 	rec := postJSON(t, h, "/v2/localize", map[string]any{
@@ -50,7 +50,7 @@ func TestV2OptionsApplied(t *testing.T) {
 	if rec.Code != 200 {
 		t.Fatalf("explain status %d: %s", rec.Code, rec.Body)
 	}
-	var full targetResultV2
+	var full TargetResultV2
 	if err := json.Unmarshal(rec.Body.Bytes(), &full); err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestV2OptionsApplied(t *testing.T) {
 	if rec.Code != 200 {
 		t.Fatalf("disable status %d: %s", rec.Code, rec.Body)
 	}
-	var noRouter targetResultV2
+	var noRouter TargetResultV2
 	if err := json.Unmarshal(rec.Body.Bytes(), &noRouter); err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestV2OptionsApplied(t *testing.T) {
 // TestV2Validation: malformed options must 400 with a useful message.
 func TestV2Validation(t *testing.T) {
 	s := sharedStack(t)
-	h := s.srv.handler()
+	h := s.srv.Handler()
 	tgt := s.targets[0]
 
 	cases := []map[string]any{
@@ -112,7 +112,7 @@ func TestV2Validation(t *testing.T) {
 // TestV2BatchStream: batch options apply to every line of the stream.
 func TestV2BatchStream(t *testing.T) {
 	s := sharedStack(t)
-	h := s.srv.handler()
+	h := s.srv.Handler()
 	targets := s.targets[:4]
 
 	rec := postJSON(t, h, "/v2/localize/batch", map[string]any{
@@ -129,7 +129,7 @@ func TestV2BatchStream(t *testing.T) {
 	sc := bufio.NewScanner(rec.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		var tr targetResultV2
+		var tr TargetResultV2
 		if err := json.Unmarshal(sc.Bytes(), &tr); err != nil {
 			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
 		}
@@ -147,7 +147,7 @@ func TestV2BatchStream(t *testing.T) {
 
 	// Hints flow through the batch body too: an oracle hint at the
 	// true location must add one constraint per target.
-	var base targetResultV2
+	var base TargetResultV2
 	rec = postJSON(t, h, "/v2/localize", map[string]any{"target": targets[0]})
 	if err := json.Unmarshal(rec.Body.Bytes(), &base); err != nil {
 		t.Fatal(err)
@@ -166,7 +166,7 @@ func TestV2BatchStream(t *testing.T) {
 	if !sc.Scan() {
 		t.Fatal("no batch line")
 	}
-	var hinted targetResultV2
+	var hinted TargetResultV2
 	if err := json.Unmarshal(sc.Bytes(), &hinted); err != nil {
 		t.Fatal(err)
 	}
@@ -180,14 +180,14 @@ func TestV2BatchStream(t *testing.T) {
 // the first.
 func TestV1CacheSharedWithDefaultV2(t *testing.T) {
 	s := sharedStack(t)
-	h := s.srv.handler()
+	h := s.srv.Handler()
 	tgt := s.targets[3]
 
 	if rec := postJSON(t, h, "/v1/localize", map[string]string{"target": tgt}); rec.Code != 200 {
 		t.Fatalf("v1 status %d", rec.Code)
 	}
 	rec := postJSON(t, h, "/v2/localize", map[string]any{"target": tgt})
-	var v2 targetResultV2
+	var v2 TargetResultV2
 	if err := json.Unmarshal(rec.Body.Bytes(), &v2); err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +200,7 @@ func TestV1CacheSharedWithDefaultV2(t *testing.T) {
 		"target":  tgt,
 		"options": map[string]any{"disable": []string{"router"}},
 	})
-	var tuned targetResultV2
+	var tuned TargetResultV2
 	if err := json.Unmarshal(rec.Body.Bytes(), &tuned); err != nil {
 		t.Fatal(err)
 	}
