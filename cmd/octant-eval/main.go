@@ -85,8 +85,20 @@ func main() {
 		clusterKeys     = flag.Int("cluster-keys", 64, "cluster mode: unique (target, fingerprint) keys per scaling leg")
 		clusterPace     = flag.Duration("cluster-pace", 2*time.Millisecond, "cluster mode: wire time each ping train occupies a node's serialized measurement pipeline (makes per-node capacity the bottleneck)")
 		clusterMinScale = flag.Float64("cluster-min-scale", 1.7, "cluster mode: fail unless the 2-node fleet clears this multiple of 1-node throughput")
+
+		chaosOn       = flag.Bool("chaos", false, "chaos mode: kill/revive landmarks and serve nodes under load; exits non-zero on any client-visible error, missing degraded-mode coverage, unbounded accuracy loss, or failed recovery")
+		chaosNodes    = flag.Int("chaos-nodes", 3, "chaos mode: serving-fleet size (≥ 3)")
+		chaosDuration = flag.Duration("chaos-duration", 3*time.Second, "chaos mode: total fault-injection window (split across landmark-fault, node-kill, and recovery phases)")
+		chaosFrac     = flag.Float64("chaos-landmarks", 0.2, "chaos mode: fraction of survey landmarks downed during the landmark-fault phase")
 	)
 	flag.Parse()
+
+	if *chaosOn {
+		if err := runChaos(*seed, *chaosNodes, *chaosDuration, *chaosFrac); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *clusterOn {
 		if err := runCluster(*seed, *clusterKeys, *clusterPace, *clusterMinScale); err != nil {

@@ -59,6 +59,7 @@ import (
 	"octant/internal/batch"
 	"octant/internal/core"
 	"octant/internal/lifecycle"
+	"octant/internal/probe"
 	"octant/internal/serve"
 )
 
@@ -83,12 +84,18 @@ func main() {
 		driftTol  = flag.Duration("drift-tolerance", 500*time.Microsecond, "min per-pair RTT drift for a refresh to count a landmark dirty (0 = any change counts)")
 		drain     = flag.Duration("activate-drain", 2*time.Second, "in-flight drain budget before an epoch activation swaps anyway")
 		grace     = flag.Duration("shutdown-grace", 30*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
+		retries   = flag.Int("probe-retries", 3, "attempts per measurement (1 disables retrying); transient probe failures back off and retry, so one lost train doesn't degrade a localization or void a survey refresh")
 	)
 	flag.Parse()
 
 	prober, landmarks, err := serve.BuildProber(*proberKnd, *seed, *holdout, *lmFile)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *retries > 1 {
+		// Wrapping here covers every measurement path: the initial survey
+		// build, lifecycle refreshes, and the evidence pipeline.
+		prober = probe.WithRetry(prober, probe.RetryOptions{Attempts: *retries})
 	}
 
 	survey, err := serve.LoadOrProbeSurvey(prober, landmarks, *probes, *snapshot)

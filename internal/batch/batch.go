@@ -323,7 +323,11 @@ func (e *Engine) runFused(ctx context.Context, targets []string, ro resolved, ou
 					break
 				}
 			}
-		} else if e.cache != nil && ro.cacheable {
+		} else if e.cache != nil && ro.cacheable && !res.Degraded {
+			// Degraded results are served but never cached: the failure
+			// that degraded them is transient, and a cached entry would
+			// keep answering from partial evidence long after the network
+			// healed.
 			e.cache.put(key(t), epoch, res)
 		}
 		elapsed := time.Since(start)
@@ -333,6 +337,9 @@ func (e *Engine) runFused(ctx context.Context, targets []string, ro resolved, ou
 				e.metrics.fail()
 				item.Err = err
 			} else {
+				if res.Degraded {
+					e.metrics.degrade()
+				}
 				item.Result = res
 				e.metrics.observe(elapsed)
 			}
@@ -401,6 +408,9 @@ func (e *Engine) localize(ctx context.Context, target string, idx int, ro resolv
 			item.Err = err
 			return item
 		}
+		if res.Degraded {
+			e.metrics.degrade()
+		}
 		item.Result = res
 		item.Elapsed = time.Since(start)
 		e.metrics.observe(item.Elapsed)
@@ -432,8 +442,12 @@ func (e *Engine) localize(ctx context.Context, target string, idx int, ro resolv
 		item.Err = err
 		return item
 	}
-	if e.cache != nil && !shared {
+	if e.cache != nil && !shared && !res.Degraded {
+		// See runFused: degraded results never enter the cache.
 		e.cache.put(key, epoch, res)
+	}
+	if res.Degraded {
+		e.metrics.degrade()
 	}
 	item.Result = res
 	item.Elapsed = time.Since(start)

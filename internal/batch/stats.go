@@ -25,7 +25,12 @@ type Stats struct {
 	// request instead of probing themselves.
 	Coalesced uint64 `json:"coalesced"`
 	Errors    uint64 `json:"errors"`
-	InFlight  int64  `json:"in_flight"`
+	// Degraded counts results served from partial evidence (landmark
+	// failures absorbed by quorum, core.Result.Degraded). They are
+	// successes, not Errors — but a nonzero rate means the measurement
+	// substrate is unhealthy, so the counter rides /v1/stats.
+	Degraded uint64 `json:"degraded"`
+	InFlight int64  `json:"in_flight"`
 	// CacheLen and CacheCap are the LRU's occupancy and capacity;
 	// CacheLen/CacheCap is how full the cache is, which the fleet router
 	// and the soak harness read when judging node balance.
@@ -70,6 +75,7 @@ type metrics struct {
 	misses    atomic.Uint64
 	coalesced atomic.Uint64
 	errors    atomic.Uint64
+	degraded  atomic.Uint64
 	inFlight  atomic.Int64
 
 	fusedGroups  atomic.Uint64
@@ -88,6 +94,7 @@ func (m *metrics) hit()      { m.hits.Add(1) }
 func (m *metrics) miss()     { m.misses.Add(1) }
 func (m *metrics) coalesce() { m.coalesced.Add(1) }
 func (m *metrics) fail()     { m.errors.Add(1) }
+func (m *metrics) degrade()  { m.degraded.Add(1) }
 func (m *metrics) peerHit()  { m.peerHits.Add(1) }
 
 func (m *metrics) fused(targets int) {
@@ -113,6 +120,7 @@ func (m *metrics) snapshot() Stats {
 		CacheMisses:  m.misses.Load(),
 		Coalesced:    m.coalesced.Load(),
 		Errors:       m.errors.Load(),
+		Degraded:     m.degraded.Load(),
 		InFlight:     m.inFlight.Load(),
 		FusedGroups:  m.fusedGroups.Load(),
 		FusedTargets: m.fusedTargets.Load(),

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is a circuit breaker's position.
+type breakerState int
+
+const (
+	// breakerClosed: the node is trusted; dispatches flow normally.
+	breakerClosed breakerState = iota
+	// breakerOpen: the node accumulated Threshold consecutive failures;
+	// dispatches are rejected without probing until the cooldown expires.
+	breakerOpen
+	// breakerHalfOpen: the cooldown expired and one caller has been
+	// admitted to verify the node. A success closes the breaker, a
+	// failure re-opens it with a fresh cooldown.
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// breaker is one node's circuit breaker. It replaces the bare
+// markReady(false) discipline for dispatch failures: consecutive
+// failures open the circuit, an open circuit sheds every request for
+// the node without a probe round-trip, and recovery happens through a
+// half-open trial after the cooldown — so a revived node re-enters
+// rotation on the breaker's clock, not by waiting out a stale
+// readiness-cache TTL.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int // consecutive failures while closed
+	openedAt time.Time
+}
+
+// allow reports whether a dispatch to the node may be attempted now.
+// trial is true for exactly the call that transitions the breaker from
+// open to half-open: that caller is expected to verify the node (the
+// router re-probes readiness, bypassing the TTL cache) and report the
+// outcome via success or failure. Later half-open callers are admitted
+// as ordinary traffic — the first settled outcome decides the state.
+func (b *breaker) allow(now time.Time) (ok, trial bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false, false
+		}
+		b.state = breakerHalfOpen
+		return true, true
+	default: // half-open
+		return true, false
+	}
+}
+
+// success records a successful dispatch, closing the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.mu.Unlock()
+}
+
+// failure records a failed dispatch. It returns true when this failure
+// opened (or re-opened) the breaker, so the router can count opens.
+func (b *breaker) failure(now time.Time) (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		// The trial failed: back to open with a fresh cooldown.
+		b.state = breakerOpen
+		b.openedAt = now
+		return true
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			return true
+		}
+		return false
+	default: // already open (a concurrent failure raced the transition)
+		return false
+	}
+}
+
+// current returns the state name for stats reporting.
+func (b *breaker) current() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}

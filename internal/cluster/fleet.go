@@ -40,6 +40,12 @@ type FleetConfig struct {
 	// capacity — the shape a real deployment gets from one raw-socket
 	// pinger per machine — and scaling curves become machine-independent.
 	ProbePace time.Duration
+	// RetryAttempts wraps every node's prober in probe.WithRetry with
+	// this attempt budget (0/1 = no retries). The chaos harness uses it
+	// so transient loss injected into the world is absorbed below the
+	// quorum layer. Backoffs are kept tiny (1ms base, 10ms cap) because
+	// the simulated wire has no real propagation delay to wait out.
+	RetryAttempts int
 }
 
 // pacedProber models a node's measurement pipeline: ping trains are
@@ -64,8 +70,57 @@ type FleetNode struct {
 	Name   string
 	URL    string
 	Server *serve.Server
-	ln     net.Listener
-	hs     *http.Server
+
+	mu   sync.Mutex
+	addr string // the node's fixed listen address, kept across Kill/Revive
+	down bool
+	ln   net.Listener
+	hs   *http.Server
+}
+
+// Kill drops the node off the network abruptly: the listener closes and
+// every in-flight request is aborted, exactly what a crashed process
+// looks like to the router. The node's engine and survey stay intact so
+// Revive restores it without re-measuring.
+func (n *FleetNode) Kill() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return
+	}
+	n.down = true
+	if n.hs != nil {
+		_ = n.hs.Close()
+	}
+	if n.ln != nil {
+		_ = n.ln.Close()
+	}
+	n.hs, n.ln = nil, nil
+}
+
+// Revive brings a killed node back on its original address, so clients
+// holding its URL reconnect without reconfiguration.
+func (n *FleetNode) Revive() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.down {
+		return nil
+	}
+	ln, err := net.Listen("tcp", n.addr)
+	if err != nil {
+		return fmt.Errorf("revive %s: %w", n.Name, err)
+	}
+	hs := &http.Server{Handler: n.Server.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	n.ln, n.hs, n.down = ln, hs, false
+	return nil
+}
+
+// Down reports whether the node is currently killed.
+func (n *FleetNode) Down() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down
 }
 
 // LocalFleet is a real multi-node Octant fleet running in one process:
@@ -130,6 +185,13 @@ func StartLocalFleet(cfg FleetConfig) (*LocalFleet, error) {
 		if cfg.ProbePace > 0 {
 			nodeProber = &pacedProber{Prober: prober, pace: cfg.ProbePace}
 		}
+		if cfg.RetryAttempts > 1 {
+			nodeProber = probe.WithRetry(nodeProber, probe.RetryOptions{
+				Attempts:    cfg.RetryAttempts,
+				BaseBackoff: time.Millisecond,
+				MaxBackoff:  10 * time.Millisecond,
+			})
+		}
 		manager := lifecycle.New(nodeProber, nodeSurvey, core.Config{Probes: 10}, lifecycle.Options{Probes: 10})
 		engine := batch.NewWithProvider(manager, batch.Options{
 			Workers:   cfg.Workers,
@@ -147,6 +209,7 @@ func StartLocalFleet(cfg FleetConfig) (*LocalFleet, error) {
 			Name:   fmt.Sprintf("node-%d", i),
 			URL:    "http://" + ln.Addr().String(),
 			Server: srv,
+			addr:   ln.Addr().String(),
 			ln:     ln,
 			hs:     hs,
 		})
@@ -177,11 +240,6 @@ func (f *LocalFleet) Clients() []*NodeClient {
 // Close shuts every node down immediately.
 func (f *LocalFleet) Close() {
 	for _, n := range f.Nodes {
-		if n.hs != nil {
-			_ = n.hs.Close()
-		}
-		if n.ln != nil {
-			_ = n.ln.Close()
-		}
+		n.Kill()
 	}
 }

@@ -33,6 +33,19 @@ type RouterConfig struct {
 	// Retries bounds how many distinct nodes one request may be
 	// dispatched to before the router reports failure (0 = every node).
 	Retries int
+	// BreakerThreshold is how many consecutive dispatch failures open a
+	// node's circuit breaker (0 = default 3, negative disables breakers).
+	// An open breaker sheds the node's traffic without probing it; after
+	// BreakerCooldown one half-open trial re-probes readiness fresh.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects its node before
+	// admitting the half-open trial (0 = default 1s).
+	BreakerCooldown time.Duration
+	// FailoverBackoff is the pause before re-dispatching after a node
+	// failure, doubling per consecutive failure up to 8× the base
+	// (0 = default 25ms, negative disables). It keeps a failover storm
+	// from hammering the surviving nodes in a tight loop.
+	FailoverBackoff time.Duration
 }
 
 // RouterStats counts the front door's own activity, alongside the
@@ -60,6 +73,18 @@ type RouterStats struct {
 	// Bypassed counts non-cacheable requests that skipped every cache
 	// tier.
 	Bypassed uint64 `json:"bypassed"`
+	// BreakerOpens counts circuit-breaker open transitions (including a
+	// failed half-open trial re-opening), and BreakerTrials the half-open
+	// trial probes admitted after a cooldown.
+	BreakerOpens  uint64 `json:"breaker_opens"`
+	BreakerTrials uint64 `json:"breaker_trials"`
+	// Degraded counts results served from partial evidence (quorum held
+	// but some landmarks failed). Degraded results are served to the
+	// caller but never cached — see core.Result.Degraded.
+	Degraded uint64 `json:"degraded"`
+	// Breakers is each node's current breaker state
+	// (closed / open / half-open); omitted when breakers are disabled.
+	Breakers map[string]string `json:"breakers,omitempty"`
 }
 
 // ClusterStats is the front door's merged view: its own counters plus
@@ -88,6 +113,9 @@ type Router struct {
 	nodes map[string]*NodeClient
 	cache *Cache
 	cfg   RouterConfig
+	// breakers holds one circuit breaker per node (nil when disabled).
+	// The map is immutable after NewRouter; each breaker locks itself.
+	breakers map[string]*breaker
 
 	// epoch is the newest epoch observed in any node response; cache
 	// lookups key on it, so the front door converges to a new epoch as
@@ -100,6 +128,8 @@ type Router struct {
 	l1Hits, l1Misses, peerFetches atomic.Uint64
 	dispatched, failovers         atomic.Uint64
 	epochRepairs, bypassed        atomic.Uint64
+	breakerOpens, breakerTrials   atomic.Uint64
+	degradedServed                atomic.Uint64
 }
 
 // NewRouter builds a router over the given fleet members.
@@ -119,6 +149,15 @@ func NewRouter(nodes []*NodeClient, cfg RouterConfig) (*Router, error) {
 	if cfg.Retries <= 0 || cfg.Retries > len(nodes) {
 		cfg.Retries = len(nodes)
 	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = time.Second
+	}
+	if cfg.FailoverBackoff == 0 {
+		cfg.FailoverBackoff = 25 * time.Millisecond
+	}
 	r := &Router{
 		ring:  NewRing(RingConfig{VNodes: cfg.VNodes, LoadFactor: cfg.LoadFactor}),
 		nodes: make(map[string]*NodeClient, len(nodes)),
@@ -126,12 +165,18 @@ func NewRouter(nodes []*NodeClient, cfg RouterConfig) (*Router, error) {
 		cfg:   cfg,
 		ready: make(map[string]readyState, len(nodes)),
 	}
+	if cfg.BreakerThreshold > 0 {
+		r.breakers = make(map[string]*breaker, len(nodes))
+	}
 	for _, n := range nodes {
 		if _, dup := r.nodes[n.Name]; dup {
 			return nil, fmt.Errorf("cluster: duplicate node name %q", n.Name)
 		}
 		r.nodes[n.Name] = n
 		r.ring.Add(n.Name)
+		if r.breakers != nil {
+			r.breakers[n.Name] = &breaker{threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown}
+		}
 	}
 	return r, nil
 }
@@ -170,6 +215,14 @@ func (r *Router) isReady(ctx context.Context, name string) bool {
 	if ok && time.Since(st.at) < r.cfg.ReadyTTL {
 		return st.ready
 	}
+	return r.probeReady(ctx, name)
+}
+
+// probeReady re-probes the node's /v1/readyz right now, ignoring any
+// cached verdict, and caches the fresh one. Breaker half-open trials
+// call it directly so a revived node re-enters rotation on the
+// breaker's cooldown clock even while the TTL cache still says down.
+func (r *Router) probeReady(ctx context.Context, name string) bool {
 	// The probe deadline is decoupled from the TTL: a short TTL means
 	// "re-check often", not "give up fast", and a loopback round-trip can
 	// exceed a millisecond-scale TTL under instrumentation.
@@ -186,6 +239,86 @@ func (r *Router) isReady(ctx context.Context, name string) bool {
 	}
 	r.markReady(name, ready)
 	return ready
+}
+
+// admit decides whether name may receive a dispatch: the circuit
+// breaker gates first, then readiness. The one call that flips a
+// cooled-down breaker to half-open verifies the node with a fresh
+// readiness probe (bypassing the TTL cache); a failed trial re-opens
+// the breaker immediately instead of waiting for a dispatch to fail.
+func (r *Router) admit(ctx context.Context, name string) bool {
+	b := r.breakers[name]
+	if b == nil {
+		return r.isReady(ctx, name)
+	}
+	ok, trial := b.allow(time.Now())
+	if !ok {
+		return false
+	}
+	if trial {
+		r.breakerTrials.Add(1)
+		if r.probeReady(ctx, name) {
+			return true
+		}
+		if b.failure(time.Now()) {
+			r.breakerOpens.Add(1)
+		}
+		return false
+	}
+	return r.isReady(ctx, name)
+}
+
+// breakerAllows is admit without the readiness check — the gate for the
+// desperation fallback paths that run when every node looks not-ready
+// mid-swap. An open breaker still keeps its node out even there; a
+// half-open transition is settled by the dispatch outcome instead of a
+// probe.
+func (r *Router) breakerAllows(name string) bool {
+	b := r.breakers[name]
+	if b == nil {
+		return true
+	}
+	ok, trial := b.allow(time.Now())
+	if trial {
+		r.breakerTrials.Add(1)
+	}
+	return ok
+}
+
+// noteDispatch reports a dispatch outcome to the node's breaker.
+func (r *Router) noteDispatch(name string, ok bool) {
+	b := r.breakers[name]
+	if b == nil {
+		return
+	}
+	if ok {
+		b.success()
+		return
+	}
+	if b.failure(time.Now()) {
+		r.breakerOpens.Add(1)
+	}
+}
+
+// failoverSleep pauses before the next dispatch after a node failure:
+// FailoverBackoff doubled per consecutive failure, capped at 8× the
+// base. It returns the context's error if cancelled mid-sleep.
+func (r *Router) failoverSleep(ctx context.Context, failures int) error {
+	d := r.cfg.FailoverBackoff
+	if d <= 0 || failures <= 0 {
+		return nil
+	}
+	for i := 1; i < failures && d < 8*r.cfg.FailoverBackoff; i++ {
+		d *= 2
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // freshEpoch returns the router's epoch watermark after making sure it
@@ -269,18 +402,30 @@ func (r *Router) route(ctx context.Context, target string, wo *serve.WireOptions
 	}
 
 	var lastErr error
+	failures := 0
 	tried := make(map[string]bool, r.cfg.Retries)
 	for attempt := 0; attempt < r.cfg.Retries; attempt++ {
+		if lastErr != nil {
+			// Back off before re-dispatching so a failover storm doesn't
+			// hammer the surviving nodes in a tight loop.
+			if serr := r.failoverSleep(ctx, failures); serr != nil {
+				return serve.TargetResultV2{}, routeErrorf(http.StatusBadGateway,
+					"cancelled during failover backoff: %v", serr)
+			}
+		}
 		node, release, err := r.ring.Acquire(key, func(name string) bool {
-			return !tried[name] && r.isReady(ctx, name)
+			return !tried[name] && r.admit(ctx, name)
 		})
 		if err != nil {
 			// Readiness can be transiently all-false mid-swap (one node
 			// draining while another's probe times out); fall back to any
-			// untried node rather than failing the request outright.
-			node, release, err = r.ring.Acquire(key, func(name string) bool { return !tried[name] })
+			// untried node whose breaker admits it rather than failing the
+			// request outright.
+			node, release, err = r.ring.Acquire(key, func(name string) bool {
+				return !tried[name] && r.breakerAllows(name)
+			})
 			if err != nil {
-				break // every node tried
+				break // every node tried or breaker-rejected
 			}
 		}
 		tried[node] = true
@@ -303,8 +448,13 @@ func (r *Router) route(ctx context.Context, target string, wo *serve.WireOptions
 		tr, err := r.nodes[node].LocalizeV2(ctx, target, wo)
 		release()
 		if err == nil {
+			r.noteDispatch(node, true)
 			r.observeEpoch(tr.Epoch)
-			if cacheable {
+			if tr.Degraded {
+				// Served from partial evidence: hand it to the caller but
+				// never cache it — the faults it reflects are transient.
+				r.degradedServed.Add(1)
+			} else if cacheable {
 				r.cache.Put(Key{Target: target, Fingerprint: fp, Epoch: tr.Epoch}, tr)
 			}
 			return tr, nil
@@ -315,9 +465,11 @@ func (r *Router) route(ctx context.Context, target string, wo *serve.WireOptions
 			// bad options): another node will say the same thing.
 			return serve.TargetResultV2{}, routeErrorf(ae.Status, "%s", ae.Message)
 		}
-		// Node trouble: mark it not-ready and fail over.
+		// Node trouble: mark it not-ready, tell its breaker, and fail over.
 		r.markReady(node, false)
+		r.noteDispatch(node, false)
 		r.failovers.Add(1)
+		failures++
 		lastErr = err
 	}
 	if lastErr != nil {
@@ -412,8 +564,11 @@ func (r *Router) Batch(ctx context.Context, targets []string, wo *serve.WireOpti
 				"fleet would not converge on one epoch (%d vs %d)", res.Epoch, maxE)
 		}
 	}
-	if cacheable {
-		for _, res := range results {
+	for _, res := range results {
+		if res.Degraded {
+			// Served from partial evidence: delivered, never cached.
+			r.degradedServed.Add(1)
+		} else if cacheable {
 			r.cache.Put(Key{Target: res.Target, Fingerprint: fp, Epoch: res.Epoch}, res)
 		}
 	}
@@ -439,16 +594,17 @@ func (r *Router) scatter(ctx context.Context, targets []string, wo *serve.WireOp
 		for _, i := range left {
 			var node string
 			for _, cand := range r.ring.Preference(routeKey(targets[i], fp), len(r.nodes)) {
-				if !excluded[cand] && r.isReady(ctx, cand) {
+				if !excluded[cand] && r.admit(ctx, cand) {
 					node = cand
 					break
 				}
 			}
 			if node == "" {
 				// Readiness may be transiently all-false mid-swap; fall back
-				// to any non-excluded node rather than failing the batch.
+				// to any non-excluded node whose breaker admits it rather
+				// than failing the batch.
 				for _, cand := range r.ring.Preference(routeKey(targets[i], fp), len(r.nodes)) {
-					if !excluded[cand] {
+					if !excluded[cand] && r.breakerAllows(cand) {
 						node = cand
 						break
 					}
@@ -498,9 +654,12 @@ func (r *Router) scatter(ctx context.Context, targets []string, wo *serve.WireOp
 					return routeErrorf(ae.Status, "%s", ae.Message)
 				}
 				r.markReady(gr.node, false)
+				r.noteDispatch(gr.node, false)
 				r.failovers.Add(1)
 				excluded[gr.node] = true
 				anyErr = true
+			} else {
+				r.noteDispatch(gr.node, true)
 			}
 		}
 		if anyErr && len(excluded) >= len(r.nodes) {
@@ -510,6 +669,13 @@ func (r *Router) scatter(ctx context.Context, targets []string, wo *serve.WireOp
 		for _, i := range pending {
 			if filled[i] {
 				r.observeEpoch(results[i].Epoch)
+			}
+		}
+		if anyErr {
+			// Back off before re-grouping the failed node's targets so the
+			// retry round doesn't land while the fleet is still unwell.
+			if serr := r.failoverSleep(ctx, len(excluded)); serr != nil {
+				return routeErrorf(http.StatusBadGateway, "cancelled during failover backoff: %v", serr)
 			}
 		}
 	}
@@ -526,13 +692,22 @@ func (r *Router) Stats(ctx context.Context) ClusterStats {
 			L1Misses:     misses,
 			L1Len:        r.cache.Len(),
 			L1Cap:        r.cfg.CacheSize,
-			PeerFetches:  r.peerFetches.Load(),
-			Dispatched:   r.dispatched.Load(),
-			Failovers:    r.failovers.Load(),
-			EpochRepairs: r.epochRepairs.Load(),
-			Bypassed:     r.bypassed.Load(),
+			PeerFetches:   r.peerFetches.Load(),
+			Dispatched:    r.dispatched.Load(),
+			Failovers:     r.failovers.Load(),
+			EpochRepairs:  r.epochRepairs.Load(),
+			Bypassed:      r.bypassed.Load(),
+			BreakerOpens:  r.breakerOpens.Load(),
+			BreakerTrials: r.breakerTrials.Load(),
+			Degraded:      r.degradedServed.Load(),
 		},
 		Nodes: make(map[string]batch.Stats, len(r.nodes)),
+	}
+	if r.breakers != nil {
+		cs.Router.Breakers = make(map[string]string, len(r.breakers))
+		for name, b := range r.breakers {
+			cs.Router.Breakers[name] = b.current()
+		}
 	}
 	for name, node := range r.nodes {
 		st, err := node.Stats(ctx)

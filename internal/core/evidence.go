@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -71,6 +72,13 @@ type Request struct {
 	// the GeographySource from the projection context.
 	Land []*geo.Region
 
+	// Failures collects the per-landmark measurement failures the
+	// LatencySource absorbed instead of aborting. Non-empty marks the
+	// request degraded: the result carries partial evidence, and the
+	// failed landmarks' RTT slots hold NaN, which every downstream
+	// consumer skips.
+	Failures []ProbeFailure
+
 	// arena, when non-nil, bump-allocates disk-constraint memory. The
 	// fused batch path sets it (one arena per worker, alive for the whole
 	// batch); the scalar path leaves it nil and allocates per disk.
@@ -109,6 +117,23 @@ type SourceReport struct {
 	ElapsedMs float64 `json:"elapsed_ms"`
 	// Skipped is the reason the source contributed nothing ("" if it ran).
 	Skipped string `json:"skipped,omitempty"`
+	// Failures lists per-landmark measurement failures the source
+	// absorbed instead of aborting the request: ping failures the
+	// LatencySource degraded around, traceroutes the RouterSource
+	// skipped with reason.
+	Failures []ProbeFailure `json:"failures,omitempty"`
+}
+
+// ProbeFailure records one landmark whose measurement failed during a
+// request, and why. Degraded-mode localization proceeds without that
+// landmark's evidence and surfaces the failure in SourceReport.Failures
+// and Provenance.Failures rather than aborting — the paper's weighted
+// framework exists precisely to aggregate partial, noisy evidence.
+type ProbeFailure struct {
+	// Landmark is the failed landmark's name.
+	Landmark string `json:"landmark"`
+	// Reason is the underlying measurement error.
+	Reason string `json:"reason"`
 }
 
 // Provenance explains how a localization was assembled; requested with
@@ -123,6 +148,11 @@ type Provenance struct {
 	TotalConstraints int `json:"total_constraints"`
 	// SolveMs is the §2.4 solver's wall time.
 	SolveMs float64 `json:"solve_ms"`
+	// Failures names every landmark whose measurement failed when the
+	// result is degraded. Unlike the rest of the provenance it is filled
+	// even without WithExplain: a degraded result must always say which
+	// evidence it is missing.
+	Failures []ProbeFailure `json:"failures,omitempty"`
 }
 
 // EvidenceSource is one stage of the localization pipeline: it converts
@@ -188,22 +218,48 @@ func (LatencySource) Constraints(ctx context.Context, req *Request) ([]Constrain
 	adjPos := buf[n : 2*n : 2*n]
 	adjNeg := buf[2*n:]
 
-	// 1. Measure the target from every landmark.
+	// 1. Measure the target from every landmark. A landmark that fails
+	// to answer is recorded, not fatal: the paper's weighted framework
+	// exists to aggregate partial evidence, so the request proceeds in
+	// degraded mode as long as the quorum below holds. The failed
+	// landmark's RTT slot is NaN, which every downstream consumer (the
+	// height solve, the constraint loop, router ranking) skips. Only
+	// the caller's own context expiring aborts — the caller is gone, so
+	// there is no one to serve a degraded answer to.
+	var failures []ProbeFailure
 	for i, lm := range s.Landmarks {
 		if lm.Addr == req.Target {
 			return nil, rep, fmt.Errorf("core: target %s is landmark %s; exclude it from the survey first", req.Target, lm.Name)
 		}
 		samples, err := req.Prober.Ping(lm.Addr, req.Target, cfg.Probes)
-		if err != nil {
+		if err == nil {
+			var min float64
+			if min, err = probe.MinRTT(samples); err == nil {
+				rtts[i] = min
+				continue
+			}
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return nil, rep, fmt.Errorf("core: ping %s→%s: %w", lm.Name, req.Target, err)
 		}
-		min, err := probe.MinRTT(samples)
-		if err != nil {
-			return nil, rep, err
-		}
-		rtts[i] = min
+		rtts[i] = math.NaN()
+		failures = append(failures, ProbeFailure{Landmark: lm.Name, Reason: err.Error()})
 	}
 	req.RTTs = rtts
+
+	if len(failures) > 0 {
+		quorum := req.Opts.MinLandmarks
+		if quorum <= 0 {
+			quorum = DefaultMinLandmarks
+		}
+		rep.Failures = failures
+		req.Failures = failures
+		if answered := n - len(failures); answered < quorum {
+			return nil, rep, fmt.Errorf(
+				"core: only %d/%d landmarks answered for %s (quorum %d); first failure: %s: %s",
+				answered, n, req.Target, quorum, failures[0].Landmark, failures[0].Reason)
+		}
+	}
 
 	// 2. Target height (§2.2): solve the coarse position, then estimate
 	// the target's inelastic component from the excess-latency
@@ -212,9 +268,13 @@ func (LatencySource) Constraints(ctx context.Context, req *Request) ([]Constrain
 	// large), negative constraints by a HIGH one (keeping r(d) safely
 	// small). An erroneous deflation then loosens, never breaks, the
 	// constraint.
+	// A partial RTT vector skips the height solve cleanly: NaN entries
+	// would poison the least-squares system, and a height estimated from
+	// a biased subset of landmarks is worse than no deflation — the
+	// undeflated constraints are merely looser, never wrong.
 	copy(adjPos, rtts)
 	copy(adjNeg, rtts)
-	if !cfg.DisableHeights {
+	if !cfg.DisableHeights && len(failures) == 0 {
 		locs := make([]geo.Point, n)
 		for i, lm := range s.Landmarks {
 			locs[i] = lm.Loc
@@ -248,6 +308,9 @@ func (LatencySource) Constraints(ctx context.Context, req *Request) ([]Constrain
 	out := make([]Constraint, 0, 2*n)
 	cf := req.PCtx.Center
 	for i, lm := range s.Landmarks {
+		if math.IsNaN(rtts[i]) {
+			continue // failed landmark (degraded mode); in rep.Failures
+		}
 		rawMax := s.Calibs[i].MaxDistanceKm(adjPos[i])
 		rawMin := s.Calibs[i].MinDistanceKm(adjNeg[i])
 		maxKm := rawMax*(1+cfg.PadFrac) + cfg.PadKm
@@ -292,7 +355,15 @@ func (RouterSource) Constraints(ctx context.Context, req *Request) ([]Constraint
 		rep.Skipped = "no latency measurements"
 		return nil, rep, nil
 	}
-	return routerConstraints(req), rep, nil
+	cs, failed := routerConstraints(req)
+	// A failed traceroute is a skip-with-reason, never a request abort:
+	// router evidence is supplementary, and the remaining landmarks'
+	// traces (plus the latency constraints) still bound the target.
+	rep.Failures = failed
+	if len(cs) == 0 && len(failed) > 0 && rep.Skipped == "" {
+		rep.Skipped = "all traceroutes failed"
+	}
+	return cs, rep, nil
 }
 
 // HintSource contributes exogenous positive priors: the §2.5 WHOIS

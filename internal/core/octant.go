@@ -223,8 +223,17 @@ type Result struct {
 	Weight float64
 	// Provenance explains how the evidence pipeline assembled this
 	// result (per-source constraint counts, weights, area contributions,
-	// timings). Nil unless the request asked for it with WithExplain.
+	// timings). Nil unless the request asked for it with WithExplain —
+	// or the result is degraded, in which case a minimal Provenance
+	// naming the failed landmarks (Failures) is always attached.
 	Provenance *Provenance
+	// Degraded marks a result computed from partial evidence: one or
+	// more landmark measurements failed, but at least the request's
+	// quorum (WithMinLandmarks) answered. The failed landmarks and their
+	// reasons are in Provenance.Failures. Degraded results are served
+	// but never cached by the batch engine or the cluster tiers — a
+	// healthy re-measurement should replace them.
+	Degraded bool
 }
 
 // ContainsTruth reports whether the true location falls inside the
@@ -386,6 +395,14 @@ func (l *Localizer) localizeRequest(ctx context.Context, req *Request) (*Result,
 		prov.SolveMs = float64(time.Since(t0)) / float64(time.Millisecond)
 		prov.TotalConstraints = len(constraints)
 	}
+	if len(req.Failures) > 0 {
+		// A degraded result must name its missing evidence even when the
+		// caller did not ask for provenance.
+		if prov == nil {
+			prov = &Provenance{TotalConstraints: len(constraints)}
+		}
+		prov.Failures = req.Failures
+	}
 	pr := req.PCtx.Proj
 	res := &Result{
 		Target:         req.Target,
@@ -397,6 +414,7 @@ func (l *Localizer) localizeRequest(ctx context.Context, req *Request) (*Result,
 		Constraints:    constraints,
 		Weight:         sol.Weight,
 		Provenance:     prov,
+		Degraded:       len(req.Failures) > 0,
 	}
 	if sol.Region.IsEmpty() {
 		// Brittle configurations (Unweighted) can produce an empty
@@ -543,20 +561,30 @@ func (l *Localizer) applySecondary(res *Result, req *Request) error {
 // removed from the residual before the distance lookup: the last router
 // before a campus is often one metro away, and without the height
 // deflation its constraint would be hundreds of km too loose.
-func routerConstraints(req *Request) []Constraint {
+//
+// It also returns the traceroutes that failed, as skip-with-reason
+// entries for the RouterSource's report; a failure never aborts the
+// request.
+func routerConstraints(req *Request) ([]Constraint, []ProbeFailure) {
 	s := req.Survey
 	cfg := &req.Cfg
 	rtts := req.RTTs
 	cf := req.PCtx.Center
 	tHeight := req.TargetHeightMs
-	// Rank landmarks by latency to the target.
+	// Rank landmarks by latency to the target. NaN slots are landmarks
+	// whose measurement failed (degraded mode): they cannot be ranked —
+	// and must not be, since NaN comparisons would silently corrupt the
+	// sort below.
 	type lmDist struct {
 		idx int
 		rtt float64
 	}
-	order := make([]lmDist, len(rtts))
+	order := make([]lmDist, 0, len(rtts))
 	for i, r := range rtts {
-		order[i] = lmDist{i, r}
+		if math.IsNaN(r) {
+			continue
+		}
+		order = append(order, lmDist{i, r})
 	}
 	for i := 1; i < len(order); i++ { // insertion sort: n ≤ ~50
 		for j := i; j > 0 && order[j].rtt < order[j-1].rtt; j-- {
@@ -577,10 +605,15 @@ func routerConstraints(req *Request) []Constraint {
 	if nTr > len(order) {
 		nTr = len(order)
 	}
+	var failed []ProbeFailure
 	for k := 0; k < nTr; k++ {
 		lm := s.Landmarks[order[k].idx]
 		hops, err := req.Prober.Traceroute(lm.Addr, req.Target)
-		if err != nil || len(hops) == 0 {
+		if err != nil {
+			failed = append(failed, ProbeFailure{Landmark: lm.Name, Reason: "traceroute: " + err.Error()})
+			continue
+		}
+		if len(hops) == 0 {
 			continue
 		}
 		total := hops[len(hops)-1].RTTMs
@@ -614,7 +647,7 @@ func routerConstraints(req *Request) []Constraint {
 		}
 		out = append(out, req.disk(Positive, cf, geo.NewFrame(rc.loc.Loc), rc.maxKm, w, "router:"+code))
 	}
-	return out
+	return out, failed
 }
 
 // LocalizeWithSecondary runs a localization that additionally uses a

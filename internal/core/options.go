@@ -59,6 +59,12 @@ type LocalizeOptions struct {
 	FineCellKm float64
 	// NegHeightPercentile overrides Config.NegHeightPercentile when > 0.
 	NegHeightPercentile float64
+	// MinLandmarks is the degraded-mode quorum: the minimum number of
+	// landmarks that must answer for a localization to proceed when some
+	// landmark measurements fail (0 = DefaultMinLandmarks). Failures at
+	// or above the quorum degrade the result (Result.Degraded) instead
+	// of aborting it; below the quorum the request errors.
+	MinLandmarks int
 	// Explain fills Result.Provenance with per-source constraint
 	// counts, weights, area contributions, and timings.
 	Explain bool
@@ -131,6 +137,22 @@ func WithNegHeightPercentile(p float64) LocalizeOption {
 	return func(o *LocalizeOptions) { o.NegHeightPercentile = p }
 }
 
+// DefaultMinLandmarks is the degraded-mode quorum when WithMinLandmarks
+// is unset: a localization proceeds despite landmark failures while at
+// least this many landmarks answered. Three is the floor below which
+// the constraint system loses its geometry (the same minimum NewSurvey
+// and the Localizer enforce for the survey itself).
+const DefaultMinLandmarks = 3
+
+// WithMinLandmarks sets the request's measurement quorum: while at
+// least n landmarks answer, per-landmark measurement failures degrade
+// the result (Result.Degraded, with reasons in Provenance.Failures)
+// instead of failing the request; with fewer answers the request
+// errors. n = 0 means DefaultMinLandmarks.
+func WithMinLandmarks(n int) LocalizeOption {
+	return func(o *LocalizeOptions) { o.MinLandmarks = n }
+}
+
 // WithExplain makes the request fill Result.Provenance.
 func WithExplain() LocalizeOption {
 	return func(o *LocalizeOptions) { o.Explain = true }
@@ -185,7 +207,7 @@ func (o *LocalizeOptions) scaleFor(name string) float64 {
 func (o *LocalizeOptions) isZero() bool {
 	return o == nil || (len(o.Disabled) == 0 && len(o.WeightScale) == 0 &&
 		o.MinAreaKm2 == 0 && o.FineCellKm == 0 && o.NegHeightPercentile == 0 &&
-		!o.Explain && len(o.Hints) == 0 && len(o.Extra) == 0 &&
+		o.MinLandmarks == 0 && !o.Explain && len(o.Hints) == 0 && len(o.Extra) == 0 &&
 		len(o.ExtraSources) == 0 && o.Secondary == nil)
 }
 
@@ -245,6 +267,9 @@ func (o *LocalizeOptions) Fingerprint() string {
 	}
 	if o.NegHeightPercentile != 0 {
 		b.WriteString("p=" + fpFloat(o.NegHeightPercentile) + ";")
+	}
+	if o.MinLandmarks != 0 {
+		b.WriteString("q=" + strconv.Itoa(o.MinLandmarks) + ";")
 	}
 	if o.Explain {
 		b.WriteString("e;")

@@ -1,0 +1,149 @@
+package netsim
+
+import (
+	"sync/atomic"
+)
+
+// Fault injection. Robustness tests need a network that can misbehave on
+// demand: a landmark that crashes, a path that silently eats packets, a
+// lossy peering. The methods here inject those conditions into a live
+// world without touching the topology or the probe-noise streams —
+// loss decisions draw from their own RNG stream, so a world with zero
+// faults injected produces measurements bit-identical to one where the
+// fault API was never called.
+//
+// All fault state lives in independently synchronized maps (the
+// SetPairDriftMs pattern), so faults may be injected and cleared while
+// measurements are in flight. The zero-fault fast path is one atomic
+// load: faultCount tracks the number of active fault entries, and every
+// per-measurement check exits immediately while it is zero.
+
+// SetNodeDown marks a node crashed (down=true) or revived (down=false).
+// Pings to or from a downed node return no samples, traceroutes through
+// it truncate at the last live router, and traceroutes to or from it
+// return nothing — exactly what a crashed landmark or target looks like
+// from the outside.
+func (w *World) SetNodeDown(id int, down bool) {
+	if down {
+		if _, loaded := w.downNodes.LoadOrStore(id, true); !loaded {
+			w.faultCount.Add(1)
+		}
+		return
+	}
+	if _, loaded := w.downNodes.LoadAndDelete(id); loaded {
+		w.faultCount.Add(-1)
+	}
+}
+
+// NodeDown reports whether the node is currently marked down.
+func (w *World) NodeDown(id int) bool {
+	if w.faultCount.Load() == 0 {
+		return false
+	}
+	_, down := w.downNodes.Load(id)
+	return down
+}
+
+// SetPairBlackhole silently discards all probe traffic between a and b
+// (both directions) — the filtered-ICMP / null-routed failure mode where
+// the endpoints are alive but this particular path never answers. Other
+// pairs involving a or b are unaffected.
+func (w *World) SetPairBlackhole(a, b int, on bool) {
+	key := pairKey(a, b)
+	if on {
+		if _, loaded := w.blackholes.LoadOrStore(key, true); !loaded {
+			w.faultCount.Add(1)
+		}
+		return
+	}
+	if _, loaded := w.blackholes.LoadAndDelete(key); loaded {
+		w.faultCount.Add(-1)
+	}
+}
+
+// PairBlackhole reports whether the pair is currently blackholed.
+func (w *World) PairBlackhole(a, b int) bool {
+	if w.faultCount.Load() == 0 {
+		return false
+	}
+	_, on := w.blackholes.Load(pairKey(a, b))
+	return on
+}
+
+// SetPairLossRate makes each probe sample between a and b be lost
+// independently with the given probability (clamped to [0,1]; ≤ 0 clears
+// the loss). A Ping that loses every sample returns an empty slice — the
+// all-probes-timed-out outcome retry logic exists for. Loss draws come
+// from a dedicated RNG stream advanced per call, so retries observe
+// fresh loss patterns while the jitter stream (and therefore every
+// surviving sample's value) stays bit-identical to a loss-free world.
+func (w *World) SetPairLossRate(a, b int, rate float64) {
+	key := pairKey(a, b)
+	if rate <= 0 {
+		if _, loaded := w.loss.LoadAndDelete(key); loaded {
+			w.faultCount.Add(-1)
+		}
+		return
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	if _, loaded := w.loss.LoadOrStore(key, rate); loaded {
+		w.loss.Store(key, rate)
+	} else {
+		w.faultCount.Add(1)
+	}
+}
+
+// PairLossRate returns the loss probability currently injected between a
+// and b (0 = lossless).
+func (w *World) PairLossRate(a, b int) float64 {
+	if w.faultCount.Load() == 0 {
+		return 0
+	}
+	v, ok := w.loss.Load(pairKey(a, b))
+	if !ok {
+		return 0
+	}
+	return v.(float64)
+}
+
+// PathFault reports why probe traffic between src and dst cannot
+// complete: "" while the path is healthy, otherwise a short human
+// reason. Loss is not a path fault — a lossy pair still delivers its
+// surviving samples.
+func (w *World) PathFault(src, dst int) string {
+	if w.faultCount.Load() == 0 {
+		return ""
+	}
+	if w.NodeDown(src) {
+		return "node " + w.Nodes[src].Name + " down"
+	}
+	if w.NodeDown(dst) {
+		return "node " + w.Nodes[dst].Name + " down"
+	}
+	if _, on := w.blackholes.Load(pairKey(src, dst)); on {
+		return "path blackholed"
+	}
+	return ""
+}
+
+// dropLost filters Ping samples through the pair's loss process. The
+// draws come from stream 0x1055 keyed additionally by a per-pair call
+// ordinal, so (a) the 0xfeed jitter stream is never touched — surviving
+// samples keep their loss-free values — and (b) consecutive calls see
+// different loss patterns, so a retry can deterministically succeed
+// where the first attempt lost everything.
+func (w *World) dropLost(samples []float64, src, dst int, rate float64) []float64 {
+	seqv, _ := w.lossSeq.LoadOrStore(pairKey(src, dst), new(atomic.Uint64))
+	seq := seqv.(*atomic.Uint64).Add(1)
+	p := getRNG(w.probeSeed(src, dst), 0x1055<<32|seq)
+	kept := samples[:0]
+	for _, s := range samples {
+		if p.rng.Float64() >= rate {
+			kept = append(kept, s)
+		}
+	}
+	prngPool.Put(p)
+	return kept
+}

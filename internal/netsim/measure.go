@@ -145,11 +145,16 @@ func jitter(rng *rand.Rand, meanMs float64) float64 {
 
 // Ping returns n RTT samples (ms) between two nodes, simulating
 // time-dispersed ICMP probes. Samples are deterministic for a given
-// (world seed, src, dst) and independent of call order.
+// (world seed, src, dst) and independent of call order. A downed
+// endpoint or blackholed pair yields no samples at all; a lossy pair
+// (SetPairLossRate) may return fewer than n, down to zero.
 func (w *World) Ping(src, dst, n int) []float64 {
 	w.pingCalls.Add(1)
 	if n <= 0 {
 		n = 1
+	}
+	if w.PathFault(src, dst) != "" {
+		return nil
 	}
 	out := make([]float64, n)
 	if src == dst {
@@ -161,6 +166,9 @@ func (w *World) Ping(src, dst, n int) []float64 {
 		out[i] = base + jitter(p.rng, w.Cfg.JitterMeanMs)
 	}
 	prngPool.Put(p)
+	if rate := w.PairLossRate(src, dst); rate > 0 {
+		out = w.dropLost(out, src, dst, rate)
+	}
 	return out
 }
 
@@ -190,11 +198,19 @@ func (w *World) Traceroute(src, dst, nProbe int) []Hop {
 	if path == nil {
 		return nil
 	}
+	if w.PathFault(src, dst) != "" {
+		return nil
+	}
 	p := getRNG(w.probeSeed(src, dst), 0x7ace)
 	defer prngPool.Put(p)
 	rng := p.rng
 	hops := make([]Hop, 0, len(path)-1)
 	for i := 1; i < len(path); i++ {
+		if w.NodeDown(path[i]) {
+			// Probes beyond a dead router never answer: the trace
+			// truncates at the last live hop, as on the real Internet.
+			break
+		}
 		sub := path[:i+1]
 		base := w.pathBaseRTT(sub) + w.Nodes[src].accessMs
 		node := w.Nodes[path[i]]

@@ -115,10 +115,12 @@ func (c *Config) fillDefaults() {
 // cache is a sync.Map, so all measurement methods (Ping, Traceroute,
 // Route, Whois, ReverseDNS) are safe to call from many goroutines.
 //
-// The only mutable measurement state is the pair-drift table
-// (SetPairDriftMs), which models network conditions changing underneath
-// a long-running deployment; it is synchronized independently, so drift
-// may be injected while measurements are in flight.
+// The mutable measurement state is the pair-drift table (SetPairDriftMs),
+// which models network conditions changing underneath a long-running
+// deployment, and the fault tables (SetNodeDown, SetPairBlackhole,
+// SetPairLossRate — see faults.go), which model the network breaking
+// outright. Each is synchronized independently, so drift and faults may
+// be injected while measurements are in flight.
 type World struct {
 	Cfg     Config
 	Nodes   []*Node
@@ -133,6 +135,15 @@ type World struct {
 	// drift holds per-pair RTT offsets injected after construction
 	// (SetPairDriftMs): [2]int{min,max} node IDs → extra ms.
 	drift sync.Map
+	// Fault-injection state (faults.go). faultCount tracks active fault
+	// entries across all three maps; while it is zero every fault check
+	// is a single atomic load, keeping the healthy measurement path
+	// allocation- and bit-identical to a world without the fault API.
+	downNodes  sync.Map // node ID (int) → true
+	blackholes sync.Map // [2]int{min,max} node IDs → true
+	loss       sync.Map // [2]int{min,max} node IDs → loss probability
+	lossSeq    sync.Map // [2]int{min,max} node IDs → *atomic.Uint64 call ordinal
+	faultCount atomic.Int64
 	// pingCalls / tracerouteCalls account every measurement issued
 	// against this world, so tests can assert how much probing a survey
 	// build or an incremental recalibration actually performed.

@@ -1,0 +1,42 @@
+package probe
+
+import (
+	"context"
+	"errors"
+	"net"
+)
+
+// Measurement error classification. A prober distinguishes two broad
+// failure families: conditions that a later attempt might not see
+// (losses, timeouts, a crashed-but-rebooting host) and conditions no
+// amount of retrying fixes (an address that does not resolve, a caller
+// that has given up). RetryProber and the degraded-mode evidence
+// pipeline both branch on this split, so the sentinels live here rather
+// than in any one implementation.
+
+// ErrUnreachable marks a measurement that failed because an endpoint or
+// the path between them is down — probes are not answered at all.
+var ErrUnreachable = errors.New("unreachable")
+
+// ErrTimeout marks a measurement whose probes were all lost within the
+// attempt's budget: the path exists but nothing came back in time.
+var ErrTimeout = errors.New("timed out")
+
+// Transient reports whether err is worth retrying: probe-level
+// unreachability and timeouts (including net.Error timeouts from real
+// sockets) are transient; context cancellation, expired caller
+// deadlines, and everything else (unknown addresses, protocol errors)
+// are permanent.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, ErrUnreachable) || errors.Is(err, ErrTimeout) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

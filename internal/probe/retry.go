@@ -1,0 +1,247 @@
+package probe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync/atomic"
+	"time"
+
+	"octant/internal/geo"
+)
+
+// RetryOptions tunes a RetryProber. The zero value gets sensible
+// defaults from WithRetry.
+type RetryOptions struct {
+	// Attempts is the total number of tries per measurement, first
+	// attempt included (0 = default 3; 1 disables retrying).
+	Attempts int
+	// BaseBackoff is the delay before the first retry; each subsequent
+	// retry doubles it (0 = default 50ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubling (0 = default 2s).
+	MaxBackoff time.Duration
+	// Jitter spreads each backoff uniformly over ±Jitter fraction of its
+	// nominal value, de-synchronizing retry storms across landmarks
+	// (0 = default 0.2; negative disables).
+	Jitter float64
+	// AttemptTimeout bounds each individual attempt. An attempt that
+	// exceeds it is classified as a transient probe timeout — unlike the
+	// caller's own deadline, which stays permanent (0 = no per-attempt
+	// bound).
+	AttemptTimeout time.Duration
+
+	// Test seams: sleep replaces the inter-attempt wait and rand the
+	// jitter draw, so unit tests can run the backoff schedule against a
+	// fake clock. Nil selects the real clock and math/rand.
+	sleep func(ctx context.Context, d time.Duration) error
+	rand  func() float64
+}
+
+// RetryStats is a snapshot of a RetryProber's counters.
+type RetryStats struct {
+	// Attempts counts every measurement attempt issued, including firsts.
+	Attempts uint64
+	// Retries counts re-attempts after a transient failure.
+	Retries uint64
+	// Exhausted counts measurements that failed every attempt.
+	Exhausted uint64
+}
+
+// RetryProber wraps a Prober with bounded retries: transient failures
+// (see Transient) are re-attempted up to Attempts times with capped
+// exponential backoff plus jitter, each attempt optionally bounded by
+// its own timeout. Permanent failures — unknown addresses, the caller's
+// context expiring — return immediately. Survey calibration and the
+// evidence pipeline sit on top of this wrapper so a single lost probe
+// train does not void minutes of measurement work.
+//
+// RetryProber implements ContextProber: cancellation is observed between
+// attempts and during backoff sleeps, and is forwarded into each attempt
+// when the underlying prober is context-aware.
+type RetryProber struct {
+	p Prober
+	o RetryOptions
+
+	attempts  atomic.Uint64
+	retries   atomic.Uint64
+	exhausted atomic.Uint64
+}
+
+var (
+	_ Prober        = (*RetryProber)(nil)
+	_ ContextProber = (*RetryProber)(nil)
+)
+
+// WithRetry wraps p with retry behaviour. See RetryProber.
+func WithRetry(p Prober, o RetryOptions) *RetryProber {
+	if o.Attempts <= 0 {
+		o.Attempts = 3
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.Jitter == 0 {
+		o.Jitter = 0.2
+	}
+	if o.sleep == nil {
+		o.sleep = sleepCtx
+	}
+	if o.rand == nil {
+		o.rand = rand.Float64
+	}
+	return &RetryProber{p: p, o: o}
+}
+
+// Stats returns a snapshot of the retry counters.
+func (r *RetryProber) Stats() RetryStats {
+	return RetryStats{
+		Attempts:  r.attempts.Load(),
+		Retries:   r.retries.Load(),
+		Exhausted: r.exhausted.Load(),
+	}
+}
+
+// Ping implements Prober.
+func (r *RetryProber) Ping(src, dst string, n int) ([]float64, error) {
+	return r.PingContext(context.Background(), src, dst, n)
+}
+
+// PingContext implements ContextProber.
+func (r *RetryProber) PingContext(ctx context.Context, src, dst string, n int) ([]float64, error) {
+	var out []float64
+	err := r.retry(ctx, func(actx context.Context) error {
+		var e error
+		out, e = pingIn(actx, r.p, src, dst, n)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Traceroute implements Prober.
+func (r *RetryProber) Traceroute(src, dst string) ([]Hop, error) {
+	return r.TracerouteContext(context.Background(), src, dst)
+}
+
+// TracerouteContext implements ContextProber.
+func (r *RetryProber) TracerouteContext(ctx context.Context, src, dst string) ([]Hop, error) {
+	var out []Hop
+	err := r.retry(ctx, func(actx context.Context) error {
+		var e error
+		out, e = tracerouteIn(actx, r.p, src, dst)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReverseDNS implements Prober. Metadata lookups are cheap and local;
+// they pass straight through.
+func (r *RetryProber) ReverseDNS(addr string) string { return r.p.ReverseDNS(addr) }
+
+// Whois implements Prober.
+func (r *RetryProber) Whois(addr string) (loc geo.Point, zip string, ok bool) { return r.p.Whois(addr) }
+
+// retry runs attempt until it succeeds, fails permanently, or the
+// attempt budget is spent.
+func (r *RetryProber) retry(ctx context.Context, attempt func(context.Context) error) error {
+	backoff := r.o.BaseBackoff
+	var err error
+	for a := 0; a < r.o.Attempts; a++ {
+		r.attempts.Add(1)
+		err = r.oneAttempt(ctx, attempt)
+		if err == nil {
+			return nil
+		}
+		if !Transient(err) {
+			return err
+		}
+		if a == r.o.Attempts-1 {
+			break
+		}
+		r.retries.Add(1)
+		if serr := r.o.sleep(ctx, r.jittered(backoff)); serr != nil {
+			// Cancelled mid-backoff: the caller's error wins over the
+			// transient one that triggered the wait.
+			return serr
+		}
+		if backoff *= 2; backoff > r.o.MaxBackoff {
+			backoff = r.o.MaxBackoff
+		}
+	}
+	r.exhausted.Add(1)
+	return fmt.Errorf("probe: gave up after %d attempts: %w", r.o.Attempts, err)
+}
+
+// oneAttempt runs attempt under the per-attempt timeout, reclassifying a
+// blown per-attempt deadline as a transient probe timeout when the
+// caller's own context is still live.
+func (r *RetryProber) oneAttempt(ctx context.Context, attempt func(context.Context) error) error {
+	actx := ctx
+	var cancel context.CancelFunc
+	if r.o.AttemptTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, r.o.AttemptTimeout)
+		defer cancel()
+	}
+	err := attempt(actx)
+	if err != nil && cancel != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+		return fmt.Errorf("probe: attempt %w after %v", ErrTimeout, r.o.AttemptTimeout)
+	}
+	return err
+}
+
+// jittered spreads d over ±Jitter of its nominal value.
+func (r *RetryProber) jittered(d time.Duration) time.Duration {
+	if r.o.Jitter <= 0 {
+		return d
+	}
+	f := 1 + r.o.Jitter*(2*r.o.rand()-1)
+	return time.Duration(float64(d) * f)
+}
+
+// pingIn issues one ping attempt under ctx, using the native
+// context-aware call when the prober has one.
+func pingIn(ctx context.Context, p Prober, src, dst string, n int) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cp, ok := p.(ContextProber); ok {
+		return cp.PingContext(ctx, src, dst, n)
+	}
+	return p.Ping(src, dst, n)
+}
+
+// tracerouteIn issues one traceroute attempt under ctx.
+func tracerouteIn(ctx context.Context, p Prober, src, dst string) ([]Hop, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cp, ok := p.(ContextProber); ok {
+		return cp.TracerouteContext(ctx, src, dst)
+	}
+	return p.Traceroute(src, dst)
+}
+
+// sleepCtx waits d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

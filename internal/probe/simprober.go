@@ -35,7 +35,10 @@ func (p *SimProber) resolve(addr string) (int, error) {
 	return 0, fmt.Errorf("probe: unknown address %q", addr)
 }
 
-// Ping implements Prober.
+// Ping implements Prober. Faults injected into the world surface as
+// classified errors: a downed endpoint or blackholed pair is
+// ErrUnreachable, an attempt that lost every sample to a lossy pair is
+// ErrTimeout — both transient, so RetryProber re-attempts them.
 func (p *SimProber) Ping(src, dst string, n int) ([]float64, error) {
 	s, err := p.resolve(src)
 	if err != nil {
@@ -45,10 +48,19 @@ func (p *SimProber) Ping(src, dst string, n int) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.World.Ping(s, d, n), nil
+	if reason := p.World.PathFault(s, d); reason != "" {
+		return nil, fmt.Errorf("probe: ping %s→%s %w: %s", src, dst, ErrUnreachable, reason)
+	}
+	samples := p.World.Ping(s, d, n)
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("probe: ping %s→%s %w: all probes lost", src, dst, ErrTimeout)
+	}
+	return samples, nil
 }
 
-// Traceroute implements Prober.
+// Traceroute implements Prober. A downed endpoint or blackholed pair is
+// a transient ErrUnreachable; a downed intermediate router is not an
+// error — the trace just truncates at the last live hop.
 func (p *SimProber) Traceroute(src, dst string) ([]Hop, error) {
 	s, err := p.resolve(src)
 	if err != nil {
@@ -57,6 +69,9 @@ func (p *SimProber) Traceroute(src, dst string) ([]Hop, error) {
 	d, err := p.resolve(dst)
 	if err != nil {
 		return nil, err
+	}
+	if reason := p.World.PathFault(s, d); reason != "" {
+		return nil, fmt.Errorf("probe: traceroute %s→%s %w: %s", src, dst, ErrUnreachable, reason)
 	}
 	simHops := p.World.Traceroute(s, d, 3)
 	hops := make([]Hop, len(simHops))

@@ -134,8 +134,12 @@ type TargetResult struct {
 	Constraints int      `json:"constraints,omitempty"`
 	EmptyRegion bool     `json:"empty_region,omitempty"`
 	Cached      bool     `json:"cached,omitempty"`
-	ElapsedMs   float64  `json:"elapsed_ms,omitempty"`
-	Error       string   `json:"error,omitempty"`
+	// Degraded marks a result computed from partial evidence: some
+	// landmarks failed to answer but the request's quorum held. The
+	// failed landmarks ride the v2 provenance (failures list).
+	Degraded  bool    `json:"degraded,omitempty"`
+	ElapsedMs float64 `json:"elapsed_ms,omitempty"`
+	Error     string  `json:"error,omitempty"`
 }
 
 // ToTargetResult converts a batch item to its wire form.
@@ -150,6 +154,7 @@ func ToTargetResult(item batch.Item) TargetResult {
 	tr.HeightMs = res.TargetHeightMs
 	tr.Constraints = len(res.Constraints)
 	tr.Cached = item.Cached
+	tr.Degraded = res.Degraded
 	tr.ElapsedMs = float64(item.Elapsed) / float64(time.Millisecond)
 	if math.IsNaN(res.Point.Lat) {
 		tr.EmptyRegion = true
@@ -202,6 +207,10 @@ type WireOptions struct {
 	// NegHeightPercentile overrides the negative-constraint height
 	// percentile.
 	NegHeightPercentile float64 `json:"neg_height_percentile,omitempty"`
+	// MinLandmarks sets the degraded-mode quorum: the minimum number of
+	// landmarks that must answer before landmark failures degrade the
+	// result instead of failing the request (0 = server default).
+	MinLandmarks int `json:"min_landmarks,omitempty"`
 	// Explain attaches per-source provenance to the response.
 	Explain bool `json:"explain,omitempty"`
 	// Hints are extra positive priors for the hint source.
@@ -252,6 +261,12 @@ func (wo *WireOptions) Options() ([]core.LocalizeOption, error) {
 			return nil, fmt.Errorf("neg_height_percentile must be in (0, 100], got %v", wo.NegHeightPercentile)
 		}
 		opts = append(opts, core.WithNegHeightPercentile(wo.NegHeightPercentile))
+	}
+	if wo.MinLandmarks != 0 {
+		if wo.MinLandmarks < 0 {
+			return nil, fmt.Errorf("min_landmarks must be ≥ 0, got %d", wo.MinLandmarks)
+		}
+		opts = append(opts, core.WithMinLandmarks(wo.MinLandmarks))
 	}
 	if wo.Explain {
 		opts = append(opts, core.WithExplain())

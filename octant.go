@@ -160,6 +160,9 @@ type (
 	EvidenceRequest = core.Request
 	// SourceReport is one source's provenance entry.
 	SourceReport = core.SourceReport
+	// ProbeFailure names a landmark whose measurement failed and why
+	// (SourceReport.Failures, Provenance.Failures).
+	ProbeFailure = core.ProbeFailure
 	// Provenance explains how a localization was assembled
 	// (Result.Provenance, filled by WithExplain).
 	Provenance = core.Provenance
@@ -307,6 +310,13 @@ func WithNegHeightPercentile(p float64) LocalizeOption { return core.WithNegHeig
 
 // WithExplain fills Result.Provenance with per-source evidence detail.
 func WithExplain() LocalizeOption { return core.WithExplain() }
+
+// WithMinLandmarks sets the request's landmark quorum: when some
+// landmarks fail to answer but at least n do, the localization proceeds
+// on partial evidence and the Result is marked Degraded, with the
+// failed landmarks named in its Provenance; below n the request errors
+// (0 = the default quorum of 3).
+func WithMinLandmarks(n int) LocalizeOption { return core.WithMinLandmarks(n) }
 
 // WithHint adds an exogenous positive prior for the hint source.
 func WithHint(loc Point, radiusKm, weight float64, label string) LocalizeOption {
