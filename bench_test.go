@@ -20,6 +20,7 @@ import (
 	"octant/internal/core"
 	"octant/internal/eval"
 	"octant/internal/geo"
+	"octant/internal/measure"
 	"octant/internal/netsim"
 	"octant/internal/probe"
 )
@@ -266,15 +267,17 @@ func (p pacedProber) Ping(src, dst string, n int) ([]float64, error) {
 }
 
 var (
-	batchFixOnce    sync.Once
-	batchFixLoc     *core.Localizer // paced: 5 ms wire time per ping train
-	batchFixRawLoc  *core.Localizer // unpaced: pure solver CPU and allocs
-	batchFixTargets []string
-	batchFixErr     error
+	batchFixOnce      sync.Once
+	batchFixLoc       *core.Localizer // paced: 5 ms wire time per ping train
+	batchFixSerialLoc *core.Localizer // paced + legacy serialized probe loop
+	batchFixRawLoc    *core.Localizer // unpaced: pure solver CPU and allocs
+	batchFixTargets   []string
+	batchFixErr       error
 )
 
 // batchFixture holds 8 hosts out of the survey as targets and builds a
-// localizer whose prober pays 5 ms of wire time per ping train (plus an
+// localizer whose prober pays 5 ms of wire time per ping train (plus a
+// serialized-measurement twin for the fan-out speedup gate and an
 // unpaced twin for allocation measurements).
 func batchFixture(b testing.TB) (*core.Localizer, []string) {
 	b.Helper()
@@ -300,6 +303,7 @@ func batchFixture(b testing.TB) (*core.Localizer, []string) {
 		}
 		paced := pacedProber{Prober: prober, delay: 5 * time.Millisecond}
 		batchFixLoc = core.NewLocalizer(paced, survey, core.Config{})
+		batchFixSerialLoc = core.NewLocalizer(paced, survey, core.Config{MeasureWorkers: -1})
 		batchFixRawLoc = core.NewLocalizer(prober, survey, core.Config{})
 		batchFixTargets = targets
 	})
@@ -365,6 +369,66 @@ func BenchmarkLocalizeBatchFused(b *testing.B) {
 			}
 			b.ReportMetric(float64(len(targets)*b.N)/b.Elapsed().Seconds(), "targets/s")
 		})
+	}
+}
+
+// BenchmarkLocalizePacedSerial is the single-target latency of the
+// pre-scheduler measurement loop under 5 ms of wire time per ping train:
+// every landmark's train is paid for serially, so one localization costs
+// roughly landmarks × 5 ms before the solver even starts.
+func BenchmarkLocalizePacedSerial(b *testing.B) {
+	batchFixture(b)
+	loc, targets := batchFixSerialLoc, batchFixTargets
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := loc.Localize(targets[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocalizePacedParallel is the same single-target workload with
+// the concurrent measurement scheduler fanning the landmark probes out.
+// CI gates it against BenchmarkLocalizePacedSerial in the same report:
+// the fan-out must cut paced latency by ≥ 4×.
+func BenchmarkLocalizePacedParallel(b *testing.B) {
+	loc, targets := batchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := loc.Localize(targets[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureFanout isolates the scheduler itself: one full
+// landmark fan-out (min-filtered ping trains from every landmark to one
+// target, 1 ms wire time each) per iteration, no solver. Tracks the
+// scheduler's dispatch overhead and wall-time win over its history.
+func BenchmarkMeasureFanout(b *testing.B) {
+	world := netsim.NewWorld(netsim.Config{Seed: 1})
+	paced := pacedProber{Prober: probe.NewSimProber(world), delay: time.Millisecond}
+	hosts := world.HostNodes()
+	target := hosts[0].Name
+	srcs := make([]string, 0, len(hosts)-1)
+	for _, h := range hosts[1:] {
+		srcs = append(srcs, h.Name)
+	}
+	sched := measure.New(measure.Config{})
+	out := make([]float64, len(srcs))
+	errs := make([]error, len(srcs))
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.PingMinInto(ctx, paced, srcs, target, 10, 0, out, errs)
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 

@@ -53,10 +53,21 @@ func runBulk(seed uint64, nTargets, workers int, pace time.Duration) error {
 	for i := range targets {
 		targets[i] = hosts[i%hold].Name
 	}
-	loc := core.NewLocalizer(pacedProber{Prober: prober, delay: pace}, survey, core.Config{})
+	// The sequential reference pins MeasureWorkers to the legacy
+	// serialized probe loop: the gate compares the fused stack against
+	// the pre-batch, pre-scheduler deployment, and letting the baseline
+	// fan out its own probes would quietly re-baseline the ≥5× floor.
+	// The parity check below doubles as a differential test that the
+	// concurrent scheduler is bit-identical to the serialized loop.
+	paced := pacedProber{Prober: prober, delay: pace}
+	seqLoc := core.NewLocalizer(paced, survey, core.Config{MeasureWorkers: -1})
+	loc := core.NewLocalizer(paced, survey, core.Config{})
 
-	// One warmup localization so land-mask masters and pooled grids exist
-	// before either timed pass.
+	// One warmup localization per localizer so land-mask masters and
+	// pooled grids exist before either timed pass.
+	if _, err := seqLoc.Localize(targets[0]); err != nil {
+		return err
+	}
 	if _, err := loc.Localize(targets[0]); err != nil {
 		return err
 	}
@@ -75,7 +86,7 @@ func runBulk(seed uint64, nTargets, workers int, pace time.Duration) error {
 	seq := make([]*core.Result, len(targets))
 	seqElapsed, seqAllocs, err := measure(func() error {
 		for i, tgt := range targets {
-			res, err := loc.Localize(tgt)
+			res, err := seqLoc.Localize(tgt)
 			if err != nil {
 				return fmt.Errorf("sequential %s: %w", tgt, err)
 			}

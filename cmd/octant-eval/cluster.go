@@ -11,7 +11,12 @@ import (
 )
 
 // runCluster is the -cluster mode: a netsim-backed load harness for the
-// sharded serving tier. It has two legs:
+// sharded serving tier. It has three legs:
+//
+// Serialized baseline — a 1-node fleet whose localizer measures through
+// the legacy one-probe-at-a-time loop, emitted as ClusterNodes1Serial.
+// The run fails unless the concurrent 1-node leg clears minNodeSpeedup×
+// this baseline's throughput — the per-node fan-out gate CI enforces.
 //
 // Scaling — start in-process fleets of 1, 2 and 4 nodes (2 engine
 // workers each, probe trains paced so the worker pools are the
@@ -27,17 +32,25 @@ import (
 // batch response, any bit-identity violation across nodes within one
 // (target, fingerprint, epoch), or a fleet that does not converge to
 // the pushed epoch.
-func runCluster(seed uint64, keys int, pace time.Duration, minScale float64) error {
+func runCluster(seed uint64, keys int, pace time.Duration, minScale, minNodeSpeedup float64) error {
 	if keys < 8 {
 		return fmt.Errorf("-cluster-keys must be ≥ 8 (got %d)", keys)
 	}
+	serialElapsed, err := clusterScalingLeg(seed, 1, keys, pace, true)
+	if err != nil {
+		return fmt.Errorf("serialized baseline leg: %w", err)
+	}
+	serialTargetsSec := float64(keys) / serialElapsed.Seconds()
+	fmt.Printf("BenchmarkClusterNodes1Serial \t       1\t%d ns/op\t%.2f targets/s\n",
+		serialElapsed.Nanoseconds(), serialTargetsSec)
+
 	type leg struct {
 		nodes      int
 		targetsSec float64
 	}
 	legs := []leg{{nodes: 1}, {nodes: 2}, {nodes: 4}}
 	for i := range legs {
-		elapsed, err := clusterScalingLeg(seed, legs[i].nodes, keys, pace)
+		elapsed, err := clusterScalingLeg(seed, legs[i].nodes, keys, pace, false)
 		if err != nil {
 			return fmt.Errorf("%d-node leg: %w", legs[i].nodes, err)
 		}
@@ -45,10 +58,14 @@ func runCluster(seed uint64, keys int, pace time.Duration, minScale float64) err
 		fmt.Printf("BenchmarkClusterNodes%d \t       1\t%d ns/op\t%.2f targets/s\n",
 			legs[i].nodes, elapsed.Nanoseconds(), legs[i].targetsSec)
 	}
+	nodeSpeedup := legs[0].targetsSec / serialTargetsSec
 	scale2 := legs[1].targetsSec / legs[0].targetsSec
 	scale4 := legs[2].targetsSec / legs[0].targetsSec
-	fmt.Printf("cluster scaling: %d keys, pace %v: 2-node %.2f×, 4-node %.2f× the 1-node throughput\n",
-		keys, pace, scale2, scale4)
+	fmt.Printf("cluster scaling: %d keys, pace %v: concurrent fan-out %.2f× the serialized node, 2-node %.2f×, 4-node %.2f× the 1-node throughput\n",
+		keys, pace, nodeSpeedup, scale2, scale4)
+	if nodeSpeedup < minNodeSpeedup {
+		return fmt.Errorf("concurrent measurement lifted per-node throughput only %.2f× over the serialized loop (gate %.2f×)", nodeSpeedup, minNodeSpeedup)
+	}
 	if scale2 < minScale {
 		return fmt.Errorf("2-node fleet scaled only %.2f× over 1 node (gate %.2f×)", scale2, minScale)
 	}
@@ -78,12 +95,20 @@ func clusterKeyOptions(i int) *serve.WireOptions {
 // router's bounded-load ring spreads the in-flight work: when a key's
 // owner is saturated the dispatch spills to the next preference, which
 // is what evens utilization across nodes despite skewed key ownership.
-func clusterScalingLeg(seed uint64, nodes, keys int, pace time.Duration) (time.Duration, error) {
-	fleet, err := cluster.StartLocalFleet(cluster.FleetConfig{
+func clusterScalingLeg(seed uint64, nodes, keys int, pace time.Duration, serialized bool) (time.Duration, error) {
+	cfg := cluster.FleetConfig{
 		Nodes:     nodes,
 		Seed:      seed,
 		ProbePace: pace,
-	})
+	}
+	if serialized {
+		// The baseline node models the pre-scheduler stack end to end:
+		// the one-probe-at-a-time measurement loop over a single
+		// serialized pinger pipeline.
+		cfg.SerializedMeasurement = true
+		cfg.ProbeLanes = 1
+	}
+	fleet, err := cluster.StartLocalFleet(cfg)
 	if err != nil {
 		return 0, err
 	}

@@ -83,8 +83,9 @@ func main() {
 
 		clusterOn       = flag.Bool("cluster", false, "cluster mode: 1/2/4-node fleet scaling legs (emitted as bench lines) plus a rolling-swap soak; exits non-zero on the scaling gate or any soak violation")
 		clusterKeys     = flag.Int("cluster-keys", 64, "cluster mode: unique (target, fingerprint) keys per scaling leg")
-		clusterPace     = flag.Duration("cluster-pace", 2*time.Millisecond, "cluster mode: wire time each ping train occupies a node's serialized measurement pipeline (makes per-node capacity the bottleneck)")
+		clusterPace     = flag.Duration("cluster-pace", 4*time.Millisecond, "cluster mode: wire time each ping train occupies one of a node's probing lanes (makes per-node measurement capacity the bottleneck)")
 		clusterMinScale = flag.Float64("cluster-min-scale", 1.7, "cluster mode: fail unless the 2-node fleet clears this multiple of 1-node throughput")
+		clusterMinNode  = flag.Float64("cluster-min-node-speedup", 3, "cluster mode: fail unless the concurrent-measurement 1-node leg clears this multiple of the serialized-measurement baseline's throughput")
 
 		chaosOn       = flag.Bool("chaos", false, "chaos mode: kill/revive landmarks and serve nodes under load; exits non-zero on any client-visible error, missing degraded-mode coverage, unbounded accuracy loss, or failed recovery")
 		chaosNodes    = flag.Int("chaos-nodes", 3, "chaos mode: serving-fleet size (≥ 3)")
@@ -101,7 +102,7 @@ func main() {
 	}
 
 	if *clusterOn {
-		if err := runCluster(*seed, *clusterKeys, *clusterPace, *clusterMinScale); err != nil {
+		if err := runCluster(*seed, *clusterKeys, *clusterPace, *clusterMinScale, *clusterMinNode); err != nil {
 			log.Fatal(err)
 		}
 		return

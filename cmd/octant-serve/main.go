@@ -85,6 +85,8 @@ func main() {
 		drain     = flag.Duration("activate-drain", 2*time.Second, "in-flight drain budget before an epoch activation swaps anyway")
 		grace     = flag.Duration("shutdown-grace", 30*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
 		retries   = flag.Int("probe-retries", 3, "attempts per measurement (1 disables retrying); transient probe failures back off and retry, so one lost train doesn't degrade a localization or void a survey refresh")
+		measureW  = flag.Int("measure-workers", 0, "concurrent probes per localization fan-out (0 = scheduler default, 16; negative = serialized legacy loop)")
+		rttTTL    = flag.Duration("rtt-cache-ttl", 0, "measurement-scheduler RTT cache lifetime (0 disables caching and in-flight dedup; entries are epoch-qualified so a survey swap never serves stale minima)")
 	)
 	flag.Parse()
 
@@ -109,7 +111,11 @@ func main() {
 		// "default" and negative as exact, so translate.
 		driftTolMs = -1
 	}
-	manager := lifecycle.New(prober, survey, core.Config{Probes: *probes}, lifecycle.Options{
+	manager := lifecycle.New(prober, survey, core.Config{
+		Probes:         *probes,
+		MeasureWorkers: *measureW,
+		RTTCacheTTL:    *rttTTL,
+	}, lifecycle.Options{
 		Probes:           *probes,
 		Interval:         *refresh,
 		SnapshotPath:     *snapshot,

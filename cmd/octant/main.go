@@ -148,12 +148,12 @@ func main() {
 		res.TargetHeightMs, world.AccessHeight(truth.ID))
 	fmt.Printf("constraints     %d\n", len(res.Constraints))
 	if res.Provenance != nil {
-		fmt.Printf("\nevidence provenance (%d constraints solved in %.2f ms):\n",
-			res.Provenance.TotalConstraints, res.Provenance.SolveMs)
-		fmt.Printf("  %-12s %11s %8s %14s %9s  %s\n", "source", "constraints", "weight", "area km²", "ms", "note")
+		fmt.Printf("\nevidence provenance (%d constraints, %.2f ms measuring, %.2f ms solving):\n",
+			res.Provenance.TotalConstraints, res.Provenance.MeasureMs, res.Provenance.SolveMs)
+		fmt.Printf("  %-12s %11s %8s %14s %9s %10s  %s\n", "source", "constraints", "weight", "area km²", "ms", "measure ms", "note")
 		for _, rep := range res.Provenance.Sources {
-			fmt.Printf("  %-12s %11d %8.3f %14.0f %9.2f  %s\n",
-				rep.Source, rep.Constraints, rep.Weight, rep.AreaKm2, rep.ElapsedMs, rep.Skipped)
+			fmt.Printf("  %-12s %11d %8.3f %14.0f %9.2f %10.2f  %s\n",
+				rep.Source, rep.Constraints, rep.Weight, rep.AreaKm2, rep.ElapsedMs, rep.MeasureMs, rep.Skipped)
 		}
 	}
 

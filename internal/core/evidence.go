@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"math"
 
+	"time"
+
 	"octant/internal/geo"
 	"octant/internal/height"
+	"octant/internal/measure"
 	"octant/internal/probe"
 	"octant/internal/stats"
 	"octant/internal/undns"
@@ -83,6 +86,12 @@ type Request struct {
 	// fused batch path sets it (one arena per worker, alive for the whole
 	// batch); the scalar path leaves it nil and allocates per disk.
 	arena *constraintArena
+
+	// sched, when non-nil, is the Localizer's measurement scheduler:
+	// the LatencySource fans its landmark pings and the RouterSource its
+	// traceroutes through it. Nil means serialized measurement (the
+	// pre-scheduler loops).
+	sched *measure.Scheduler
 }
 
 // disk builds a disk constraint for this request, drawing its memory from
@@ -115,6 +124,11 @@ type SourceReport struct {
 	WeightScale float64 `json:"weight_scale,omitempty"`
 	// ElapsedMs is the source's wall time, measurements included.
 	ElapsedMs float64 `json:"elapsed_ms"`
+	// MeasureMs is the share of ElapsedMs spent waiting on the network
+	// (ping fan-out, traceroutes); ElapsedMs − MeasureMs is constraint
+	// construction. Filled only when provenance was requested, and only
+	// by the measuring sources (latency, router).
+	MeasureMs float64 `json:"measure_ms,omitempty"`
 	// Skipped is the reason the source contributed nothing ("" if it ran).
 	Skipped string `json:"skipped,omitempty"`
 	// Failures lists per-landmark measurement failures the source
@@ -148,6 +162,10 @@ type Provenance struct {
 	TotalConstraints int `json:"total_constraints"`
 	// SolveMs is the §2.4 solver's wall time.
 	SolveMs float64 `json:"solve_ms"`
+	// MeasureMs is the request's total measurement wall time (the sum of
+	// the sources' MeasureMs) — the measure-vs-solve split that shows
+	// where a paced deployment's latency actually goes.
+	MeasureMs float64 `json:"measure_ms,omitempty"`
 	// Failures names every landmark whose measurement failed when the
 	// result is degraded. Unlike the rest of the provenance it is filled
 	// even without WithExplain: a degraded result must always say which
@@ -226,24 +244,58 @@ func (LatencySource) Constraints(ctx context.Context, req *Request) ([]Constrain
 	// height solve, the constraint loop, router ranking) skips. Only
 	// the caller's own context expiring aborts — the caller is gone, so
 	// there is no one to serve a degraded answer to.
+	//
+	// With a scheduler attached the pings fan out concurrently; the
+	// serialized branch below is the same loop probe-for-probe. Both
+	// produce identical slots, failure lists (landmark order), and abort
+	// errors: the scheduler's slot-indexed placement means completion
+	// order never leaks into the outputs.
 	var failures []ProbeFailure
-	for i, lm := range s.Landmarks {
-		if lm.Addr == req.Target {
-			return nil, rep, fmt.Errorf("core: target %s is landmark %s; exclude it from the survey first", req.Target, lm.Name)
-		}
-		samples, err := req.Prober.Ping(lm.Addr, req.Target, cfg.Probes)
-		if err == nil {
-			var min float64
-			if min, err = probe.MinRTT(samples); err == nil {
-				rtts[i] = min
-				continue
+	timing := req.Opts.Explain
+	var mt0 time.Time
+	if timing {
+		mt0 = time.Now()
+	}
+	if sched := req.sched; sched != nil {
+		for _, lm := range s.Landmarks {
+			if lm.Addr == req.Target {
+				return nil, rep, fmt.Errorf("core: target %s is landmark %s; exclude it from the survey first", req.Target, lm.Name)
 			}
 		}
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return nil, rep, fmt.Errorf("core: ping %s→%s: %w", lm.Name, req.Target, err)
+		perrs := make([]error, n)
+		sched.PingMinInto(ctx, req.Prober, req.PCtx.Addrs, req.Target, cfg.Probes, s.Epoch, rtts, perrs)
+		for i, err := range perrs {
+			if err == nil {
+				continue
+			}
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, rep, fmt.Errorf("core: ping %s→%s: %w", s.Landmarks[i].Name, req.Target, err)
+			}
+			rtts[i] = math.NaN()
+			failures = append(failures, ProbeFailure{Landmark: s.Landmarks[i].Name, Reason: err.Error()})
 		}
-		rtts[i] = math.NaN()
-		failures = append(failures, ProbeFailure{Landmark: lm.Name, Reason: err.Error()})
+	} else {
+		for i, lm := range s.Landmarks {
+			if lm.Addr == req.Target {
+				return nil, rep, fmt.Errorf("core: target %s is landmark %s; exclude it from the survey first", req.Target, lm.Name)
+			}
+			samples, err := req.Prober.Ping(lm.Addr, req.Target, cfg.Probes)
+			if err == nil {
+				var min float64
+				if min, err = probe.MinRTT(samples); err == nil {
+					rtts[i] = min
+					continue
+				}
+			}
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, rep, fmt.Errorf("core: ping %s→%s: %w", lm.Name, req.Target, err)
+			}
+			rtts[i] = math.NaN()
+			failures = append(failures, ProbeFailure{Landmark: lm.Name, Reason: err.Error()})
+		}
+	}
+	if timing {
+		rep.MeasureMs = float64(time.Since(mt0)) / float64(time.Millisecond)
 	}
 	req.RTTs = rtts
 
@@ -355,7 +407,8 @@ func (RouterSource) Constraints(ctx context.Context, req *Request) ([]Constraint
 		rep.Skipped = "no latency measurements"
 		return nil, rep, nil
 	}
-	cs, failed := routerConstraints(req)
+	cs, failed, measureNs := routerConstraints(ctx, req, req.Opts.Explain)
+	rep.MeasureMs = float64(measureNs) / float64(time.Millisecond)
 	// A failed traceroute is a skip-with-reason, never a request abort:
 	// router evidence is supplementary, and the remaining landmarks'
 	// traces (plus the latency constraints) still bound the target.

@@ -172,6 +172,12 @@ func (l *Localizer) localizeBatch(ctx context.Context, targets []string, workers
 					Prober:   tprober,
 					Resolver: l.Resolver,
 					arena:    arena,
+					// Workers share the Localizer's scheduler, so a
+					// batch's probe traffic is landmark-major in effect:
+					// concurrent targets queue on the same per-landmark
+					// buckets (and share cache/dedup) instead of each
+					// fanning out blind.
+					sched: l.sched,
 				}
 				if o != nil {
 					req.Opts = *o

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"octant/internal/netsim"
+	"octant/internal/probe"
+)
+
+// The concurrent measurement scheduler must be invisible in results: for
+// any world state — healthy or faulted — a localizer fanning probes out
+// must produce answers bit-identical to the serialized probe loop it
+// replaced, including the order of named failures in provenance. These
+// tests run the two paths side by side over one survey.
+
+// TestParallelSerialLocalizeParity: healthy-path bit-identity across
+// several targets, both result geometry and RTT vectors.
+func TestParallelSerialLocalizeParity(t *testing.T) {
+	w := netsim.NewWorld(netsim.Config{Seed: 11})
+	p := probe.NewSimProber(w)
+	hosts := w.HostNodes()
+	var lms []Landmark
+	for _, h := range hosts[4:] {
+		lms = append(lms, Landmark{Addr: h.Name, Name: h.Inst, Loc: h.Loc})
+	}
+	s, err := NewSurvey(p, lms, SurveyOpts{UseHeights: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := NewLocalizer(p, s, Config{})
+	serial := NewLocalizer(p, s, Config{MeasureWorkers: -1})
+	ctx := context.Background()
+
+	for _, target := range hosts[:4] {
+		pr, err := parallel.LocalizeContext(ctx, target.Name)
+		if err != nil {
+			t.Fatalf("parallel %s: %v", target.Name, err)
+		}
+		sr, err := serial.LocalizeContext(ctx, target.Name)
+		if err != nil {
+			t.Fatalf("serial %s: %v", target.Name, err)
+		}
+		sameResult(t, target.Name, pr, sr)
+	}
+}
+
+// TestParallelSerialDegradedParity: with landmark→target paths
+// blackholed, the parallel path must name the exact same failure set, in
+// the same (landmark) order, with the same reasons — the provenance
+// contract degraded-mode consumers and runbooks key on.
+func TestParallelSerialDegradedParity(t *testing.T) {
+	w := netsim.NewWorld(netsim.Config{Seed: 5})
+	p := probe.NewSimProber(w)
+	hosts := w.HostNodes()
+	target := hosts[0]
+	var lms []Landmark
+	for _, h := range hosts[1:] {
+		lms = append(lms, Landmark{Addr: h.Name, Name: h.Inst, Loc: h.Loc})
+	}
+	s, err := NewSurvey(p, lms, SurveyOpts{UseHeights: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Down a scattered, non-contiguous fifth of the landmark set so slot
+	// order and failure order can disagree if the fan-out got it wrong.
+	for i, h := range hosts[1:] {
+		if i%5 == 2 {
+			w.SetPairBlackhole(h.ID, target.ID, true)
+		}
+	}
+
+	parallel := NewLocalizer(p, s, Config{})
+	serial := NewLocalizer(p, s, Config{MeasureWorkers: -1})
+	ctx := context.Background()
+
+	pr, err := parallel.LocalizeContext(ctx, target.Name, WithExplain())
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	sr, err := serial.LocalizeContext(ctx, target.Name, WithExplain())
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	if !pr.Degraded || !sr.Degraded {
+		t.Fatalf("degraded flags: parallel=%v serial=%v, want both true", pr.Degraded, sr.Degraded)
+	}
+	if pr.Provenance == nil || sr.Provenance == nil {
+		t.Fatal("missing provenance")
+	}
+	if !reflect.DeepEqual(pr.Provenance.Failures, sr.Provenance.Failures) {
+		t.Errorf("failure lists diverge:\nparallel: %+v\nserial:   %+v",
+			pr.Provenance.Failures, sr.Provenance.Failures)
+	}
+	// sameResult's DeepEqual can't compare degraded RTT vectors — failed
+	// slots hold NaN, and NaN != NaN — so compare them element-wise with
+	// NaN slots matching, then the rest of the result.
+	if len(pr.RTTs) != len(sr.RTTs) {
+		t.Fatalf("RTT vector lengths: %d != %d", len(pr.RTTs), len(sr.RTTs))
+	}
+	for i := range pr.RTTs {
+		if pr.RTTs[i] != sr.RTTs[i] && !(math.IsNaN(pr.RTTs[i]) && math.IsNaN(sr.RTTs[i])) {
+			t.Errorf("RTT slot %d: parallel %v != serial %v", i, pr.RTTs[i], sr.RTTs[i])
+		}
+	}
+	pr.RTTs, sr.RTTs = nil, nil
+	sameResult(t, target.Name, pr, sr)
+}
+
+// TestSurveyWorkersParity: the O(k²) pairwise survey matrix and
+// everything fitted from it must not depend on the worker setting.
+func TestSurveyWorkersParity(t *testing.T) {
+	w := netsim.NewWorld(netsim.Config{Seed: 9})
+	p := probe.NewSimProber(w)
+	hosts := w.HostNodes()
+	var lms []Landmark
+	for _, h := range hosts[2:] {
+		lms = append(lms, Landmark{Addr: h.Name, Name: h.Inst, Loc: h.Loc})
+	}
+	par, err := NewSurvey(p, lms, SurveyOpts{UseHeights: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := NewSurvey(p, lms, SurveyOpts{UseHeights: true, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par.RTT, ser.RTT) {
+		t.Error("parallel survey RTT matrix differs from serialized build")
+	}
+	if !reflect.DeepEqual(par.Heights, ser.Heights) {
+		t.Error("solved heights differ between parallel and serialized builds")
+	}
+	if par.Kappa != ser.Kappa {
+		t.Errorf("kappa %v != %v", par.Kappa, ser.Kappa)
+	}
+}
+
+// slowProber stretches every ping so a cancellation lands mid-fan-out.
+type slowProber struct {
+	probe.Prober
+	delay time.Duration
+}
+
+func (p slowProber) Ping(src, dst string, n int) ([]float64, error) {
+	time.Sleep(p.delay)
+	return p.Prober.Ping(src, dst, n)
+}
+
+// TestLocalizeCancelMidFanout: a context cancelled while the landmark
+// fan-out is on the wire aborts the request with the context's error —
+// promptly, not after the full landmark walk.
+func TestLocalizeCancelMidFanout(t *testing.T) {
+	w := netsim.NewWorld(netsim.Config{Seed: 3})
+	raw := probe.NewSimProber(w)
+	hosts := w.HostNodes()
+	target := hosts[0]
+	var lms []Landmark
+	for _, h := range hosts[1:] {
+		lms = append(lms, Landmark{Addr: h.Name, Name: h.Inst, Loc: h.Loc})
+	}
+	s, err := NewSurvey(raw, lms, SurveyOpts{UseHeights: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := NewLocalizer(slowProber{Prober: raw, delay: 20 * time.Millisecond}, s, Config{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = loc.LocalizeContext(ctx, target.Name)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Serialized, the walk would take landmarks × 20 ms (≈ 1 s); the
+	// abort must only drain the trains already in flight.
+	if budget := 500 * time.Millisecond; elapsed > budget {
+		t.Errorf("cancelled localization took %v, want < %v", elapsed, budget)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"octant/internal/geo"
+	"octant/internal/measure"
 	"octant/internal/probe"
 	"octant/internal/undns"
 )
@@ -88,6 +89,25 @@ type Config struct {
 	// POP), and subtracting it would turn the router constraint into a
 	// tight pin at the wrong city.
 	MaxRouterHeightDeflationMs float64
+
+	// MeasureWorkers caps concurrent probes during measurement fan-out
+	// (0 = the scheduler default, 16). Negative serializes measurement
+	// entirely — the pre-scheduler loop, kept as the benchmark baseline
+	// and the differential-parity reference.
+	MeasureWorkers int
+	// MeasurePerLandmark caps concurrent probe trains issued from one
+	// landmark (0 = the scheduler default, 4), so target fan-out never
+	// hammers a single vantage point.
+	MeasurePerLandmark int
+	// MeasureMinInterval additionally spaces successive probe starts
+	// from one landmark (0 = no spacing).
+	MeasureMinInterval time.Duration
+	// RTTCacheTTL enables the scheduler's epoch-qualified min-RTT cache
+	// (and in-flight probe dedup) with this entry lifetime. 0 — the
+	// default — disables both: the scalar path stays allocation-lean and
+	// every request measures fresh. Serving deployments that absorb
+	// bursts of duplicate targets (octant-serve) turn it on.
+	RTTCacheTTL time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -160,6 +180,14 @@ type Localizer struct {
 	// Localize, LocalizeWithSecondary, and all batch workers — the same
 	// shallow-copy sharing discipline as masks.
 	pctx *ProjectionContext
+
+	// sched is the concurrent measurement scheduler every request through
+	// this Localizer fans its probes through — scalar and fused-batch
+	// alike, so per-landmark pacing budgets and the optional RTT cache
+	// are shared across concurrent targets. Nil when Cfg.MeasureWorkers
+	// is negative (serialized measurement) or the Localizer was built as
+	// a zero-value literal.
+	sched *measure.Scheduler
 }
 
 // NewLocalizer builds a Localizer with the given configuration.
@@ -171,6 +199,14 @@ func NewLocalizer(p probe.Prober, s *Survey, cfg Config) *Localizer {
 		Cfg:      cfg,
 		Resolver: undns.NewResolver(),
 		masks:    NewLandMaskCache(),
+	}
+	if cfg.MeasureWorkers >= 0 {
+		l.sched = measure.New(measure.Config{
+			Workers:     cfg.MeasureWorkers,
+			PerLandmark: cfg.MeasurePerLandmark,
+			MinInterval: cfg.MeasureMinInterval,
+			CacheTTL:    cfg.RTTCacheTTL,
+		})
 	}
 	if s != nil && s.N() > 0 {
 		l.pctx = NewProjectionContext(s)
@@ -194,6 +230,13 @@ func NewLocalizerReusing(p probe.Prober, s *Survey, cfg Config, prev *Localizer)
 		if prev.Resolver != nil {
 			l.Resolver = prev.Resolver
 		}
+		if prev.sched != nil && l.sched != nil {
+			// Carry the scheduler too: its per-landmark pacing budgets
+			// span epochs (the landmarks haven't changed) and its RTT
+			// cache is epoch-qualified, so stale generations can never
+			// be served — they just stop being looked up.
+			l.sched = prev.sched
+		}
 	}
 	return l
 }
@@ -201,6 +244,12 @@ func NewLocalizerReusing(p probe.Prober, s *Survey, cfg Config, prev *Localizer)
 // LandMasks returns the localizer's shared land-mask cache (nil for a
 // zero-value Localizer built without NewLocalizer).
 func (l *Localizer) LandMasks() *LandMaskCache { return l.masks }
+
+// MeasureScheduler returns the localizer's concurrent measurement
+// scheduler — nil when measurement is serialized (Cfg.MeasureWorkers <
+// 0) or the Localizer was built as a zero-value literal. Serving stacks
+// read its Stats for /v1/stats.
+func (l *Localizer) MeasureScheduler() *measure.Scheduler { return l.sched }
 
 // Result is one localization outcome.
 type Result struct {
@@ -296,6 +345,7 @@ func (l *Localizer) LocalizeWith(ctx context.Context, target string, o *Localize
 		PCtx:     l.projContext(),
 		Prober:   l.Prober,
 		Resolver: l.Resolver,
+		sched:    l.sched,
 	}
 	if o != nil {
 		req.Opts = *o
@@ -394,6 +444,9 @@ func (l *Localizer) localizeRequest(ctx context.Context, req *Request) (*Result,
 	if explain {
 		prov.SolveMs = float64(time.Since(t0)) / float64(time.Millisecond)
 		prov.TotalConstraints = len(constraints)
+		for i := range prov.Sources {
+			prov.MeasureMs += prov.Sources[i].MeasureMs
+		}
 	}
 	if len(req.Failures) > 0 {
 		// A degraded result must name its missing evidence even when the
@@ -564,8 +617,13 @@ func (l *Localizer) applySecondary(res *Result, req *Request) error {
 //
 // It also returns the traceroutes that failed, as skip-with-reason
 // entries for the RouterSource's report; a failure never aborts the
-// request.
-func routerConstraints(req *Request) ([]Constraint, []ProbeFailure) {
+// request. The traceroutes themselves fan out through the request's
+// measurement scheduler when one is attached — slot-indexed placement
+// restores rank order before any hop is processed, so the per-city
+// best-constraint map (and therefore the output) is identical to the
+// serialized walk. measureNs, filled only when timing is set, is the
+// wall time spent in traceroute measurement.
+func routerConstraints(ctx context.Context, req *Request, timing bool) (cons []Constraint, failed []ProbeFailure, measureNs int64) {
 	s := req.Survey
 	cfg := &req.Cfg
 	rtts := req.RTTs
@@ -605,10 +663,43 @@ func routerConstraints(req *Request) ([]Constraint, []ProbeFailure) {
 	if nTr > len(order) {
 		nTr = len(order)
 	}
-	var failed []ProbeFailure
+	// Measure first (concurrently when a scheduler is attached), process
+	// after: hop processing is pure computation over per-slot hop lists,
+	// so separating the phases changes wall-clock only.
+	var hopLists [][]probe.Hop
+	var terrs []error
+	if sched := req.sched; sched != nil && nTr > 1 {
+		srcs := make([]string, nTr)
+		for k := 0; k < nTr; k++ {
+			srcs[k] = s.Landmarks[order[k].idx].Addr
+		}
+		hopLists = make([][]probe.Hop, nTr)
+		terrs = make([]error, nTr)
+		var mt0 time.Time
+		if timing {
+			mt0 = time.Now()
+		}
+		sched.TracerouteInto(ctx, req.Prober, srcs, req.Target, hopLists, terrs)
+		if timing {
+			measureNs = int64(time.Since(mt0))
+		}
+	}
 	for k := 0; k < nTr; k++ {
 		lm := s.Landmarks[order[k].idx]
-		hops, err := req.Prober.Traceroute(lm.Addr, req.Target)
+		var hops []probe.Hop
+		var err error
+		if hopLists != nil {
+			hops, err = hopLists[k], terrs[k]
+		} else {
+			var t0 time.Time
+			if timing {
+				t0 = time.Now()
+			}
+			hops, err = req.Prober.Traceroute(lm.Addr, req.Target)
+			if timing {
+				measureNs += int64(time.Since(t0))
+			}
+		}
 		if err != nil {
 			failed = append(failed, ProbeFailure{Landmark: lm.Name, Reason: "traceroute: " + err.Error()})
 			continue
@@ -638,16 +729,15 @@ func routerConstraints(req *Request) ([]Constraint, []ProbeFailure) {
 		codes = append(codes, code)
 	}
 	sort.Strings(codes) // deterministic constraint order
-	var out []Constraint
 	for _, code := range codes {
 		rc := best[code]
 		w := LatencyWeight(rc.resid, cfg.WeightHalfLifeMs) * cfg.RouterWeightFactor
 		if cfg.Unweighted {
 			w = 1
 		}
-		out = append(out, req.disk(Positive, cf, geo.NewFrame(rc.loc.Loc), rc.maxKm, w, "router:"+code))
+		cons = append(cons, req.disk(Positive, cf, geo.NewFrame(rc.loc.Loc), rc.maxKm, w, "router:"+code))
 	}
-	return out, failed
+	return cons, failed, measureNs
 }
 
 // LocalizeWithSecondary runs a localization that additionally uses a

@@ -28,6 +28,10 @@ type ProjectionContext struct {
 	// Land holds the §2.5 landmass outlines projected into Proj's plane,
 	// built once and passed to every solve as SolverOpts.LandRegions.
 	Land []*geo.Region
+	// Addrs[i] is landmark i's probing address — the measurement
+	// scheduler's fan-out source list, materialized once per survey so
+	// the per-request path never rebuilds it.
+	Addrs []string
 
 	survey *Survey // identity guard for the Localizer's cache
 }
@@ -41,10 +45,12 @@ func NewProjectionContext(s *Survey) *ProjectionContext {
 		Center:         cf,
 		LandmarkFrames: make([]geo.Frame, s.N()),
 		Land:           LandRegions(pr),
+		Addrs:          make([]string, s.N()),
 		survey:         s,
 	}
 	for i, lm := range s.Landmarks {
 		ctx.LandmarkFrames[i] = geo.NewFrame(lm.Loc)
+		ctx.Addrs[i] = lm.Addr
 	}
 	return ctx
 }

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"octant/internal/calib"
 	"octant/internal/geo"
 	"octant/internal/height"
+	"octant/internal/measure"
 	"octant/internal/probe"
 )
 
@@ -69,6 +71,12 @@ type SurveyOpts struct {
 	Probes           int     // ping samples per pair (default 10, as in §3)
 	CutoffPercentile float64 // calibration cutoff ρ percentile (default 90)
 	UseHeights       bool    // adjust latencies by solved heights (§2.2)
+	// Workers bounds the concurrent pairwise pings of the O(k²) survey
+	// matrix (0 = the scheduler default, 16; negative = serialized, the
+	// pre-scheduler loop). Pair (i,j) is always measured exactly once in
+	// either mode, so a deterministic prober yields a bit-identical
+	// matrix regardless of the setting.
+	Workers int
 }
 
 func (o *SurveyOpts) fillDefaults() {
@@ -98,19 +106,8 @@ func NewSurvey(p probe.Prober, landmarks []Landmark, opts SurveyOpts) (*Survey, 
 	for i := range s.RTT {
 		s.RTT[i] = make([]float64, n)
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			samples, err := p.Ping(landmarks[i].Addr, landmarks[j].Addr, opts.Probes)
-			if err != nil {
-				return nil, fmt.Errorf("core: survey ping %s→%s: %w",
-					landmarks[i].Name, landmarks[j].Name, err)
-			}
-			min, err := probe.MinRTT(samples)
-			if err != nil {
-				return nil, err
-			}
-			s.RTT[i][j], s.RTT[j][i] = min, min
-		}
+	if err := surveyPairs(p, landmarks, opts, s.RTT); err != nil {
+		return nil, err
 	}
 
 	// Heights from pairwise queuing-delay residuals (§2.2), after
@@ -168,6 +165,56 @@ func NewSurvey(p probe.Prober, landmarks []Landmark, opts SurveyOpts) (*Survey, 
 	}
 	s.Global = g
 	return s, nil
+}
+
+// surveyPairs measures every landmark pair once and fills the symmetric
+// RTT matrix. With a non-negative worker budget the O(k²) pings fan out
+// through an ephemeral measurement scheduler (no cache — a survey is the
+// baseline other measurements are compared against, so every pair is
+// probed fresh); a negative budget keeps the serialized walk. Either
+// way the first failing pair in (i, j) iteration order aborts with the
+// same error the sequential loop raised: the scheduler dispatches slots
+// in order and reports the lowest errored one.
+func surveyPairs(p probe.Prober, landmarks []Landmark, opts SurveyOpts, rtt [][]float64) error {
+	n := len(landmarks)
+	type pair struct{ i, j int }
+	pairs := make([]pair, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	ping := func(i, j int) error {
+		samples, err := p.Ping(landmarks[i].Addr, landmarks[j].Addr, opts.Probes)
+		if err != nil {
+			return fmt.Errorf("core: survey ping %s→%s: %w",
+				landmarks[i].Name, landmarks[j].Name, err)
+		}
+		min, err := probe.MinRTT(samples)
+		if err != nil {
+			return err
+		}
+		// Distinct pairs write distinct (i,j)/(j,i) cells, so concurrent
+		// slots never contend.
+		rtt[i][j], rtt[j][i] = min, min
+		return nil
+	}
+	if opts.Workers < 0 {
+		for _, pr := range pairs {
+			if err := ping(pr.i, pr.j); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sched := measure.New(measure.Config{Workers: opts.Workers})
+	_, err := sched.Run(context.Background(), len(pairs), func(slot int) error {
+		pr := pairs[slot]
+		return sched.Paced(context.Background(), landmarks[pr.i].Addr, func() error {
+			return ping(pr.i, pr.j)
+		})
+	})
+	return err
 }
 
 // Subset returns a survey restricted to the landmark indices in idx,

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"octant/internal/core"
+	"octant/internal/measure"
 	"octant/internal/probe"
 )
 
@@ -160,6 +161,13 @@ type Manager struct {
 	cfg    core.Config
 	opts   Options
 
+	// sched fans Refresh's pairwise reprobes out concurrently. It is the
+	// manager's own uncached scheduler — never the serving Localizer's:
+	// drift detection compares fresh measurements against the previous
+	// epoch, and a cached RTT would silently hide drift. Nil when the
+	// config asks for serialized measurement (MeasureWorkers < 0).
+	sched *measure.Scheduler
+
 	cur atomic.Pointer[Epoch]
 	// mu serializes writers (Refresh, snapshot autosave); readers don't
 	// take it.
@@ -188,6 +196,13 @@ func New(p probe.Prober, survey *core.Survey, cfg core.Config, opts Options) *Ma
 	}
 	opts.fillDefaults()
 	m := &Manager{prober: p, cfg: cfg, opts: opts}
+	if cfg.MeasureWorkers >= 0 {
+		m.sched = measure.New(measure.Config{
+			Workers:     cfg.MeasureWorkers,
+			PerLandmark: cfg.MeasurePerLandmark,
+			MinInterval: cfg.MeasureMinInterval,
+		})
+	}
 	e := &Epoch{
 		Survey:    survey,
 		Localizer: core.NewLocalizer(p, survey, cfg),
@@ -258,27 +273,58 @@ func (m *Manager) Refresh(ctx context.Context, scope []int) (*RefreshReport, err
 	for i := range newRTT {
 		newRTT[i] = append([]float64(nil), s.RTT[i]...)
 	}
-	dirty := make([]bool, n)
-	probed := 0
+
+	// Collect the in-scope pairs, then remeasure them — concurrently
+	// through the manager's scheduler when it has one, serially
+	// otherwise. Fresh min-RTTs land in a flat per-pair slice; the drift
+	// comparison below runs single-threaded either way, so dirty marking
+	// is deterministic and race-free.
+	type pair struct{ i, j int }
+	var pairs []pair
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if !inScope[i] && !inScope[j] {
 				continue
 			}
-			samples, err := p.Ping(s.Landmarks[i].Addr, s.Landmarks[j].Addr, m.opts.Probes)
-			if err != nil {
-				return nil, fmt.Errorf("lifecycle: refresh ping %s→%s: %w",
-					s.Landmarks[i].Name, s.Landmarks[j].Name, err)
-			}
-			min, err := probe.MinRTT(samples)
-			if err != nil {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	mins := make([]float64, len(pairs))
+	reprobe := func(slot int) error {
+		pr := pairs[slot]
+		samples, err := p.Ping(s.Landmarks[pr.i].Addr, s.Landmarks[pr.j].Addr, m.opts.Probes)
+		if err != nil {
+			return fmt.Errorf("lifecycle: refresh ping %s→%s: %w",
+				s.Landmarks[pr.i].Name, s.Landmarks[pr.j].Name, err)
+		}
+		min, err := probe.MinRTT(samples)
+		if err != nil {
+			return err
+		}
+		mins[slot] = min
+		return nil
+	}
+	if m.sched != nil {
+		if _, err := m.sched.Run(ctx, len(pairs), func(slot int) error {
+			return m.sched.Paced(ctx, s.Landmarks[pairs[slot].i].Addr, func() error {
+				return reprobe(slot)
+			})
+		}); err != nil {
+			return nil, err
+		}
+	} else {
+		for slot := range pairs {
+			if err := reprobe(slot); err != nil {
 				return nil, err
 			}
-			probed++
-			if math.Abs(min-s.RTT[i][j]) > tol {
-				newRTT[i][j], newRTT[j][i] = min, min
-				dirty[i], dirty[j] = true, true
-			}
+		}
+	}
+	dirty := make([]bool, n)
+	probed := len(pairs)
+	for slot, pr := range pairs {
+		if math.Abs(mins[slot]-s.RTT[pr.i][pr.j]) > tol {
+			newRTT[pr.i][pr.j], newRTT[pr.j][pr.i] = mins[slot], mins[slot]
+			dirty[pr.i], dirty[pr.j] = true, true
 		}
 	}
 	m.refreshes.Add(1)

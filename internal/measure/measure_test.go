@@ -1,0 +1,525 @@
+package measure
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"octant/internal/geo"
+	"octant/internal/probe"
+)
+
+// fakeProber is a controllable Prober: deterministic RTTs derived from
+// the (src, dst) pair, optional per-call delay, optional per-src
+// failures, and concurrency accounting (current and high-water in-flight
+// counts, globally and per source).
+type fakeProber struct {
+	delay time.Duration
+
+	mu      sync.Mutex
+	calls   int
+	bySrc   map[string]int
+	inSrc   map[string]int
+	maxSrc  map[string]int
+	in      int
+	max     int
+	failSrc map[string]error
+	starts  map[string][]time.Time
+}
+
+func newFakeProber(delay time.Duration) *fakeProber {
+	return &fakeProber{
+		delay:   delay,
+		bySrc:   make(map[string]int),
+		inSrc:   make(map[string]int),
+		maxSrc:  make(map[string]int),
+		failSrc: make(map[string]error),
+		starts:  make(map[string][]time.Time),
+	}
+}
+
+func (f *fakeProber) rtt(src, dst string) float64 {
+	return float64(len(src)*7+len(dst)*3) / 10
+}
+
+func (f *fakeProber) Ping(src, dst string, n int) ([]float64, error) {
+	f.mu.Lock()
+	f.calls++
+	f.bySrc[src]++
+	f.in++
+	f.inSrc[src]++
+	if f.in > f.max {
+		f.max = f.in
+	}
+	if f.inSrc[src] > f.maxSrc[src] {
+		f.maxSrc[src] = f.inSrc[src]
+	}
+	f.starts[src] = append(f.starts[src], time.Now())
+	failErr := f.failSrc[src]
+	f.mu.Unlock()
+
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+
+	f.mu.Lock()
+	f.in--
+	f.inSrc[src]--
+	f.mu.Unlock()
+
+	if failErr != nil {
+		return nil, failErr
+	}
+	base := f.rtt(src, dst)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = base + float64(i)
+	}
+	return out, nil
+}
+
+func (f *fakeProber) Traceroute(src, dst string) ([]probe.Hop, error) {
+	f.mu.Lock()
+	f.calls++
+	failErr := f.failSrc[src]
+	f.mu.Unlock()
+	if failErr != nil {
+		return nil, failErr
+	}
+	return []probe.Hop{{Addr: src, RTTMs: 0}, {Addr: dst, RTTMs: f.rtt(src, dst)}}, nil
+}
+
+func (f *fakeProber) ReverseDNS(addr string) string { return "" }
+
+func (f *fakeProber) Whois(addr string) (geo.Point, string, bool) {
+	return geo.Point{}, "", false
+}
+
+func (f *fakeProber) totalCalls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+func srcNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("lm-%02d", i)
+	}
+	return out
+}
+
+// TestPingMinIntoMatchesSequential pins the scheduler's core contract:
+// slot i holds exactly MinRTT(Ping(srcs[i], dst, n)) — same values, same
+// per-slot error identities — regardless of completion order.
+func TestPingMinIntoMatchesSequential(t *testing.T) {
+	p := newFakeProber(0)
+	boom := errors.New("vantage down")
+	p.failSrc["lm-03"] = boom
+	srcs := srcNames(12)
+	s := New(Config{Workers: 5})
+
+	out := make([]float64, len(srcs))
+	errs := make([]error, len(srcs))
+	s.PingMinInto(context.Background(), p, srcs, "target", 10, 0, out, errs)
+
+	for i, src := range srcs {
+		if src == "lm-03" {
+			if !errors.Is(errs[i], boom) {
+				t.Errorf("slot %d: err = %v, want %v", i, errs[i], boom)
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Errorf("slot %d: unexpected error %v", i, errs[i])
+			continue
+		}
+		want := p.rtt(src, "target")
+		if math.Abs(out[i]-want) > 1e-12 {
+			t.Errorf("slot %d: min = %v, want %v", i, out[i], want)
+		}
+	}
+	st := s.Stats()
+	if st.Pings != uint64(len(srcs)) || st.PingFailures != 1 {
+		t.Errorf("stats: pings=%d failures=%d, want %d/1", st.Pings, st.PingFailures, len(srcs))
+	}
+}
+
+// TestConcurrencyCaps drives many concurrent rounds over a few sources
+// and asserts neither the global worker cap nor the per-landmark token
+// bucket is ever exceeded.
+func TestConcurrencyCaps(t *testing.T) {
+	p := newFakeProber(2 * time.Millisecond)
+	srcs := srcNames(4)
+	s := New(Config{Workers: 6, PerLandmark: 2})
+
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]float64, len(srcs))
+			errs := make([]error, len(srcs))
+			s.PingMinInto(context.Background(), p, srcs, "target", 4, 0, out, errs)
+		}()
+	}
+	wg.Wait()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.max > 6 {
+		t.Errorf("observed %d concurrent probes, global cap is 6", p.max)
+	}
+	for src, m := range p.maxSrc {
+		if m > 2 {
+			t.Errorf("source %s saw %d concurrent trains, per-landmark cap is 2", src, m)
+		}
+	}
+}
+
+// TestMinIntervalPacing asserts the bucket pacer spaces successive train
+// starts from one source by at least MinInterval.
+func TestMinIntervalPacing(t *testing.T) {
+	p := newFakeProber(0)
+	const interval = 5 * time.Millisecond
+	s := New(Config{Workers: 8, PerLandmark: 4, MinInterval: interval})
+
+	const rounds = 4
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]float64, 1)
+			errs := make([]error, 1)
+			s.PingMinInto(context.Background(), p, []string{"lm-00"}, "target", 4, 0, out, errs)
+		}()
+	}
+	wg.Wait()
+
+	p.mu.Lock()
+	starts := append([]time.Time(nil), p.starts["lm-00"]...)
+	p.mu.Unlock()
+	if len(starts) != rounds {
+		t.Fatalf("got %d trains, want %d", len(starts), rounds)
+	}
+	var first, last time.Time
+	for _, at := range starts {
+		if first.IsZero() || at.Before(first) {
+			first = at
+		}
+		if at.After(last) {
+			last = at
+		}
+	}
+	// All four trains share one source, so the pacer must stretch the
+	// burst over at least (rounds-1) intervals. Sleep-based timing only
+	// ever overshoots, so the lower bound is safe to assert.
+	if spread := last.Sub(first); spread < (rounds-1)*interval {
+		t.Errorf("4 paced trains started within %v, want ≥ %v", spread, (rounds-1)*interval)
+	}
+}
+
+// TestCacheTTLAndEpoch covers the reuse-before-reprobe rules: a warm key
+// is served from cache, a different survey epoch misses, and an expired
+// entry is re-probed.
+func TestCacheTTLAndEpoch(t *testing.T) {
+	p := newFakeProber(0)
+	srcs := srcNames(6)
+	const ttl = 50 * time.Millisecond
+	s := New(Config{CacheTTL: ttl})
+	ctx := context.Background()
+	out := make([]float64, len(srcs))
+	errs := make([]error, len(srcs))
+
+	s.PingMinInto(ctx, p, srcs, "target", 10, 7, out, errs)
+	if got := p.totalCalls(); got != len(srcs) {
+		t.Fatalf("cold round issued %d probes, want %d", got, len(srcs))
+	}
+
+	warm := make([]float64, len(srcs))
+	s.PingMinInto(ctx, p, srcs, "target", 10, 7, warm, errs)
+	if got := p.totalCalls(); got != len(srcs) {
+		t.Errorf("warm round issued %d extra probes, want 0 (cache hit)", got-len(srcs))
+	}
+	for i := range warm {
+		if warm[i] != out[i] {
+			t.Errorf("slot %d: cached %v != measured %v", i, warm[i], out[i])
+		}
+	}
+	if st := s.Stats(); st.CacheHits != uint64(len(srcs)) || st.CacheEntries != len(srcs) {
+		t.Errorf("stats: hits=%d entries=%d, want %d/%d", st.CacheHits, st.CacheEntries, len(srcs), len(srcs))
+	}
+
+	// A new survey generation must never see the old epoch's minima.
+	s.PingMinInto(ctx, p, srcs, "target", 10, 8, warm, errs)
+	if got := p.totalCalls(); got != 2*len(srcs) {
+		t.Errorf("epoch-8 round reused epoch-7 entries (%d probes total, want %d)", got, 2*len(srcs))
+	}
+
+	time.Sleep(ttl + 20*time.Millisecond)
+	s.PingMinInto(ctx, p, srcs, "target", 10, 8, warm, errs)
+	if got := p.totalCalls(); got != 3*len(srcs) {
+		t.Errorf("expired entries were served (%d probes total, want %d)", got, 3*len(srcs))
+	}
+}
+
+// TestSingleflightDedup runs two concurrent rounds over the same keys
+// against a slow prober: the second must piggyback on the first's
+// in-flight trains instead of probing itself.
+func TestSingleflightDedup(t *testing.T) {
+	p := newFakeProber(20 * time.Millisecond)
+	srcs := srcNames(4)
+	s := New(Config{CacheTTL: time.Second})
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]float64, len(srcs))
+			errs := make([]error, len(srcs))
+			s.PingMinInto(ctx, p, srcs, "target", 10, 0, out, errs)
+			for i, err := range errs {
+				if err != nil {
+					t.Errorf("slot %d: %v", i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := p.totalCalls(); got != len(srcs) {
+		t.Errorf("two identical rounds issued %d probes, want %d (singleflight)", got, len(srcs))
+	}
+	if st := s.Stats(); st.Deduped != uint64(len(srcs)) {
+		t.Errorf("deduped = %d, want %d", st.Deduped, len(srcs))
+	}
+}
+
+// TestCancelMidFanout is the satellite-(c) contract: a context cancelled
+// mid-round returns promptly, leaves no goroutines behind, and commits
+// nothing to the RTT cache.
+func TestCancelMidFanout(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	p := newFakeProber(30 * time.Millisecond)
+	srcs := srcNames(40)
+	s := New(Config{Workers: 4, CacheTTL: time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	out := make([]float64, len(srcs))
+	errs := make([]error, len(srcs))
+	start := time.Now()
+	s.PingMinInto(ctx, p, srcs, "target", 10, 0, out, errs)
+	elapsed := time.Since(start)
+
+	// 40 slots / 4 workers would take ≥ 300 ms uncancelled; the abort
+	// must only wait out the trains already on the wire.
+	if elapsed > 200*time.Millisecond {
+		t.Errorf("cancelled round took %v, want prompt abort", elapsed)
+	}
+	var cancelled int
+	for _, err := range errs {
+		if errors.Is(err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no slot reported context.Canceled")
+	}
+	st := s.Stats()
+	if st.CacheEntries != 0 {
+		t.Errorf("cancelled round committed %d cache entries, want 0 (staged commit)", st.CacheEntries)
+	}
+	if st.CancelledRounds != 1 {
+		t.Errorf("cancelled rounds = %d, want 1", st.CancelledRounds)
+	}
+
+	// A clean retry against the same scheduler must work and fill every
+	// slot — no poisoned singleflight calls, no stale partial state.
+	// (Fresh errs: slots only write their slot on failure, like the
+	// sequential loop's append-on-error.)
+	p2 := newFakeProber(0)
+	errs = make([]error, len(srcs))
+	s.PingMinInto(context.Background(), p2, srcs, "target", 10, 0, out, errs)
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("post-cancel slot %d: %v", i, err)
+		}
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after settle window", before, runtime.NumGoroutine())
+}
+
+// TestRunLowestErroredSlot pins Run's error selection to the sequential
+// loop's semantics: when several slots fail, the reported one is the
+// lowest — the pair a serialized walk would have aborted on — even if a
+// higher slot failed first in wall-clock order.
+func TestRunLowestErroredSlot(t *testing.T) {
+	s := New(Config{Workers: 16})
+	errLow := errors.New("low slot")
+	errHigh := errors.New("high slot")
+	slot, err := s.Run(context.Background(), 10, func(i int) error {
+		switch i {
+		case 3:
+			time.Sleep(20 * time.Millisecond) // fails last in wall-clock order
+			return errLow
+		case 7:
+			return errHigh // fails first
+		}
+		return nil
+	})
+	if slot != 3 || !errors.Is(err, errLow) {
+		t.Errorf("Run = (%d, %v), want (3, %v)", slot, err, errLow)
+	}
+
+	slot, err = s.Run(context.Background(), 10, func(int) error { return nil })
+	if slot != -1 || err != nil {
+		t.Errorf("clean Run = (%d, %v), want (-1, nil)", slot, err)
+	}
+}
+
+// TestTracerouteInto checks slot placement and per-slot failures for the
+// path fan-out.
+func TestTracerouteInto(t *testing.T) {
+	p := newFakeProber(0)
+	boom := errors.New("no route")
+	p.failSrc["lm-01"] = boom
+	srcs := srcNames(5)
+	s := New(Config{})
+
+	hops := make([][]probe.Hop, len(srcs))
+	errs := make([]error, len(srcs))
+	s.TracerouteInto(context.Background(), p, srcs, "target", hops, errs)
+	for i, src := range srcs {
+		if src == "lm-01" {
+			if !errors.Is(errs[i], boom) {
+				t.Errorf("slot %d: err = %v, want %v", i, errs[i], boom)
+			}
+			continue
+		}
+		if errs[i] != nil || len(hops[i]) != 2 || hops[i][0].Addr != src {
+			t.Errorf("slot %d: hops = %v, err = %v", i, hops[i], errs[i])
+		}
+	}
+	// Traceroutes counts issued probes (failures included), mirroring
+	// the Pings counter's semantics.
+	if st := s.Stats(); st.Traceroutes != 5 || st.TracerouteFailures != 1 {
+		t.Errorf("stats: traceroutes=%d failures=%d, want 5/1", st.Traceroutes, st.TracerouteFailures)
+	}
+}
+
+// TestCancelledLeaderDoesNotPoisonFollowers: a follower whose leader was
+// cancelled — but whose own context is alive — must re-probe instead of
+// inheriting the leader's context error.
+func TestCancelledLeaderDoesNotPoisonFollowers(t *testing.T) {
+	p := newFakeProber(30 * time.Millisecond)
+	srcs := srcNames(1)
+	s := New(Config{CacheTTL: time.Second})
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var followerErr error
+	var followerMin float64
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out := make([]float64, 1)
+		errs := make([]error, 1)
+		s.PingMinInto(leaderCtx, p, srcs, "target", 10, 0, out, errs)
+	}()
+	time.Sleep(5 * time.Millisecond) // leader is mid-train
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out := make([]float64, 1)
+		errs := make([]error, 1)
+		s.PingMinInto(context.Background(), p, srcs, "target", 10, 0, out, errs)
+		followerMin, followerErr = out[0], errs[0]
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancelLeader()
+	wg.Wait()
+
+	// The leader finishes its train regardless (Ping is not
+	// interruptible), so depending on timing the follower either shares
+	// the completed train or re-probes — both must succeed.
+	if followerErr != nil {
+		t.Fatalf("follower err = %v, want success after leader cancel", followerErr)
+	}
+	if want := p.rtt("lm-00", "target"); followerMin != want {
+		t.Errorf("follower min = %v, want %v", followerMin, want)
+	}
+}
+
+// TestSchedulerRace hammers one scheduler from every entry point at once
+// (meaningful under -race): cached ping rounds, traceroute rounds,
+// generic Run jobs, Stats reads, and a cancelling client.
+func TestSchedulerRace(t *testing.T) {
+	p := newFakeProber(time.Millisecond)
+	srcs := srcNames(8)
+	s := New(Config{Workers: 8, PerLandmark: 2, CacheTTL: 20 * time.Millisecond})
+	var wg sync.WaitGroup
+	var epoch atomic.Uint64
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				out := make([]float64, len(srcs))
+				errs := make([]error, len(srcs))
+				ctx := context.Background()
+				if w == 3 && i%2 == 0 {
+					c, cancel := context.WithTimeout(ctx, 3*time.Millisecond)
+					defer cancel()
+					ctx = c
+				}
+				s.PingMinInto(ctx, p, srcs, fmt.Sprintf("t%d", i%3), 4, epoch.Load(), out, errs)
+				if i%4 == 0 {
+					epoch.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			hops := make([][]probe.Hop, len(srcs))
+			errs := make([]error, len(srcs))
+			s.TracerouteInto(context.Background(), p, srcs, "t0", hops, errs)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			_, _ = s.Run(context.Background(), 6, func(slot int) error {
+				return s.Paced(context.Background(), srcs[slot%len(srcs)], func() error { return nil })
+			})
+			_ = s.Stats()
+		}
+	}()
+	wg.Wait()
+}

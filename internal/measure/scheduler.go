@@ -1,0 +1,492 @@
+// Package measure is the concurrent measurement scheduler: it fans
+// probe traffic (pings, traceroutes, pairwise survey matrices) out
+// through a bounded worker pool while keeping the *results* shaped
+// exactly like the sequential loops it replaces.
+//
+// The solver hot path is sub-millisecond, so end-to-end localization
+// latency is measurement wall-clock: one serialized ping train per
+// landmark, one traceroute per selected landmark, O(k²) pings per survey
+// build. The scheduler overlaps those probes under three rules:
+//
+//   - Bounded fan-out. A global in-flight cap (Config.Workers) bounds
+//     concurrent probes across every round sharing the scheduler, and a
+//     per-landmark token bucket (Config.PerLandmark concurrent trains,
+//     optionally spaced Config.MinInterval apart) keeps parallelism from
+//     hammering any single vantage point — the property a real
+//     deployment needs so 16-way target fan-out never looks like an
+//     attack to one landmark's rate limiter.
+//
+//   - Slot-indexed placement. Every fan-out writes result i into the
+//     caller's slot i, so downstream consumers see landmark order —
+//     failure lists, provenance, and NaN degraded slots are bit-identical
+//     to the sequential path regardless of completion order. Error
+//     selection follows the same rule: the lowest errored slot is the
+//     round's error, which is exactly the "first error in loop order"
+//     the sequential code reported (slots are dispatched in order, so
+//     every slot below a failed one was dispatched before it).
+//
+//   - Reuse before re-probe. An optional TTL'd cache keyed by
+//     (src, dst, probe count, survey epoch) lets fused batches and
+//     back-to-back requests reuse fresh min-RTTs, and in-flight
+//     singleflight dedup lets concurrent requests for the same (src,
+//     dst) share one train. Cache commits are staged per round and
+//     applied only when the round finishes un-cancelled, so a cancelled
+//     fan-out leaves no partial entries behind. Both are off unless
+//     Config.CacheTTL is set: the default scalar path must not pay their
+//     allocations, and survey refresh must never see a cached value
+//     where drift detection expects a fresh measurement.
+package measure
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"octant/internal/probe"
+)
+
+// Config shapes a Scheduler. The zero value means "defaults": 16
+// concurrent probes, 4 per landmark, no pacing interval, no cache.
+type Config struct {
+	// Workers caps concurrent probes across all rounds sharing the
+	// scheduler (default 16).
+	Workers int
+	// PerLandmark caps concurrent probe trains issued from one source
+	// landmark (default 4).
+	PerLandmark int
+	// MinInterval additionally spaces successive probe starts from one
+	// source landmark (0 = no spacing, the buckets act as pure
+	// concurrency limits).
+	MinInterval time.Duration
+	// CacheTTL enables the epoch-qualified min-RTT cache (and in-flight
+	// singleflight dedup) with this entry lifetime. 0 disables both.
+	CacheTTL time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers == 0 {
+		c.Workers = 16
+	}
+	if c.PerLandmark == 0 {
+		c.PerLandmark = 4
+	}
+}
+
+// Scheduler is a concurrent probe scheduler. One Scheduler is shared by
+// everything measuring against one survey generation chain — the scalar
+// localization path, every fused-batch worker, and (via its own
+// uncached instance) the lifecycle refresher — so its buckets express a
+// real per-landmark budget, not a per-request one. All methods are safe
+// for concurrent use.
+type Scheduler struct {
+	cfg Config
+
+	global chan struct{} // global in-flight probe cap
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+
+	cache  *rttCache // nil when CacheTTL == 0
+	flight *flightGroup
+
+	pings          atomic.Uint64
+	pingFailures   atomic.Uint64
+	traceroutes    atomic.Uint64
+	traceFailures  atomic.Uint64
+	cacheHits      atomic.Uint64
+	cacheMisses    atomic.Uint64
+	deduped        atomic.Uint64
+	rounds         atomic.Uint64
+	cancelledRound atomic.Uint64
+}
+
+// New builds a Scheduler.
+func New(cfg Config) *Scheduler {
+	cfg.fillDefaults()
+	s := &Scheduler{
+		cfg:     cfg,
+		global:  make(chan struct{}, cfg.Workers),
+		buckets: make(map[string]*bucket),
+	}
+	if cfg.CacheTTL > 0 {
+		s.cache = newRTTCache(cfg.CacheTTL)
+		s.flight = newFlightGroup()
+	}
+	return s
+}
+
+// Stats is a point-in-time snapshot of scheduler activity, shaped for
+// the octant-serve /v1/stats "measure" section.
+type Stats struct {
+	// Workers and PerLandmark echo the configured caps.
+	Workers     int `json:"workers"`
+	PerLandmark int `json:"per_landmark"`
+	// Pings counts probe trains actually issued (cache hits and deduped
+	// followers excluded); PingFailures the subset that errored.
+	Pings        uint64 `json:"pings"`
+	PingFailures uint64 `json:"ping_failures"`
+	// Traceroutes / TracerouteFailures mirror Pings for path probes.
+	Traceroutes        uint64 `json:"traceroutes"`
+	TracerouteFailures uint64 `json:"traceroute_failures"`
+	// CacheHits / CacheMisses count RTT-cache lookups (both 0 when the
+	// cache is disabled); CacheEntries is current occupancy.
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	CacheEntries int    `json:"cache_entries"`
+	// Deduped counts probes that piggybacked on an identical in-flight
+	// (src, dst) train instead of probing themselves.
+	Deduped uint64 `json:"deduped"`
+	// Rounds counts fan-out rounds; CancelledRounds the subset whose
+	// context expired mid-round (their staged cache entries were
+	// discarded).
+	Rounds          uint64 `json:"rounds"`
+	CancelledRounds uint64 `json:"cancelled_rounds"`
+}
+
+// Stats returns a snapshot of the scheduler's counters.
+func (s *Scheduler) Stats() Stats {
+	st := Stats{
+		Workers:            s.cfg.Workers,
+		PerLandmark:        s.cfg.PerLandmark,
+		Pings:              s.pings.Load(),
+		PingFailures:       s.pingFailures.Load(),
+		Traceroutes:        s.traceroutes.Load(),
+		TracerouteFailures: s.traceFailures.Load(),
+		CacheHits:          s.cacheHits.Load(),
+		CacheMisses:        s.cacheMisses.Load(),
+		Deduped:            s.deduped.Load(),
+		Rounds:             s.rounds.Load(),
+		CancelledRounds:    s.cancelledRound.Load(),
+	}
+	if s.cache != nil {
+		st.CacheEntries = s.cache.len()
+	}
+	return st
+}
+
+// bucket is one landmark's token bucket: a semaphore bounding concurrent
+// trains plus, when MinInterval is set, a pacer spacing their starts.
+type bucket struct {
+	sem  chan struct{}
+	mu   sync.Mutex
+	next time.Time // earliest next start (MinInterval mode)
+}
+
+func (s *Scheduler) bucket(src string) *bucket {
+	s.mu.Lock()
+	b := s.buckets[src]
+	if b == nil {
+		b = &bucket{sem: make(chan struct{}, s.cfg.PerLandmark)}
+		s.buckets[src] = b
+	}
+	s.mu.Unlock()
+	return b
+}
+
+// acquire takes one probe slot for src: per-landmark token first, then
+// the global cap. Only the acquisition order matters for liveness —
+// global-slot holders are always probing, never waiting on a landmark
+// token, so the two semaphores cannot deadlock.
+func (s *Scheduler) acquire(ctx context.Context, src string) (*bucket, error) {
+	b := s.bucket(src)
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case b.sem <- struct{}{}:
+	case <-done:
+		return nil, ctx.Err()
+	}
+	if s.cfg.MinInterval > 0 {
+		b.mu.Lock()
+		now := time.Now()
+		at := b.next
+		if at.Before(now) {
+			at = now
+		}
+		b.next = at.Add(s.cfg.MinInterval)
+		b.mu.Unlock()
+		if d := time.Until(at); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-done:
+				t.Stop()
+				<-b.sem
+				return nil, ctx.Err()
+			}
+		}
+	}
+	select {
+	case s.global <- struct{}{}:
+	case <-done:
+		<-b.sem
+		return nil, ctx.Err()
+	}
+	return b, nil
+}
+
+func (s *Scheduler) release(b *bucket) {
+	<-s.global
+	<-b.sem
+}
+
+// fan is one fan-out round: slots dispatched in order off an atomic
+// counter to min(Workers, n) goroutines. Dispatch-in-order is what makes
+// lowest-errored-slot equal the sequential loop's first error.
+type fan struct {
+	s    *Scheduler
+	ctx  context.Context
+	n    int
+	job  func(slot int) error
+	errs []error
+	// stopOnErr aborts dispatch after the first error (survey semantics:
+	// the sequential loop returned at its first failed pair). Without it
+	// every slot settles (localization semantics: failures degrade, they
+	// don't abort).
+	stopOnErr bool
+
+	next    atomic.Int64
+	aborted atomic.Bool
+	wg      sync.WaitGroup
+}
+
+func (f *fan) work() {
+	defer f.wg.Done()
+	for {
+		slot := int(f.next.Add(1)) - 1
+		if slot >= f.n {
+			return
+		}
+		if f.stopOnErr && f.aborted.Load() {
+			return
+		}
+		if err := f.job(slot); err != nil {
+			f.errs[slot] = err
+			if f.stopOnErr {
+				f.aborted.Store(true)
+			}
+		}
+	}
+}
+
+// run executes the round and blocks until every dispatched slot settled
+// — cancellation makes jobs return fast, it never orphans a goroutine.
+func (s *Scheduler) run(f *fan) {
+	s.rounds.Add(1)
+	workers := s.cfg.Workers
+	if workers > f.n {
+		workers = f.n
+	}
+	f.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go f.work()
+	}
+	f.wg.Wait()
+	if f.ctx != nil && f.ctx.Err() != nil {
+		s.cancelledRound.Add(1)
+	}
+}
+
+// PingMinInto fans out Ping(srcs[i], dst, n) for every i and writes the
+// min-filtered RTT into out[i]; errs[i] records slot i's failure (probe
+// error or min-filter error), nil on success. Slots settle independently
+// — a failed landmark never aborts the others — and all slots have
+// settled when the call returns. epoch qualifies cache entries so a
+// survey swap never serves a stale generation's measurement.
+//
+// out and errs must have len(srcs). The prober p is called as-is, so
+// retry wrappers (probe.WithRetry) and context binding compose under the
+// scheduler unchanged.
+func (s *Scheduler) PingMinInto(ctx context.Context, p probe.Prober, srcs []string, dst string, n int, epoch uint64, out []float64, errs []error) {
+	var st *stagedEntries
+	if s.cache != nil {
+		st = newStagedEntries(len(srcs))
+	}
+	f := &fan{
+		s:   s,
+		ctx: ctx,
+		n:   len(srcs),
+		job: func(i int) error {
+			min, err := s.pingMinSlot(ctx, p, srcs[i], dst, n, epoch, st)
+			if err != nil {
+				return err
+			}
+			out[i] = min
+			return nil
+		},
+		errs: errs,
+	}
+	s.run(f)
+	if st != nil && (ctx == nil || ctx.Err() == nil) {
+		s.cache.commit(st)
+	}
+}
+
+// pingMinSlot resolves one slot: cache, then singleflight, then a paced
+// probe train.
+func (s *Scheduler) pingMinSlot(ctx context.Context, p probe.Prober, src, dst string, n int, epoch uint64, st *stagedEntries) (float64, error) {
+	if s.cache == nil {
+		return s.pingMinProbe(ctx, p, src, dst, n)
+	}
+	key := rttKey{src: src, dst: dst, n: n, epoch: epoch}
+	if v, ok := s.cache.get(key); ok {
+		s.cacheHits.Add(1)
+		return v, nil
+	}
+	s.cacheMisses.Add(1)
+	c, leader := s.flight.join(key)
+	if !leader {
+		s.deduped.Add(1)
+		var done <-chan struct{}
+		if ctx != nil {
+			done = ctx.Done()
+		}
+		select {
+		case <-c.done:
+		case <-done:
+			return 0, ctx.Err()
+		}
+		if c.err != nil && isCtxErr(c.err) && (ctx == nil || ctx.Err() == nil) {
+			// The leader's round was cancelled but ours was not: its
+			// abort is not our measurement failure. Probe ourselves.
+			return s.pingMinLed(ctx, p, key, st)
+		}
+		if c.err == nil {
+			st.add(key, c.min)
+		}
+		return c.min, c.err
+	}
+	min, err := s.pingMinProbe(ctx, p, src, dst, n)
+	c.min, c.err = min, err
+	s.flight.leave(key, c)
+	if err == nil {
+		st.add(key, min)
+	}
+	return min, err
+}
+
+// pingMinLed is a follower re-probing after its leader was cancelled; it
+// goes through join again so concurrent orphaned followers elect one new
+// leader among themselves instead of all probing.
+func (s *Scheduler) pingMinLed(ctx context.Context, p probe.Prober, key rttKey, st *stagedEntries) (float64, error) {
+	c, leader := s.flight.join(key)
+	if !leader {
+		var done <-chan struct{}
+		if ctx != nil {
+			done = ctx.Done()
+		}
+		select {
+		case <-c.done:
+		case <-done:
+			return 0, ctx.Err()
+		}
+		if c.err == nil {
+			st.add(key, c.min)
+		}
+		return c.min, c.err
+	}
+	min, err := s.pingMinProbe(ctx, p, key.src, key.dst, key.n)
+	c.min, c.err = min, err
+	s.flight.leave(key, c)
+	if err == nil {
+		st.add(key, min)
+	}
+	return min, err
+}
+
+func isCtxErr(err error) bool {
+	return err == context.Canceled || err == context.DeadlineExceeded
+}
+
+// pingMinProbe issues one paced probe train and min-filters it — the
+// exact Ping+MinRTT sequence of the sequential loops, so per-slot
+// outcomes (values and error identities) are unchanged.
+func (s *Scheduler) pingMinProbe(ctx context.Context, p probe.Prober, src, dst string, n int) (float64, error) {
+	b, err := s.acquire(ctx, src)
+	if err != nil {
+		return 0, err
+	}
+	samples, err := p.Ping(src, dst, n)
+	s.release(b)
+	s.pings.Add(1)
+	if err == nil {
+		var min float64
+		if min, err = probe.MinRTT(samples); err == nil {
+			return min, nil
+		}
+	}
+	s.pingFailures.Add(1)
+	return 0, err
+}
+
+// TracerouteInto fans out Traceroute(srcs[i], dst) for every i, writing
+// hop lists into hops[i] and failures into errs[i]. Traceroutes are
+// paced per source like pings but never cached: paths are consumed once
+// per request and carry no epoch-stable min-filter.
+func (s *Scheduler) TracerouteInto(ctx context.Context, p probe.Prober, srcs []string, dst string, hops [][]probe.Hop, errs []error) {
+	f := &fan{
+		s:   s,
+		ctx: ctx,
+		n:   len(srcs),
+		job: func(i int) error {
+			b, err := s.acquire(ctx, srcs[i])
+			if err != nil {
+				s.traceFailures.Add(1)
+				return err
+			}
+			h, err := p.Traceroute(srcs[i], dst)
+			s.release(b)
+			s.traceroutes.Add(1)
+			if err != nil {
+				s.traceFailures.Add(1)
+				return err
+			}
+			hops[i] = h
+			return nil
+		},
+		errs: errs,
+	}
+	s.run(f)
+}
+
+// Run fans out n arbitrary measurement jobs — the generic entry the
+// pairwise survey matrix and the lifecycle refresher build on. job(slot)
+// performs slot's measurement (acquiring pacing through Paced) and
+// writes its own results; writes to distinct slots need no locking. The
+// round stops dispatching after the first error, drains in-flight slots,
+// and returns the lowest errored slot with its error — the pair the
+// sequential loop would have aborted on. Returns (-1, nil) when every
+// slot succeeded.
+func (s *Scheduler) Run(ctx context.Context, n int, job func(slot int) error) (int, error) {
+	if n <= 0 {
+		return -1, nil
+	}
+	f := &fan{s: s, ctx: ctx, n: n, job: job, errs: make([]error, n), stopOnErr: true}
+	s.run(f)
+	for i, err := range f.errs {
+		if err != nil {
+			return i, err
+		}
+	}
+	return -1, nil
+}
+
+// Paced runs fn under src's token bucket and the global cap, counting it
+// as one ping train. Run jobs use it so generic fan-outs pace exactly
+// like PingMinInto's.
+func (s *Scheduler) Paced(ctx context.Context, src string, fn func() error) error {
+	b, err := s.acquire(ctx, src)
+	if err != nil {
+		return err
+	}
+	err = fn()
+	s.release(b)
+	s.pings.Add(1)
+	if err != nil {
+		s.pingFailures.Add(1)
+	}
+	return err
+}

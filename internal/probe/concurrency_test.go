@@ -1,0 +1,113 @@
+package probe
+
+import (
+	"sync"
+	"testing"
+
+	"octant/internal/netsim"
+)
+
+// TestConcurrentPingWithFaultsRace is the measurement stack's shared-state
+// audit in executable form (run under -race in CI): many goroutines ping
+// through one RetryProber over one simulated world while another goroutine
+// injects and clears node-down, blackhole, and loss faults mid-flight.
+// The world's fault maps, its probe/loss counters, and the retry
+// prober's stats are all supposed to be independently synchronized; this
+// test is what holds them to it. It also pins the coherence of the retry
+// counters themselves: every retry and every exhaustion implies a
+// counted attempt.
+func TestConcurrentPingWithFaultsRace(t *testing.T) {
+	w := netsim.NewWorld(netsim.Config{Seed: 2})
+	p := WithRetry(NewSimProber(w), RetryOptions{
+		Attempts:    2,
+		BaseBackoff: 1, // nanoseconds: keep the schedule, skip the waiting
+		MaxBackoff:  1,
+	})
+	hosts := w.HostNodes()
+	if len(hosts) < 8 {
+		t.Fatalf("world too small: %d hosts", len(hosts))
+	}
+	target := hosts[0]
+	landmarks := hosts[1:8]
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	injectorDone := make(chan struct{})
+
+	// Fault injector: cycles each landmark→target path through loss,
+	// blackhole, node-down, and healthy states while probes are in flight.
+	go func() {
+		defer close(injectorDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			lm := landmarks[i%len(landmarks)]
+			switch i % 4 {
+			case 0:
+				w.SetPairLossRate(lm.ID, target.ID, 0.5)
+			case 1:
+				w.SetPairLossRate(lm.ID, target.ID, 0)
+				w.SetPairBlackhole(lm.ID, target.ID, true)
+			case 2:
+				w.SetPairBlackhole(lm.ID, target.ID, false)
+				w.SetNodeDown(lm.ID, true)
+			case 3:
+				w.SetNodeDown(lm.ID, false)
+			}
+		}
+	}()
+
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				lm := landmarks[(g+i)%len(landmarks)]
+				// Errors are expected while faults are active; what this
+				// test asserts is that concurrent faulted probing is
+				// race-free and the counters stay coherent.
+				samples, err := p.Ping(lm.Name, target.Name, 4)
+				if err == nil {
+					if _, merr := MinRTT(samples); merr != nil && len(samples) > 0 {
+						t.Errorf("MinRTT over %d samples: %v", len(samples), merr)
+					}
+				}
+				if (g+i)%3 == 0 {
+					if _, err := p.Traceroute(lm.Name, target.Name); err != nil {
+						continue // downed paths legitimately have no route
+					}
+				}
+			}
+		}(g)
+	}
+	// Stop the injector only after every prober goroutine drained, so
+	// probes race against live fault flips for the whole test.
+	wg.Wait()
+	close(stop)
+	<-injectorDone
+
+	st := p.Stats()
+	if st.Attempts == 0 {
+		t.Fatal("retry prober counted no attempts")
+	}
+	if st.Retries+st.Exhausted > st.Attempts {
+		t.Errorf("incoherent retry stats: attempts=%d retries=%d exhausted=%d",
+			st.Attempts, st.Retries, st.Exhausted)
+	}
+	if w.PingCalls() == 0 {
+		t.Error("world's ping counter never advanced under concurrent load")
+	}
+
+	// Faults cleared: the world must be healthy again for every pair.
+	for _, lm := range landmarks {
+		w.SetPairLossRate(lm.ID, target.ID, 0)
+		w.SetPairBlackhole(lm.ID, target.ID, false)
+		w.SetNodeDown(lm.ID, false)
+		if f := w.PathFault(lm.ID, target.ID); f != "" {
+			t.Errorf("path %s→%s still faulted after clear: %s", lm.Name, target.Name, f)
+		}
+	}
+}

@@ -33,6 +33,7 @@ func normalizeWire(v any) any {
 		delete(x, "elapsed_ms")
 		delete(x, "cached")
 		delete(x, "solve_ms")
+		delete(x, "measure_ms")
 		for k, val := range x {
 			x[k] = normalizeWire(val)
 		}

@@ -38,6 +38,7 @@ import (
 	"octant/internal/core"
 	"octant/internal/geo"
 	"octant/internal/lifecycle"
+	"octant/internal/measure"
 )
 
 // Options tunes a Server. The zero value is usable.
@@ -658,8 +659,23 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, rd)
 }
 
+// statsPayload is the /v1/stats wire shape: the engine's counters plus,
+// when the serving Localizer measures through a concurrent scheduler,
+// its probe counters under "measure". Existing consumers decoding into
+// batch.Stats are unaffected — the embedded fields keep their keys.
+type statsPayload struct {
+	batch.Stats
+	Measure *measure.Stats `json:"measure,omitempty"`
+}
+
 // handleStats serves GET /v1/stats: the engine's counters, cache hit
-// rate, in-flight count, and latency quantiles.
+// rate, in-flight count, latency quantiles, and the measurement
+// scheduler's probe/cache/dedup counters.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.engine.Stats())
+	st := statsPayload{Stats: s.engine.Stats()}
+	if sched := s.manager.CurrentLocalizer().MeasureScheduler(); sched != nil {
+		ms := sched.Stats()
+		st.Measure = &ms
+	}
+	writeJSON(w, http.StatusOK, st)
 }
