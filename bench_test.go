@@ -20,6 +20,7 @@ import (
 	"octant/internal/core"
 	"octant/internal/eval"
 	"octant/internal/geo"
+	"octant/internal/geodb"
 	"octant/internal/measure"
 	"octant/internal/netsim"
 	"octant/internal/probe"
@@ -533,6 +534,52 @@ func BenchmarkLocalizeV2(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := loc.LocalizeContext(ctx, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocalizeWithHints measures one end-to-end localization with
+// the hint-rich stages live: the target carries a gazetteer-matching
+// reverse name (rDNS hint → RTT cross-validation → weighted disk) and a
+// synthetic geo-DB provider answers for it. CI gates it against
+// BenchmarkLocalize in the same report via octant-eval -bench-within —
+// the two extra evidence stages must cost <5% ns/op on an unpaced solve.
+func BenchmarkLocalizeWithHints(b *testing.B) {
+	w := netsim.NewWorld(netsim.Config{Seed: 1, HostRDNSHintFrac: 0.85})
+	p := probe.NewSimProber(w)
+	hosts := w.HostNodes()
+	// Pick a hint-bearing target so the bench pays the full pipeline:
+	// parse, cross-validate, and apply — not an early "no hint" skip.
+	targetIdx := -1
+	for i, h := range hosts {
+		if w.ReverseName(h.ID) != h.Name {
+			targetIdx = i
+			break
+		}
+	}
+	if targetIdx < 0 {
+		b.Fatal("no hint-bearing host in the bench world")
+	}
+	var lms []core.Landmark
+	for i, h := range hosts {
+		if i == targetIdx {
+			continue
+		}
+		lms = append(lms, core.Landmark{Addr: h.Name, Name: h.Inst, Loc: h.Loc})
+	}
+	survey, err := core.NewSurvey(p, lms, core.SurveyOpts{UseHeights: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	loc := core.NewLocalizer(p, survey, core.Config{
+		GeoDB: geodb.NewSynth(w, geodb.SynthOpts{Seed: 1}),
+	})
+	target := hosts[targetIdx].Name
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := loc.Localize(target); err != nil {
 			b.Fatal(err)
 		}
 	}

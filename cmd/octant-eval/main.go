@@ -91,6 +91,8 @@ func main() {
 		chaosNodes    = flag.Int("chaos-nodes", 3, "chaos mode: serving-fleet size (≥ 3)")
 		chaosDuration = flag.Duration("chaos-duration", 3*time.Second, "chaos mode: total fault-injection window (split across landmark-fault, node-kill, and recovery phases)")
 		chaosFrac     = flag.Float64("chaos-landmarks", 0.2, "chaos mode: fraction of survey landmarks downed during the landmark-fault phase")
+
+		hintsOn = flag.Bool("hints", false, "hints mode: score the rDNS/geo-DB evidence stages on a truthful hint world (gate: hinted median ≤ baseline) and a poisoned one (gate: cross-validation drops fire and the median stays within 10% of baseline), emitted as bench lines")
 	)
 	flag.Parse()
 
@@ -110,6 +112,13 @@ func main() {
 
 	if *bulk {
 		if err := runBulk(*seed, *bulkTargets, *bulkWorkers, *bulkPace); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *hintsOn {
+		if err := runHints(*seed); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -58,6 +58,7 @@ import (
 
 	"octant/internal/batch"
 	"octant/internal/core"
+	"octant/internal/geodb"
 	"octant/internal/lifecycle"
 	"octant/internal/probe"
 	"octant/internal/serve"
@@ -87,6 +88,7 @@ func main() {
 		retries   = flag.Int("probe-retries", 3, "attempts per measurement (1 disables retrying); transient probe failures back off and retry, so one lost train doesn't degrade a localization or void a survey refresh")
 		measureW  = flag.Int("measure-workers", 0, "concurrent probes per localization fan-out (0 = scheduler default, 16; negative = serialized legacy loop)")
 		rttTTL    = flag.Duration("rtt-cache-ttl", 0, "measurement-scheduler RTT cache lifetime (0 disables caching and in-flight dedup; entries are epoch-qualified so a survey swap never serves stale minima)")
+		geodbFile = flag.String("geodb", "", "passive geolocation database JSON (geodb.LoadFile format); records feed the geodb evidence source, RTT cross-validated per target")
 	)
 	flag.Parse()
 
@@ -111,11 +113,20 @@ func main() {
 		// "default" and negative as exact, so translate.
 		driftTolMs = -1
 	}
-	manager := lifecycle.New(prober, survey, core.Config{
+	cfg := core.Config{
 		Probes:         *probes,
 		MeasureWorkers: *measureW,
 		RTTCacheTTL:    *rttTTL,
-	}, lifecycle.Options{
+	}
+	if *geodbFile != "" {
+		provider, err := geodb.LoadFile(*geodbFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.GeoDB = geodb.NewCached(provider, 0)
+		log.Printf("geodb: %d records from %s", provider.Len(), *geodbFile)
+	}
+	manager := lifecycle.New(prober, survey, cfg, lifecycle.Options{
 		Probes:           *probes,
 		Interval:         *refresh,
 		SnapshotPath:     *snapshot,

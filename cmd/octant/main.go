@@ -155,6 +155,17 @@ func main() {
 			fmt.Printf("  %-12s %11d %8.3f %14.0f %9.2f %10.2f  %s\n",
 				rep.Source, rep.Constraints, rep.Weight, rep.AreaKm2, rep.ElapsedMs, rep.MeasureMs, rep.Skipped)
 		}
+		for _, dh := range res.Provenance.DroppedHints {
+			fmt.Printf("  dropped %-12s %s\n", dh.Hint, dh.Reason)
+		}
+		if d := res.Provenance.Disagreement; d != nil {
+			fmt.Printf("  disagreement    %.0f km (hint↔geodb %.0f, hint↔latency %.0f, geodb↔latency %.0f)",
+				d.DisagreementKm, d.HintGeoDBKm, d.HintLatencyKm, d.GeoDBLatencyKm)
+			if d.Conflict {
+				fmt.Printf("  CONFLICT")
+			}
+			fmt.Println()
+		}
 	}
 
 	if *geoOut != "" {
@@ -226,6 +237,12 @@ func runBatch(ctx context.Context, world *netsim.World, prober probe.Prober, cfg
 			for _, rep := range res.Provenance.Sources {
 				fmt.Printf("    %-12s %3d constraints  w %7.3f  area %12.0f km²  %s\n",
 					rep.Source, rep.Constraints, rep.Weight, rep.AreaKm2, rep.Skipped)
+			}
+			for _, dh := range res.Provenance.DroppedHints {
+				fmt.Printf("    dropped %-12s %s\n", dh.Hint, dh.Reason)
+			}
+			if d := res.Provenance.Disagreement; d != nil && d.Conflict {
+				fmt.Printf("    disagreement %.0f km CONFLICT\n", d.DisagreementKm)
 			}
 		}
 	}

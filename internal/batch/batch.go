@@ -323,12 +323,17 @@ func (e *Engine) runFused(ctx context.Context, targets []string, ro resolved, ou
 					break
 				}
 			}
-		} else if e.cache != nil && ro.cacheable && !res.Degraded {
-			// Degraded results are served but never cached: the failure
-			// that degraded them is transient, and a cached entry would
-			// keep answering from partial evidence long after the network
-			// healed.
-			e.cache.put(key(t), epoch, res)
+		} else {
+			// Once per computed result (not per follower delivery), like
+			// the scalar path.
+			e.metrics.observePriors(res)
+			if e.cache != nil && ro.cacheable && !res.Degraded {
+				// Degraded results are served but never cached: the failure
+				// that degraded them is transient, and a cached entry would
+				// keep answering from partial evidence long after the
+				// network healed.
+				e.cache.put(key(t), epoch, res)
+			}
 		}
 		elapsed := time.Since(start)
 		for _, i := range followers[j] {
@@ -411,6 +416,7 @@ func (e *Engine) localize(ctx context.Context, target string, idx int, ro resolv
 		if res.Degraded {
 			e.metrics.degrade()
 		}
+		e.metrics.observePriors(res)
 		item.Result = res
 		item.Elapsed = time.Since(start)
 		e.metrics.observe(item.Elapsed)
@@ -441,6 +447,11 @@ func (e *Engine) localize(ctx context.Context, target string, idx int, ro resolv
 		e.metrics.fail()
 		item.Err = err
 		return item
+	}
+	if !shared {
+		// This caller computed the result; followers sharing it don't
+		// re-count its dropped hints or conflicts.
+		e.metrics.observePriors(res)
 	}
 	if e.cache != nil && !shared && !res.Degraded {
 		// See runFused: degraded results never enter the cache.

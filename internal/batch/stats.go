@@ -40,6 +40,15 @@ type Stats struct {
 	// (the /v1/cache/lookup endpoint) — results this node computed that
 	// saved another node a measurement.
 	PeerHits uint64 `json:"peer_hits"`
+	// HintsDropped counts exogenous priors (rDNS hints, geo-DB records)
+	// the RTT cross-validation rejected across computed results, and
+	// HintConflicts counts computed results whose evidence classes
+	// disagreed beyond the conflict threshold
+	// (Provenance.Disagreement.Conflict). A rising drop rate means the
+	// hint substrate (reverse zones, passive databases) is drifting from
+	// the measured network.
+	HintsDropped  uint64 `json:"hints_dropped"`
+	HintConflicts uint64 `json:"hint_conflicts"`
 	// FusedGroups counts multi-target Run calls served by the fused batch
 	// solve (one group = one epoch × one options fingerprint), and
 	// FusedTargets how many submitted targets rode in them; FusedTargets /
@@ -82,6 +91,9 @@ type metrics struct {
 	fusedTargets atomic.Uint64
 	peerHits     atomic.Uint64
 
+	hintsDropped  atomic.Uint64
+	hintConflicts atomic.Uint64
+
 	mu    sync.Mutex
 	ring  [latWindow]float64 // latencies, ms
 	next  int
@@ -100,6 +112,22 @@ func (m *metrics) peerHit()  { m.peerHits.Add(1) }
 func (m *metrics) fused(targets int) {
 	m.fusedGroups.Add(1)
 	m.fusedTargets.Add(uint64(targets))
+}
+
+// observePriors harvests the hint bookkeeping from one computed result:
+// cross-validation drops and evidence-class conflicts ride the result's
+// Provenance (attached even without Explain, same contract as degraded
+// Failures). Cached and coalesced deliveries don't re-count.
+func (m *metrics) observePriors(res *core.Result) {
+	if res == nil || res.Provenance == nil {
+		return
+	}
+	if n := len(res.Provenance.DroppedHints); n > 0 {
+		m.hintsDropped.Add(uint64(n))
+	}
+	if d := res.Provenance.Disagreement; d != nil && d.Conflict {
+		m.hintConflicts.Add(1)
+	}
 }
 
 func (m *metrics) observe(d time.Duration) {
@@ -122,9 +150,11 @@ func (m *metrics) snapshot() Stats {
 		Errors:       m.errors.Load(),
 		Degraded:     m.degraded.Load(),
 		InFlight:     m.inFlight.Load(),
-		FusedGroups:  m.fusedGroups.Load(),
-		FusedTargets: m.fusedTargets.Load(),
-		PeerHits:     m.peerHits.Load(),
+		FusedGroups:   m.fusedGroups.Load(),
+		FusedTargets:  m.fusedTargets.Load(),
+		PeerHits:      m.peerHits.Load(),
+		HintsDropped:  m.hintsDropped.Load(),
+		HintConflicts: m.hintConflicts.Load(),
 	}
 	if s.Requests > 0 {
 		s.HitRate = float64(s.CacheHits) / float64(s.Requests)

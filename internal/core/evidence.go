@@ -10,6 +10,7 @@ import (
 
 	"octant/internal/geo"
 	"octant/internal/height"
+	"octant/internal/hints"
 	"octant/internal/measure"
 	"octant/internal/probe"
 	"octant/internal/stats"
@@ -29,6 +30,14 @@ const (
 	// SourceHint is the §2.5 exogenous positive evidence: the WHOIS
 	// registration record plus any caller-supplied Hints.
 	SourceHint = "hint"
+	// SourceRDNS is the HLOC-style reverse-DNS hint evidence: city
+	// tokens (IATA/CLLI/name) mined from the target's reverse name,
+	// RTT-cross-validated before use.
+	SourceRDNS = "rdns"
+	// SourceGeoDB is the passive geolocation-database evidence: a
+	// pluggable provider's record for the target, RTT-cross-validated
+	// and applied as a weighted positive prior.
+	SourceGeoDB = "geodb"
 	// SourceGeography is the §2.5 ocean/uninhabitable negative evidence,
 	// applied as the solver's hard land mask.
 	SourceGeography = "geography"
@@ -60,6 +69,9 @@ type Request struct {
 	Prober probe.Prober
 	// Resolver maps router DNS names to locations for the RouterSource.
 	Resolver *undns.Resolver
+	// Hints parses end-host reverse names for the RDNSSource. Nil means
+	// the source skips (a zero-value Localizer has no engine).
+	Hints *hints.Engine
 
 	// RTTs is the min-filtered RTT from each survey landmark, in
 	// landmark order. Filled by the LatencySource.
@@ -92,6 +104,13 @@ type Request struct {
 	// traceroutes through it. Nil means serialized measurement (the
 	// pre-scheduler loops).
 	sched *measure.Scheduler
+
+	// Exogenous-prior bookkeeping for the disagreement report: the
+	// applied hint and geo-DB disk centres, and every hint/record the
+	// RTT cross-validation dropped. All empty on the default path.
+	hintLocs  []geo.Point
+	geodbLocs []geo.Point
+	dropped   []DroppedHint
 }
 
 // disk builds a disk constraint for this request, drawing its memory from
@@ -103,6 +122,14 @@ func (req *Request) disk(kind Kind, cf, lf geo.Frame, radiusKm, weight float64, 
 		return req.arena.disk(kind, cf, lf, radiusKm, weight, source)
 	}
 	return diskConstraint(kind, cf, lf, radiusKm, weight, source)
+}
+
+// priorDisk builds the standard exogenous positive prior — a weighted
+// disk of the given radius around a claimed location — shared by the
+// WHOIS, caller-hint, rDNS-hint, and geo-DB sources, so the prior-style
+// evidence classes stay geometrically consistent.
+func (req *Request) priorDisk(loc geo.Point, radiusKm, weight float64, label string) Constraint {
+	return req.disk(Positive, req.PCtx.Center, geo.NewFrame(loc), radiusKm, weight, label)
 }
 
 // SourceReport is one evidence source's provenance entry. Sources fill
@@ -171,6 +198,15 @@ type Provenance struct {
 	// even without WithExplain: a degraded result must always say which
 	// evidence it is missing.
 	Failures []ProbeFailure `json:"failures,omitempty"`
+	// DroppedHints names every rDNS hint and geo-DB record the RTT
+	// cross-validation rejected. Like Failures it is filled even without
+	// WithExplain: evidence that was discarded must always say so.
+	DroppedHints []DroppedHint `json:"dropped_hints,omitempty"`
+	// Disagreement quantifies how far the request's exogenous priors and
+	// its latency evidence point apart. Nil when the request applied no
+	// hint or geo-DB prior; like DroppedHints it is filled even without
+	// WithExplain.
+	Disagreement *Disagreement `json:"disagreement,omitempty"`
 }
 
 // EvidenceSource is one stage of the localization pipeline: it converts
@@ -197,13 +233,18 @@ type EvidenceSource interface {
 // defaultSources is the paper's pipeline, in evidence order. The
 // GeographySource runs last but contributes no constraints (it sets the
 // solver mask), so constraint order matches the original monolithic
-// Localize exactly: latency, router, hint.
+// Localize exactly: latency, router, hint, then the cross-validated
+// priors (rdns, geodb) — both of which contribute nothing unless the
+// target's reverse name carries a city token or a provider is
+// configured, keeping the default path bit-identical to the
+// pre-prior pipeline.
 var defaultSources = [...]EvidenceSource{
-	LatencySource{}, RouterSource{}, HintSource{}, GeographySource{},
+	LatencySource{}, RouterSource{}, HintSource{}, RDNSSource{}, GeoDBSource{}, GeographySource{},
 }
 
 // DefaultSources returns the built-in evidence pipeline in execution
-// order: LatencySource, RouterSource, HintSource, GeographySource.
+// order: LatencySource, RouterSource, HintSource, RDNSSource,
+// GeoDBSource, GeographySource.
 func DefaultSources() []EvidenceSource {
 	out := make([]EvidenceSource, len(defaultSources))
 	copy(out, defaultSources[:])
@@ -431,12 +472,10 @@ func (HintSource) Name() string { return SourceHint }
 func (HintSource) Constraints(ctx context.Context, req *Request) ([]Constraint, SourceReport, error) {
 	rep := SourceReport{Source: SourceHint}
 	cfg := &req.Cfg
-	cf := req.PCtx.Center
 	var out []Constraint
 	if !cfg.DisableWhois {
 		if loc, _, ok := req.Prober.Whois(req.Target); ok && loc.Valid() {
-			out = append(out,
-				req.disk(Positive, cf, geo.NewFrame(loc), cfg.WhoisRadiusKm, cfg.WhoisWeight, "whois"))
+			out = append(out, req.priorDisk(loc, cfg.WhoisRadiusKm, cfg.WhoisWeight, "whois"))
 		}
 	}
 	for _, h := range req.Opts.Hints {
@@ -450,7 +489,7 @@ func (HintSource) Constraints(ctx context.Context, req *Request) ([]Constraint, 
 		if label == "" {
 			label = "hint"
 		}
-		out = append(out, req.disk(Positive, cf, geo.NewFrame(h.Loc), radius, weight, label))
+		out = append(out, req.priorDisk(h.Loc, radius, weight, label))
 	}
 	if len(out) == 0 && rep.Skipped == "" {
 		if cfg.DisableWhois {

@@ -171,6 +171,7 @@ func (l *Localizer) localizeBatch(ctx context.Context, targets []string, workers
 					PCtx:     pctx,
 					Prober:   tprober,
 					Resolver: l.Resolver,
+					Hints:    l.Hints,
 					arena:    arena,
 					// Workers share the Localizer's scheduler, so a
 					// batch's probe traffic is landmark-major in effect:

@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"octant/internal/geo"
+	"octant/internal/geodb"
+	"octant/internal/hints"
 	"octant/internal/measure"
 	"octant/internal/probe"
 	"octant/internal/undns"
@@ -79,6 +81,29 @@ type Config struct {
 	// WhoisWeight is the (moderate) weight of the WHOIS constraint
 	// (default 0.8): city-level, 85%-ish accurate evidence.
 	WhoisWeight float64
+	// RDNSRadiusKm is the positive-constraint radius around a city token
+	// mined from the target's reverse-DNS name (default 100 km — a pool
+	// name's city code places the subscriber in the metro area, not at
+	// the city centroid).
+	RDNSRadiusKm float64
+	// RDNSWeight is the weight of an RTT-validated reverse-DNS hint
+	// (default 0.7): operator naming is informative but unaudited.
+	RDNSWeight float64
+	// GeoDB is the default passive geolocation provider the GeoDBSource
+	// consults (nil — the default — skips the source; WithGeoDB
+	// overrides it per request).
+	GeoDB geodb.Provider
+	// GeoDBRadiusKm is the constraint radius for geo-DB records that do
+	// not state their own precision (default 50 km).
+	GeoDBRadiusKm float64
+	// GeoDBWeight is the base weight of a geo-DB prior (default 0.8);
+	// Weighted providers scale it by their per-provider trust and
+	// staleness decay.
+	GeoDBWeight float64
+	// DisagreementConflictKm is the evidence-disagreement distance above
+	// which Provenance.Disagreement sets its Conflict flag (default
+	// 500 km — different-metro territory).
+	DisagreementConflictKm float64
 	// TracerouteLandmarks is how many of the lowest-latency landmarks
 	// issue traceroutes for piecewise localization (default 3).
 	TracerouteLandmarks int
@@ -147,6 +172,21 @@ func (c *Config) fillDefaults() {
 	if c.WhoisWeight == 0 {
 		c.WhoisWeight = 0.8
 	}
+	if c.RDNSRadiusKm == 0 {
+		c.RDNSRadiusKm = 100
+	}
+	if c.RDNSWeight == 0 {
+		c.RDNSWeight = 0.7
+	}
+	if c.GeoDBRadiusKm == 0 {
+		c.GeoDBRadiusKm = 50
+	}
+	if c.GeoDBWeight == 0 {
+		c.GeoDBWeight = 0.8
+	}
+	if c.DisagreementConflictKm == 0 {
+		c.DisagreementConflictKm = 500
+	}
 	if c.TracerouteLandmarks == 0 {
 		c.TracerouteLandmarks = 3
 	}
@@ -168,6 +208,10 @@ type Localizer struct {
 	Survey   *Survey
 	Cfg      Config
 	Resolver *undns.Resolver // router-name resolver; defaults to undns.NewResolver()
+	// Hints parses end-host reverse names for the RDNSSource; defaults
+	// to hints.NewEngine(). Nil (a zero-value Localizer) skips the
+	// source.
+	Hints *hints.Engine
 
 	// masks caches rasterized §2.5 land masks across the solver's coarse
 	// and fine passes and across every localization sharing this
@@ -198,6 +242,7 @@ func NewLocalizer(p probe.Prober, s *Survey, cfg Config) *Localizer {
 		Survey:   s,
 		Cfg:      cfg,
 		Resolver: undns.NewResolver(),
+		Hints:    hints.NewEngine(),
 		masks:    NewLandMaskCache(),
 	}
 	if cfg.MeasureWorkers >= 0 {
@@ -229,6 +274,9 @@ func NewLocalizerReusing(p probe.Prober, s *Survey, cfg Config, prev *Localizer)
 		}
 		if prev.Resolver != nil {
 			l.Resolver = prev.Resolver
+		}
+		if prev.Hints != nil {
+			l.Hints = prev.Hints
 		}
 		if prev.sched != nil && l.sched != nil {
 			// Carry the scheduler too: its per-landmark pacing budgets
@@ -345,6 +393,7 @@ func (l *Localizer) LocalizeWith(ctx context.Context, target string, o *Localize
 		PCtx:     l.projContext(),
 		Prober:   l.Prober,
 		Resolver: l.Resolver,
+		Hints:    l.Hints,
 		sched:    l.sched,
 	}
 	if o != nil {
@@ -455,6 +504,16 @@ func (l *Localizer) localizeRequest(ctx context.Context, req *Request) (*Result,
 			prov = &Provenance{TotalConstraints: len(constraints)}
 		}
 		prov.Failures = req.Failures
+	}
+	if len(req.dropped) > 0 || len(req.hintLocs) > 0 || len(req.geodbLocs) > 0 {
+		// Discarded or applied exogenous priors must be reported even
+		// without WithExplain, same contract as degraded-mode Failures.
+		// The default path (no hints, no provider) never reaches here.
+		if prov == nil {
+			prov = &Provenance{TotalConstraints: len(constraints)}
+		}
+		prov.DroppedHints = req.dropped
+		prov.Disagreement = req.disagreement()
 	}
 	pr := req.PCtx.Proj
 	res := &Result{

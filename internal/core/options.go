@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"octant/internal/geo"
+	"octant/internal/geodb"
 )
 
 // LocalizeOption is a per-request tuning knob for the v2 localization
@@ -70,6 +71,12 @@ type LocalizeOptions struct {
 	Explain bool
 	// Hints are extra positive priors consumed by the HintSource.
 	Hints []Hint
+	// GeoDB overrides the Localizer's configured passive-geolocation
+	// provider (Config.GeoDB) for this request. Requests carrying a
+	// provider are never cached or coalesced by the batch engine: a
+	// provider is arbitrary code whose contents cannot be fingerprinted
+	// (only its name is encoded, for debugging).
+	GeoDB geodb.Provider
 	// Extra are caller-supplied constraints appended verbatim after
 	// every source has contributed (they are never weight-scaled).
 	Extra []Constraint
@@ -166,6 +173,14 @@ func WithHint(loc geo.Point, radiusKm, weight float64, label string) LocalizeOpt
 	}
 }
 
+// WithGeoDB supplies (or, over a Localizer already configured with one,
+// replaces) the passive-geolocation provider the GeoDBSource consults
+// for this request. Like WithEvidenceSource, it makes the request
+// uncacheable in the batch engine.
+func WithGeoDB(p geodb.Provider) LocalizeOption {
+	return func(o *LocalizeOptions) { o.GeoDB = p }
+}
+
 // WithConstraints appends caller-supplied constraints to the system
 // after every evidence source has run.
 func WithConstraints(cs ...Constraint) LocalizeOption {
@@ -207,16 +222,17 @@ func (o *LocalizeOptions) scaleFor(name string) float64 {
 func (o *LocalizeOptions) isZero() bool {
 	return o == nil || (len(o.Disabled) == 0 && len(o.WeightScale) == 0 &&
 		o.MinAreaKm2 == 0 && o.FineCellKm == 0 && o.NegHeightPercentile == 0 &&
-		o.MinLandmarks == 0 && !o.Explain && len(o.Hints) == 0 && len(o.Extra) == 0 &&
-		len(o.ExtraSources) == 0 && o.Secondary == nil)
+		o.MinLandmarks == 0 && !o.Explain && len(o.Hints) == 0 && o.GeoDB == nil &&
+		len(o.Extra) == 0 && len(o.ExtraSources) == 0 && o.Secondary == nil)
 }
 
 // Cacheable reports whether two requests resolving to the same
 // Fingerprint are guaranteed to compute the same result, making the
-// request safe to cache and coalesce. Requests carrying ExtraSources
-// are not: arbitrary source code cannot be fingerprinted by content.
+// request safe to cache and coalesce. Requests carrying ExtraSources or
+// a GeoDB provider are not: arbitrary source/provider code cannot be
+// fingerprinted by content.
 func (o *LocalizeOptions) Cacheable() bool {
-	return o == nil || len(o.ExtraSources) == 0
+	return o == nil || (len(o.ExtraSources) == 0 && o.GeoDB == nil)
 }
 
 // Fingerprint returns a canonical encoding of the options such that two
@@ -297,6 +313,11 @@ func (o *LocalizeOptions) Fingerprint() string {
 		// Content is not fingerprintable; Cacheable() is false, so this
 		// component only keeps the encoding lossless for debugging.
 		b.WriteString("s=" + strconv.Itoa(len(o.ExtraSources)) + ";")
+	}
+	if o.GeoDB != nil {
+		// Same caveat as ExtraSources: the provider's name keeps the
+		// encoding lossless, but Cacheable() is false.
+		b.WriteString("g=" + o.GeoDB.Name() + ";")
 	}
 	if o.Secondary != nil {
 		h := fnv.New64a()

@@ -1,0 +1,352 @@
+// Package geodb defines the pluggable passive-geolocation provider
+// interface and the stock providers: a static file-backed table, a
+// multi-provider composite with per-provider weights and staleness decay,
+// and an LRU lookup cache.
+//
+// Passive databases are §2.5 exogenous evidence, not answers: the
+// Longitudinal Geo-DB literature shows commercial tables drift as
+// addresses are reassigned, so every record carries an AsOf date, the
+// composite decays a record's weight (and inflates its radius) with age,
+// and the core pipeline cross-validates each database disk against the
+// speed-of-light bound from measured RTTs before applying it.
+package geodb
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"octant/internal/geo"
+)
+
+// Record is one provider's claim about an address.
+type Record struct {
+	// Loc is the claimed position.
+	Loc geo.Point
+	// RadiusKm is the provider's stated precision: the claim is "within
+	// RadiusKm of Loc". Zero means the provider did not state one and the
+	// consumer should apply its own default.
+	RadiusKm float64
+	// AsOf dates the record (when the provider last verified it). The
+	// zero time means undated; staleness decay treats undated records as
+	// fresh.
+	AsOf time.Time
+	// Source names where the record came from, for provenance labels.
+	Source string
+}
+
+// Provider is a passive geolocation database.
+//
+// Implementations must be safe for concurrent use: the core pipeline
+// calls Lookup from many localizations at once.
+type Provider interface {
+	// Name identifies the provider (cache keys, options fingerprints,
+	// provenance).
+	Name() string
+	// Lookup returns the provider's record for an address, ok=false when
+	// it has none.
+	Lookup(addr string) (Record, bool)
+}
+
+// Weighted is a Provider that also prices its own confidence. The core
+// pipeline uses the returned weight (when > 0) in place of its configured
+// default; the Composite implements it to express per-provider trust and
+// staleness decay.
+type Weighted interface {
+	Provider
+	// LookupWeighted is Lookup plus a confidence weight in (0, 1]. A zero
+	// weight means "use your default".
+	LookupWeighted(addr string) (Record, float64, bool)
+}
+
+// Static is an in-memory address→record table, the file-backed provider.
+type Static struct {
+	name string
+	recs map[string]Record
+}
+
+// NewStatic builds an empty static provider.
+func NewStatic(name string) *Static {
+	return &Static{name: name, recs: make(map[string]Record)}
+}
+
+// Add registers (or replaces) the record for an address.
+func (s *Static) Add(addr string, rec Record) { s.recs[addr] = rec }
+
+// Len reports how many addresses the table covers.
+func (s *Static) Len() int { return len(s.recs) }
+
+// Name implements Provider.
+func (s *Static) Name() string { return s.name }
+
+// Lookup implements Provider.
+func (s *Static) Lookup(addr string) (Record, bool) {
+	rec, ok := s.recs[addr]
+	return rec, ok
+}
+
+// fileRecord is the on-disk JSON shape of one record.
+type fileRecord struct {
+	Addr     string  `json:"addr"`
+	Lat      float64 `json:"lat"`
+	Lon      float64 `json:"lon"`
+	RadiusKm float64 `json:"radius_km,omitempty"`
+	// AsOf is RFC 3339; empty means undated.
+	AsOf   string `json:"as_of,omitempty"`
+	Source string `json:"source,omitempty"`
+}
+
+// fileDB is the on-disk JSON shape of a provider.
+type fileDB struct {
+	Name    string       `json:"name"`
+	Records []fileRecord `json:"records"`
+}
+
+// LoadFile reads a static provider from a JSON file:
+//
+//	{"name": "geodb-lite",
+//	 "records": [{"addr": "10.1.1.2", "lat": 42.44, "lon": -76.5,
+//	              "radius_km": 25, "as_of": "2024-06-01T00:00:00Z",
+//	              "source": "registry"}]}
+func LoadFile(path string) (*Static, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var db fileDB
+	if err := json.Unmarshal(data, &db); err != nil {
+		return nil, fmt.Errorf("geodb: %s: %w", path, err)
+	}
+	if db.Name == "" {
+		db.Name = path
+	}
+	s := NewStatic(db.Name)
+	for _, fr := range db.Records {
+		rec := Record{Loc: geo.Pt(fr.Lat, fr.Lon), RadiusKm: fr.RadiusKm, Source: fr.Source}
+		if fr.AsOf != "" {
+			t, err := time.Parse(time.RFC3339, fr.AsOf)
+			if err != nil {
+				return nil, fmt.Errorf("geodb: %s: record %s: bad as_of: %w", path, fr.Addr, err)
+			}
+			rec.AsOf = t
+		}
+		if rec.Source == "" {
+			rec.Source = db.Name
+		}
+		s.Add(fr.Addr, rec)
+	}
+	return s, nil
+}
+
+// CompositeOpts tunes a Composite's staleness decay.
+type CompositeOpts struct {
+	// StaleHalfLife halves a dated record's weight per elapsed half-life
+	// (0 disables weight decay).
+	StaleHalfLife time.Duration
+	// StaleRadiusKmPerYear inflates a dated record's radius per year of
+	// age (0 disables radius inflation) — older claims are vaguer, not
+	// just less trusted.
+	StaleRadiusKmPerYear float64
+	// Now supplies the clock (tests and deterministic harnesses inject
+	// one; nil defaults to time.Now).
+	Now func() time.Time
+}
+
+// weightedProvider is one Composite member.
+type weightedProvider struct {
+	p Provider
+	w float64
+}
+
+// Composite consults member providers in registration order and returns
+// the first hit, scaled by the member's trust weight and decayed by the
+// record's age. It implements Weighted.
+type Composite struct {
+	members []weightedProvider
+	opts    CompositeOpts
+	name    string
+}
+
+// NewComposite builds an empty composite.
+func NewComposite(opts CompositeOpts) *Composite {
+	return &Composite{opts: opts}
+}
+
+// AddProvider registers a member with a trust weight in (0, 1]; weights
+// outside that range clamp to 1.
+func (c *Composite) AddProvider(p Provider, weight float64) {
+	if weight <= 0 || weight > 1 {
+		weight = 1
+	}
+	c.members = append(c.members, weightedProvider{p: p, w: weight})
+	names := make([]string, len(c.members))
+	for i, m := range c.members {
+		names[i] = m.p.Name()
+	}
+	c.name = "composite(" + strings.Join(names, ",") + ")"
+}
+
+// Name implements Provider.
+func (c *Composite) Name() string {
+	if c.name == "" {
+		return "composite()"
+	}
+	return c.name
+}
+
+// Lookup implements Provider.
+func (c *Composite) Lookup(addr string) (Record, bool) {
+	rec, _, ok := c.LookupWeighted(addr)
+	return rec, ok
+}
+
+// LookupWeighted implements Weighted: the first member hit, with the
+// member's trust weight decayed (and the record's radius inflated) by the
+// record's age.
+func (c *Composite) LookupWeighted(addr string) (Record, float64, bool) {
+	for _, m := range c.members {
+		rec, ok := m.p.Lookup(addr)
+		if !ok {
+			continue
+		}
+		w := m.w
+		if !rec.AsOf.IsZero() {
+			now := time.Now
+			if c.opts.Now != nil {
+				now = c.opts.Now
+			}
+			if age := now().Sub(rec.AsOf); age > 0 {
+				if hl := c.opts.StaleHalfLife; hl > 0 {
+					w *= halveOver(age, hl)
+				}
+				if perYear := c.opts.StaleRadiusKmPerYear; perYear > 0 {
+					rec.RadiusKm += perYear * age.Hours() / (365.25 * 24)
+				}
+			}
+		}
+		return rec, w, true
+	}
+	return Record{}, 0, false
+}
+
+// LookupAll returns every member's decayed claim for an address, in
+// registration order — the disagreement-inspection view.
+func (c *Composite) LookupAll(addr string) ([]Record, []float64) {
+	var recs []Record
+	var ws []float64
+	for i := range c.members {
+		sub := Composite{members: c.members[i : i+1], opts: c.opts}
+		if rec, w, ok := sub.LookupWeighted(addr); ok {
+			recs = append(recs, rec)
+			ws = append(ws, w)
+		}
+	}
+	return recs, ws
+}
+
+// halveOver returns 0.5^(age/halfLife).
+func halveOver(age, halfLife time.Duration) float64 {
+	return math.Exp2(-float64(age) / float64(halfLife))
+}
+
+// Cached wraps a provider with a fixed-capacity LRU over lookup results,
+// negatives included — passive databases are consulted on every
+// localization, and the working set of targets is small.
+type Cached struct {
+	inner Provider
+	cap   int
+
+	mu  sync.Mutex
+	ll  *list.List // front = most recent; values are *cacheEntry
+	idx map[string]*list.Element
+
+	hits, misses uint64
+}
+
+// cacheEntry is one memoized lookup, hit or miss.
+type cacheEntry struct {
+	addr string
+	rec  Record
+	w    float64
+	ok   bool
+}
+
+// NewCached wraps inner with an LRU of the given capacity (≤ 0 defaults
+// to 1024).
+func NewCached(inner Provider, capacity int) *Cached {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Cached{inner: inner, cap: capacity, ll: list.New(), idx: make(map[string]*list.Element)}
+}
+
+// Name implements Provider.
+func (c *Cached) Name() string { return c.inner.Name() }
+
+// Lookup implements Provider.
+func (c *Cached) Lookup(addr string) (Record, bool) {
+	rec, _, ok := c.LookupWeighted(addr)
+	return rec, ok
+}
+
+// LookupWeighted implements Weighted. When the inner provider is not
+// Weighted the cached weight is 0 ("use your default"), matching what the
+// consumer would get from the raw provider.
+func (c *Cached) LookupWeighted(addr string) (Record, float64, bool) {
+	c.mu.Lock()
+	if el, ok := c.idx[addr]; ok {
+		c.ll.MoveToFront(el)
+		ent := el.Value.(*cacheEntry)
+		c.hits++
+		c.mu.Unlock()
+		return ent.rec, ent.w, ent.ok
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	ent := &cacheEntry{addr: addr}
+	if w, ok := c.inner.(Weighted); ok {
+		ent.rec, ent.w, ent.ok = w.LookupWeighted(addr)
+	} else {
+		ent.rec, ent.ok = c.inner.Lookup(addr)
+	}
+
+	c.mu.Lock()
+	if el, ok := c.idx[addr]; ok {
+		// Raced with another looker-up; keep the resident entry.
+		c.ll.MoveToFront(el)
+	} else {
+		c.idx[addr] = c.ll.PushFront(ent)
+		if c.ll.Len() > c.cap {
+			old := c.ll.Back()
+			c.ll.Remove(old)
+			delete(c.idx, old.Value.(*cacheEntry).addr)
+		}
+	}
+	c.mu.Unlock()
+	return ent.rec, ent.w, ent.ok
+}
+
+// Stats reports the cache's hit/miss counters and occupancy.
+func (c *Cached) Stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}
+
+// SortedAddrs returns a static provider's covered addresses in sorted
+// order (test and tooling convenience).
+func (s *Static) SortedAddrs() []string {
+	out := make([]string, 0, len(s.recs))
+	for a := range s.recs {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}

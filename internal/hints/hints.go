@@ -1,0 +1,194 @@
+// Package hints mines geographic hints from end-host reverse-DNS names,
+// the HLOC-style complement to undns's router-name rules: ISPs embed city
+// tokens — IATA airport codes ("pool-17.chi.edge.isp.net") and CLLI place
+// prefixes ("dsl-42.chcgil01.access.telco.net") — in the operator names
+// they assign to subscriber and access gear.
+//
+// A hint is never trusted on its own. The core pipeline cross-validates
+// each hint disk against the speed-of-light bound implied by measured
+// landmark RTTs and drops (but records) any hint the physics rules out,
+// so a recycled or misconfigured name can only ever cost the hint, not
+// the answer.
+package hints
+
+import (
+	"strings"
+
+	"octant/internal/geo"
+	"octant/internal/netsim"
+)
+
+// Kind classifies where in a reverse name a hint token was recognized.
+type Kind int
+
+// Hint token kinds.
+const (
+	// KindIATA is a 3-letter airport-style city code ("chi").
+	KindIATA Kind = iota
+	// KindCLLI is a 6-letter CLLI place prefix ("chcgil").
+	KindCLLI
+	// KindName is a spelled-out city name token ("chicago").
+	KindName
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindIATA:
+		return "iata"
+	case KindCLLI:
+		return "clli"
+	case KindName:
+		return "name"
+	}
+	return "unknown"
+}
+
+// Hint is one geographic token recognized in a reverse-DNS name.
+type Hint struct {
+	// Code is the canonical (IATA-style) city code the token resolved to.
+	Code string
+	// City is the city's display name.
+	City string
+	// Kind is the token class that matched.
+	Kind Kind
+	// Loc is the city's position.
+	Loc geo.Point
+}
+
+// entry is one gazetteer city.
+type entry struct {
+	code string
+	city string
+	loc  geo.Point
+}
+
+// Engine parses reverse names against IATA, CLLI, and city-name tables.
+// Parse is a pure lookup, so an Engine is safe for concurrent use once
+// populated; call AddCity only before sharing it across goroutines.
+type Engine struct {
+	byIATA map[string]entry
+	byCLLI map[string]entry
+	byName map[string]string // city-name alias (≥ 4 chars) → IATA code
+	skip   map[string]bool
+}
+
+// NewEngine builds an engine over the simulator's POP city table: every
+// city's IATA code, CLLI prefix (netsim.CLLIByCode), and full-name alias.
+func NewEngine() *Engine {
+	e := &Engine{
+		byIATA: make(map[string]entry),
+		byCLLI: make(map[string]entry),
+		byName: make(map[string]string),
+		skip:   operatorSuffixes(),
+	}
+	for _, c := range netsim.POPCities {
+		e.AddCity(c.Code, netsim.CLLIByCode[c.Code], c.Name, c.Loc())
+	}
+	return e
+}
+
+// AddCity registers a city under its IATA code, optional CLLI prefix, and
+// full-name alias (lowercase, spaces stripped, ≥ 4 chars).
+func (e *Engine) AddCity(code, clli, name string, loc geo.Point) {
+	ent := entry{code: strings.ToLower(code), city: name, loc: loc}
+	e.byIATA[ent.code] = ent
+	if clli != "" {
+		e.byCLLI[strings.ToLower(clli)] = ent
+	}
+	alias := strings.ToLower(strings.ReplaceAll(name, " ", ""))
+	if len(alias) >= 4 {
+		e.byName[alias] = ent.code
+	}
+}
+
+// operatorSuffixes are label fragments that never carry geography: the
+// undns set plus the access-network vocabulary of subscriber pool names.
+func operatorSuffixes() map[string]bool {
+	return map[string]bool{
+		"net": true, "com": true, "org": true, "edu": true, "gov": true,
+		"ip": true, "bb": true, "core": true, "gw": true, "rtr": true,
+		"router": true, "gin": true, "alter": true, "ntt": true,
+		"simnet": true, "sprintlink": true, "level3": true, "cogentco": true,
+		"edge": true, "access": true, "pool": true, "dsl": true,
+		"cable": true, "static": true, "dyn": true, "dynamic": true,
+		"res": true, "hsd": true, "host": true, "cust": true, "dhcp": true,
+	}
+}
+
+// Parse extracts every geographic hint from a reverse-DNS name,
+// deduplicated by city code, most site-specific (rightmost label,
+// leftmost token) first. It returns nil — without allocating — when the
+// name carries no recognizable token, which is the common case.
+func (e *Engine) Parse(name string) []Hint {
+	name = strings.ToLower(strings.TrimSuffix(name, "."))
+	if name == "" {
+		return nil
+	}
+	// Drop the TLD and registrable domain: geography never lives there.
+	if last := strings.LastIndexByte(name, '.'); last >= 0 {
+		if prev := strings.LastIndexByte(name[:last], '.'); prev >= 0 {
+			name = name[:prev]
+		}
+	}
+	var out []Hint
+	// Scan host-specific labels from the rightmost (closest to the
+	// operator domain, where site codes conventionally sit) inward,
+	// slicing label and token boundaries by hand so a hintless name
+	// costs no allocations.
+	for len(name) > 0 {
+		label := name
+		if i := strings.LastIndexByte(name, '.'); i >= 0 {
+			label = name[i+1:]
+			name = name[:i]
+		} else {
+			name = ""
+		}
+		for len(label) > 0 {
+			tok := label
+			if j := strings.IndexByte(label, '-'); j >= 0 {
+				tok = label[:j]
+				label = label[j+1:]
+			} else {
+				label = ""
+			}
+			tok = strings.TrimFunc(tok, func(r rune) bool { return r >= '0' && r <= '9' })
+			if tok == "" || e.skip[tok] {
+				continue
+			}
+			if h, ok := e.match(tok); ok && !containsCode(out, h.Code) {
+				out = append(out, h)
+			}
+		}
+	}
+	return out
+}
+
+// match resolves one cleaned token against the three tables.
+func (e *Engine) match(tok string) (Hint, bool) {
+	switch {
+	case len(tok) == 3:
+		if ent, ok := e.byIATA[tok]; ok {
+			return Hint{Code: ent.code, City: ent.city, Kind: KindIATA, Loc: ent.loc}, true
+		}
+	case len(tok) == 6:
+		if ent, ok := e.byCLLI[tok]; ok {
+			return Hint{Code: ent.code, City: ent.city, Kind: KindCLLI, Loc: ent.loc}, true
+		}
+	}
+	if len(tok) >= 4 {
+		if code, ok := e.byName[tok]; ok {
+			ent := e.byIATA[code]
+			return Hint{Code: ent.code, City: ent.city, Kind: KindName, Loc: ent.loc}, true
+		}
+	}
+	return Hint{}, false
+}
+
+func containsCode(hs []Hint, code string) bool {
+	for _, h := range hs {
+		if h.Code == code {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,149 @@
+package hints
+
+import (
+	"testing"
+
+	"octant/internal/geo"
+	"octant/internal/netsim"
+)
+
+func TestParseOperatorShapes(t *testing.T) {
+	e := NewEngine()
+	cases := map[string]struct {
+		code string
+		kind Kind
+	}{
+		"pool-17.chi.edge.simnet.net":          {"chi", KindIATA},
+		"dsl-42.chcgil01.access.simnet.net":    {"chi", KindCLLI},
+		"static-7.sea.edge.example.net":        {"sea", KindIATA},
+		"cable-99.sttlwa01.access.example.net": {"sea", KindCLLI},
+		"host-3.chicago.res.example.net":       {"chi", KindName},
+	}
+	for name, want := range cases {
+		hs := e.Parse(name)
+		if len(hs) != 1 {
+			t.Errorf("Parse(%q) = %v, want one hint", name, hs)
+			continue
+		}
+		if hs[0].Code != want.code || hs[0].Kind != want.kind {
+			t.Errorf("Parse(%q) = %s/%s, want %s/%s", name, hs[0].Code, hs[0].Kind, want.code, want.kind)
+		}
+	}
+}
+
+func TestParseHintless(t *testing.T) {
+	e := NewEngine()
+	for _, name := range []string{
+		"",
+		".",
+		"planetlab2.cs.cornell.edu",
+		"pool-17.edge.simnet.net", // operator vocabulary only
+		"router1.lon-net.com",     // token in the dropped registrable domain
+		"a-b-c.example.com",
+	} {
+		if hs := e.Parse(name); hs != nil {
+			t.Errorf("Parse(%q) = %v, want nil", name, hs)
+		}
+	}
+}
+
+// A hintless parse must not allocate: the rDNS stage runs on every
+// localization, and almost every real target name carries no hint.
+func TestParseHintlessAllocFree(t *testing.T) {
+	e := NewEngine()
+	allocs := testing.AllocsPerRun(100, func() {
+		if hs := e.Parse("planetlab2.cs.cornell.edu"); hs != nil {
+			t.Fatal("unexpected hint")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("hintless Parse allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestParseDedupAndOrder(t *testing.T) {
+	e := NewEngine()
+	// chi appears twice (IATA + CLLI); nyc once. Rightmost label scans
+	// first, so chi (closer to the operator domain) leads.
+	hs := e.Parse("nyc-5.chcgil01.chi.edge.example.net")
+	if len(hs) != 2 {
+		t.Fatalf("Parse = %v, want chi then nyc", hs)
+	}
+	if hs[0].Code != "chi" || hs[1].Code != "nyc" {
+		t.Errorf("Parse order = [%s %s], want [chi nyc]", hs[0].Code, hs[1].Code)
+	}
+}
+
+func TestParseStripsDigits(t *testing.T) {
+	e := NewEngine()
+	hs := e.Parse("pool-1742.chi3.edge.example.net")
+	if len(hs) != 1 || hs[0].Code != "chi" {
+		t.Errorf("digit-suffixed token: Parse = %v", hs)
+	}
+}
+
+func TestAddCityCustom(t *testing.T) {
+	e := NewEngine()
+	loc := geo.Pt(42.4440, -76.5019)
+	e.AddCity("ith", "ithcny", "Ithaca", loc)
+	for _, name := range []string{
+		"pool-9.ith.edge.example.net",
+		"dsl-2.ithcny01.access.example.net",
+		"host-1.ithaca.example.net",
+	} {
+		hs := e.Parse(name)
+		if len(hs) != 1 || hs[0].Loc != loc {
+			t.Errorf("Parse(%q) = %v, want Ithaca", name, hs)
+			continue
+		}
+	}
+}
+
+// Every POP city must be reachable through all three token classes the
+// gazetteer registers for it.
+func TestGazetteerCoversAllPOPs(t *testing.T) {
+	e := NewEngine()
+	for _, c := range netsim.POPCities {
+		clli := netsim.CLLIByCode[c.Code]
+		if clli == "" {
+			t.Errorf("POP %s has no CLLI entry", c.Code)
+			continue
+		}
+		for _, name := range []string{
+			"pool-1." + c.Code + ".edge.simnet.net",
+			"dsl-1." + clli + "01.access.simnet.net",
+		} {
+			hs := e.Parse(name)
+			if len(hs) != 1 || hs[0].Code != c.Code {
+				t.Errorf("Parse(%q) = %v, want %s", name, hs, c.Code)
+			}
+		}
+	}
+}
+
+// The simulator's synthetic host names must round-trip through the
+// gazetteer: whatever netsim assigns, the engine recognizes, and the
+// truthful hint points within the eligibility bound of the host.
+func TestParseNetsimHostNames(t *testing.T) {
+	e := NewEngine()
+	w := netsim.NewWorld(netsim.Config{Seed: 1, HostRDNSHintFrac: 1})
+	parsed := 0
+	for _, id := range w.Hosts {
+		n := w.Nodes[id]
+		if n.RDNS == "" {
+			continue
+		}
+		hs := e.Parse(n.RDNS)
+		if len(hs) != 1 {
+			t.Errorf("netsim name %q parsed to %v, want one hint", n.RDNS, hs)
+			continue
+		}
+		if d := hs[0].Loc.DistanceKm(n.Loc); d > 100 {
+			t.Errorf("hint for %q points %.0f km from the host", n.RDNS, d)
+		}
+		parsed++
+	}
+	if parsed < 10 {
+		t.Errorf("only %d netsim names parsed", parsed)
+	}
+}

@@ -35,3 +35,17 @@ func accessName(inst, popCode string) string {
 func accessNameOpaque(inst string) string {
 	return fmt.Sprintf("ge-2-3.car1.%s-gw.simnet.net", inst)
 }
+
+// hostRDNSIATA formats an end-host reverse name carrying an airport-code
+// city token, e.g. "pool-17.chi.edge.simnet.net" — the ISP pool-name shape
+// HLOC-style hint extraction targets.
+func hostRDNSIATA(id int, code string) string {
+	return fmt.Sprintf("pool-%d.%s.edge.simnet.net", id, code)
+}
+
+// hostRDNSCLLI formats an end-host reverse name carrying a CLLI-style
+// place token, e.g. "dsl-17.chcgil01.access.simnet.net" — the telco
+// access-gear shape.
+func hostRDNSCLLI(id int, clli string) string {
+	return fmt.Sprintf("dsl-%d.%s01.access.simnet.net", id, clli)
+}

@@ -234,11 +234,13 @@ func (w *World) Traceroute(src, dst, nProbe int) []Hop {
 	return hops
 }
 
-// ReverseDNS returns the DNS name for an IP address, or "" if unknown.
+// ReverseDNS returns the reverse-DNS name for an IP address, or "" if
+// unknown. For hosts carrying a synthetic operator name (buildHostRDNS)
+// this is the operator name, not the forward DNS name.
 func (w *World) ReverseDNS(ip string) string {
 	for _, n := range w.Nodes {
 		if n.IP == ip {
-			return n.Name
+			return w.ReverseName(n.ID)
 		}
 	}
 	return ""

@@ -44,6 +44,11 @@ type Node struct {
 	Code string // POP city code for routers; "" for hosts
 	Zip  string // postal code (hosts)
 	Inst string // institution (hosts)
+	// RDNS is the node's reverse-DNS name when it differs from Name:
+	// operator-assigned pool names for end hosts, possibly carrying an
+	// IATA or CLLI city token (see buildHostRDNS). Empty means reverse
+	// lookups return Name, as before.
+	RDNS string
 
 	// minQueueMs is the irreducible per-traversal queuing delay this node
 	// adds in each direction (routers). accessMs is the per-host access
@@ -84,6 +89,19 @@ type Config struct {
 	// WhoisErrorRate is the fraction of WHOIS records pointing at the
 	// registrant's national HQ instead of the host city (default 0.15).
 	WhoisErrorRate float64
+
+	// HostRDNSHintFrac is the fraction of eligible end hosts (those whose
+	// nearest POP is close enough that its code is a truthful hint) given
+	// operator-style reverse-DNS names carrying an IATA or CLLI city
+	// token. Zero (the default) leaves every host's reverse name equal to
+	// its DNS name — worlds built without this knob are bit-identical to
+	// worlds built before it existed.
+	HostRDNSHintFrac float64
+	// HostRDNSWrongFrac is the fraction of hint-bearing reverse names
+	// whose city token points at a far-away POP instead of the true one —
+	// the misconfigured/recycled-name case RTT cross-validation exists to
+	// catch. Only consulted when HostRDNSHintFrac > 0.
+	HostRDNSWrongFrac float64
 }
 
 func (c *Config) fillDefaults() {
@@ -263,6 +281,12 @@ func NewWorld(cfg Config) *World {
 	w.buildAdjacency()
 	w.ensureConnected(rng, cfg)
 	w.buildWhois(rng, cfg)
+	// Host reverse-DNS names draw from their own dedicated stream, after
+	// all construction randomness above, so enabling them never perturbs
+	// the topology, delays, or WHOIS records of an existing seed.
+	if cfg.HostRDNSHintFrac > 0 {
+		w.buildHostRDNS(cfg)
+	}
 	return w
 }
 

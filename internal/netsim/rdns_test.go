@@ -1,0 +1,124 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// Host rDNS is off by default: no host may carry a synthetic reverse
+// name, so every construction byte stays bit-identical to pre-hint
+// worlds.
+func TestDefaultWorldHasNoHostRDNS(t *testing.T) {
+	w := NewWorld(Config{Seed: 1})
+	for _, id := range w.Hosts {
+		if rdns := w.Nodes[id].RDNS; rdns != "" {
+			t.Errorf("host %s has RDNS %q in a default world", w.Nodes[id].Name, rdns)
+		}
+		if got := w.ReverseName(id); got != w.Nodes[id].Name {
+			t.Errorf("ReverseName(%d) = %q, want the DNS name %q", id, got, w.Nodes[id].Name)
+		}
+	}
+}
+
+// Same seed, same config → byte-identical reverse names, and the hint
+// pass must not perturb anything else about the world.
+func TestHostRDNSDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, HostRDNSHintFrac: 0.85, HostRDNSWrongFrac: 0.3}
+	a, b := NewWorld(cfg), NewWorld(cfg)
+	for _, id := range a.Hosts {
+		if an, bn := a.ReverseName(id), b.ReverseName(id); an != bn {
+			t.Errorf("host %d: ReverseName %q vs %q across same-seed worlds", id, an, bn)
+		}
+	}
+	plain := NewWorld(Config{Seed: 7})
+	if len(plain.Nodes) != len(a.Nodes) {
+		t.Fatalf("hint pass changed node count: %d vs %d", len(a.Nodes), len(plain.Nodes))
+	}
+	for i, n := range plain.Nodes {
+		if n.Name != a.Nodes[i].Name || n.Loc != a.Nodes[i].Loc {
+			t.Errorf("node %d differs between hinted and plain same-seed worlds", i)
+		}
+	}
+}
+
+// HostRDNSHintFrac = 1 names every eligible host (nearest POP within
+// hostRDNSMaxHintKm), in one of the two operator shapes, with a truthful
+// city token.
+func TestHostRDNSHintBearingNames(t *testing.T) {
+	w := NewWorld(Config{Seed: 1, HostRDNSHintFrac: 1})
+	named := 0
+	for _, id := range w.Hosts {
+		n := w.Nodes[id]
+		code, km := nearestPOPCity(n.Loc)
+		if km > hostRDNSMaxHintKm {
+			if n.RDNS != "" {
+				t.Errorf("host %s is %0.f km from any POP but got RDNS %q", n.Name, km, n.RDNS)
+			}
+			continue
+		}
+		if n.RDNS == "" {
+			t.Errorf("eligible host %s (POP %s, %.0f km) got no RDNS at frac 1", n.Name, code, km)
+			continue
+		}
+		named++
+		iata, clli := hostRDNSIATA(id, code), hostRDNSCLLI(id, CLLIByCode[code])
+		if n.RDNS != iata && n.RDNS != clli {
+			t.Errorf("host %s RDNS %q is neither %q nor %q", n.Name, n.RDNS, iata, clli)
+		}
+	}
+	if named < 10 {
+		t.Errorf("only %d hosts named — the default site list should yield far more eligible hosts", named)
+	}
+}
+
+// HostRDNSWrongFrac = 1 poisons every assigned name: its city token must
+// belong to a POP at least hostRDNSWrongMinKm from the host.
+func TestHostRDNSWrongNamesPointFar(t *testing.T) {
+	w := NewWorld(Config{Seed: 1, HostRDNSHintFrac: 1, HostRDNSWrongFrac: 1})
+	codeLoc := make(map[string]int, len(POPCities))
+	for i := range POPCities {
+		codeLoc[POPCities[i].Code] = i
+	}
+	poisoned := 0
+	for _, id := range w.Hosts {
+		n := w.Nodes[id]
+		if n.RDNS == "" {
+			continue
+		}
+		var code string
+		for c := range codeLoc {
+			if strings.Contains(n.RDNS, "."+c+".") || strings.Contains(n.RDNS, "."+CLLIByCode[c]+"01.") {
+				code = c
+				break
+			}
+		}
+		if code == "" {
+			t.Errorf("host %s RDNS %q carries no recognizable POP token", n.Name, n.RDNS)
+			continue
+		}
+		if d := n.Loc.DistanceKm(POPCities[codeLoc[code]].Loc()); d < hostRDNSWrongMinKm {
+			t.Errorf("host %s wrong-name token %s is only %.0f km away (want ≥ %d)", n.Name, code, d, hostRDNSWrongMinKm)
+		}
+		poisoned++
+	}
+	if poisoned == 0 {
+		t.Fatal("no poisoned names assigned at frac 1")
+	}
+}
+
+// The measurement surface must serve the synthetic names: ReverseDNS by
+// IP and the hint pass only touching Hosts, never routers.
+func TestHostRDNSOnMeasurementSurface(t *testing.T) {
+	w := NewWorld(Config{Seed: 1, HostRDNSHintFrac: 1})
+	for _, id := range w.Hosts {
+		n := w.Nodes[id]
+		if n.RDNS == "" {
+			continue
+		}
+		if got := w.ReverseDNS(n.IP); got != n.RDNS {
+			t.Errorf("ReverseDNS(%s) = %q, want %q", n.IP, got, n.RDNS)
+		}
+		return // one is enough
+	}
+	t.Fatal("no named host found")
+}

@@ -166,6 +166,26 @@ var longHaulLinks = [][2]string{
 	{"zrh", "gva"},
 }
 
+// CLLIByCode maps POP city codes to the CLLI-style place prefixes that
+// telco operators embed in access-gear reverse names ("dsl-7.chcgil01…"
+// → Chicago, IL). The hint engine registers these alongside the IATA
+// codes; the simulator draws on them when emitting CLLI-flavoured host
+// reverse names.
+var CLLIByCode = map[string]string{
+	"nyc": "nycmny", "bos": "bstnma", "phl": "phlapa", "wdc": "washdc",
+	"atl": "atlnga", "mia": "miamfl", "orl": "orldfl", "clt": "chrlnc",
+	"rdu": "rlghnc", "pit": "ptsbpa", "cle": "clevoh", "cmh": "clmboh",
+	"dtw": "dtrtmi", "ind": "ipllin", "chi": "chcgil", "msp": "mplsmn",
+	"stl": "stlsmo", "mci": "knscmo", "bna": "nshvtn", "mem": "mmphtn",
+	"msy": "nworla", "iah": "hstntx", "dfw": "dllstx", "aus": "austtx",
+	"den": "dnvrco", "slc": "sltlut", "phx": "phnxaz", "abq": "albqnm",
+	"las": "lsvgnv", "lax": "lsanca", "san": "sndgca", "sjc": "snjsca",
+	"sfo": "snfcca", "smf": "scrmca", "pdx": "ptldor", "sea": "sttlwa",
+	"yvr": "vancbc", "yyz": "trnton", "yul": "mtrlpq", "buf": "bfflny",
+	"alb": "albyny", "lon": "londen", "ams": "amstnl", "fra": "frnkde",
+	"par": "parsfr", "zrh": "zurhch", "gva": "genvch",
+}
+
 // CityByCode returns the POP city with the given code, or nil.
 func CityByCode(code string) *City {
 	for i := range POPCities {

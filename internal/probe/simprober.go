@@ -81,10 +81,13 @@ func (p *SimProber) Traceroute(src, dst string) ([]Hop, error) {
 	return hops, nil
 }
 
-// ReverseDNS implements Prober.
+// ReverseDNS implements Prober. Hosts addressed by DNS name resolve to
+// their reverse name (identical to the forward name unless the world
+// synthesized an operator pool name for them); other addresses go
+// through the world's IP-indexed reverse table.
 func (p *SimProber) ReverseDNS(addr string) string {
-	if _, ok := p.World.HostByName(addr); ok {
-		return addr
+	if n, ok := p.World.HostByName(addr); ok {
+		return p.World.ReverseName(n.ID)
 	}
 	return p.World.ReverseDNS(addr)
 }

@@ -197,7 +197,7 @@ type WireHint struct {
 // key on.
 type WireOptions struct {
 	// Disable lists evidence sources to skip: "latency", "router",
-	// "hint", "geography".
+	// "hint", "rdns", "geodb", "geography".
 	Disable []string `json:"disable,omitempty"`
 	// Weights scales each named source's constraint weights (> 0).
 	Weights map[string]float64 `json:"weights,omitempty"`
@@ -224,6 +224,8 @@ var knownSources = map[string]bool{
 	core.SourceLatency:   true,
 	core.SourceRouter:    true,
 	core.SourceHint:      true,
+	core.SourceRDNS:      true,
+	core.SourceGeoDB:     true,
 	core.SourceGeography: true,
 }
 
@@ -235,13 +237,13 @@ func (wo *WireOptions) Options() ([]core.LocalizeOption, error) {
 	var opts []core.LocalizeOption
 	for _, name := range wo.Disable {
 		if !knownSources[name] {
-			return nil, fmt.Errorf("unknown source %q in disable (want latency|router|hint|geography)", name)
+			return nil, fmt.Errorf("unknown source %q in disable (want latency|router|hint|rdns|geodb|geography)", name)
 		}
 		opts = append(opts, core.WithoutSource(name))
 	}
 	for name, scale := range wo.Weights {
 		if !knownSources[name] {
-			return nil, fmt.Errorf("unknown source %q in weights (want latency|router|hint|geography)", name)
+			return nil, fmt.Errorf("unknown source %q in weights (want latency|router|hint|rdns|geodb|geography)", name)
 		}
 		if scale <= 0 {
 			return nil, fmt.Errorf("weight scale for %q must be > 0, got %v", name, scale)

@@ -54,13 +54,35 @@ func NewResolver() *Resolver {
 
 // Add registers a city code with its location. Full-name aliases (lowercase,
 // spaces stripped) are registered automatically.
+//
+// Collisions resolve order-independently: when two cities register the
+// same code (or the same name alias), the winner is chosen by comparing
+// the entries themselves — lexicographically smaller city name first,
+// then country — never by insertion order. Callers populating a
+// Resolver from an unordered source (a map of custom rules, concurrent
+// table merges) therefore always build the same table, and Resolve
+// stays deterministic for any fixed rule set.
 func (r *Resolver) Add(code, name, country string, loc geo.Point) {
 	l := Location{City: name, Code: code, Country: country, Loc: loc}
-	r.byCode[strings.ToLower(code)] = l
+	key := strings.ToLower(code)
+	if prev, ok := r.byCode[key]; !ok || lessLocation(l, prev) {
+		r.byCode[key] = l
+	}
 	alias := strings.ToLower(strings.ReplaceAll(name, " ", ""))
 	if len(alias) >= 4 {
-		r.byName[alias] = strings.ToLower(code)
+		if prev, ok := r.byName[alias]; !ok || key < prev {
+			r.byName[alias] = key
+		}
 	}
+}
+
+// lessLocation orders locations deterministically for collision
+// resolution: by city name, then country.
+func lessLocation(a, b Location) bool {
+	if a.City != b.City {
+		return a.City < b.City
+	}
+	return a.Country < b.Country
 }
 
 // suffixesToStrip are generic label fragments that never carry geography.

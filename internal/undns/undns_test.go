@@ -107,6 +107,39 @@ func TestResolvePath(t *testing.T) {
 	}
 }
 
+// Colliding registrations must resolve the same way regardless of
+// insertion order: the winner is picked by comparing the entries (city,
+// then country), never by which Add happened first. Regression test for
+// the map-iteration nondeterminism a caller populating from a Go map
+// would otherwise inherit.
+func TestAddCollisionOrderIndependent(t *testing.T) {
+	a := Location{City: "Aachen", Code: "aaa", Country: "DE", Loc: geo.Pt(50.78, 6.08)}
+	b := Location{City: "Zagreb", Code: "aaa", Country: "HR", Loc: geo.Pt(45.81, 15.98)}
+
+	r1 := NewResolver()
+	r1.Add(a.Code, a.City, a.Country, a.Loc)
+	r1.Add(b.Code, b.City, b.Country, b.Loc)
+	r2 := NewResolver()
+	r2.Add(b.Code, b.City, b.Country, b.Loc)
+	r2.Add(a.Code, a.City, a.Country, a.Loc)
+
+	for _, name := range []string{
+		"so-0-1-0.bb1.aaa.simnet.net", // code token
+		"core3.aachen.example.net",    // name alias
+		"core3.zagreb.example.net",
+	} {
+		l1, ok1 := r1.Resolve(name)
+		l2, ok2 := r2.Resolve(name)
+		if ok1 != ok2 || l1 != l2 {
+			t.Errorf("Resolve(%q) order-dependent: %v/%v vs %v/%v", name, l1, ok1, l2, ok2)
+		}
+	}
+	// The deterministic winner is the lexicographically smaller city.
+	if l, ok := r1.Resolve("so-0-1-0.bb1.aaa.simnet.net"); !ok || l.City != "Aachen" {
+		t.Errorf("collision winner = %v %v, want Aachen", l, ok)
+	}
+}
+
 func TestAllPOPCodesResolve(t *testing.T) {
 	r := NewResolver()
 	for _, c := range netsim.POPCities {

@@ -96,6 +96,8 @@ import (
 	"octant/internal/core"
 	"octant/internal/eval"
 	"octant/internal/geo"
+	"octant/internal/geodb"
+	"octant/internal/hints"
 	"octant/internal/lifecycle"
 	"octant/internal/netsim"
 	"octant/internal/probe"
@@ -176,8 +178,41 @@ type (
 	RouterSource = core.RouterSource
 	// HintSource is the built-in §2.5 WHOIS/hint evidence.
 	HintSource = core.HintSource
+	// RDNSSource is the built-in reverse-DNS hint evidence: city tokens
+	// (IATA, CLLI, spelled-out names) mined from the target's reverse
+	// name, each cross-validated against the measured RTT bounds.
+	RDNSSource = core.RDNSSource
+	// GeoDBSource is the built-in passive geolocation-database evidence
+	// (WithGeoDB / Config.GeoDB), cross-validated like RDNSSource.
+	GeoDBSource = core.GeoDBSource
 	// GeographySource is the built-in §2.5 ocean/land-mask evidence.
 	GeographySource = core.GeographySource
+	// DroppedHint records one exogenous prior the RTT cross-validation
+	// rejected (Provenance.DroppedHints).
+	DroppedHint = core.DroppedHint
+	// Disagreement quantifies how far the hint, geo-DB, and latency
+	// evidence point apart (Provenance.Disagreement).
+	Disagreement = core.Disagreement
+	// HintEngine parses reverse-DNS names into location hints against an
+	// IATA/CLLI/city-name gazetteer.
+	HintEngine = hints.Engine
+	// GazetteerHint is one parsed reverse-DNS location hint.
+	GazetteerHint = hints.Hint
+	// GeoDBProvider is a passive geolocation database the GeoDBSource
+	// consults.
+	GeoDBProvider = geodb.Provider
+	// GeoDBRecord is one provider answer: position, confidence radius,
+	// snapshot date, and source tag.
+	GeoDBRecord = geodb.Record
+	// GeoDBStatic is an in-memory file-backed provider.
+	GeoDBStatic = geodb.Static
+	// GeoDBComposite consults member providers in order with per-provider
+	// trust weights and staleness decay.
+	GeoDBComposite = geodb.Composite
+	// GeoDBCompositeOpts tunes composite staleness decay.
+	GeoDBCompositeOpts = geodb.CompositeOpts
+	// GeoDBCached wraps a provider in an LRU lookup cache.
+	GeoDBCached = geodb.Cached
 )
 
 // Built-in evidence source names for WithoutSource / WithSourceWeight.
@@ -185,6 +220,8 @@ const (
 	SourceLatency   = core.SourceLatency
 	SourceRouter    = core.SourceRouter
 	SourceHint      = core.SourceHint
+	SourceRDNS      = core.SourceRDNS
+	SourceGeoDB     = core.SourceGeoDB
 	SourceGeography = core.SourceGeography
 )
 
@@ -287,7 +324,7 @@ func NewLocalizeOptions(opts ...LocalizeOption) LocalizeOptions {
 }
 
 // DefaultEvidenceSources returns the built-in evidence pipeline in
-// execution order: latency, router, hint, geography.
+// execution order: latency, router, hint, rdns, geodb, geography.
 func DefaultEvidenceSources() []EvidenceSource { return core.DefaultSources() }
 
 // WithoutSource disables the named evidence source for one request.
@@ -334,6 +371,32 @@ func WithEvidenceSource(s EvidenceSource) LocalizeOption { return core.WithEvide
 // the request, replacing the deprecated LocalizeWithSecondary method.
 func WithSecondary(beta *Region, rttMs float64) LocalizeOption {
 	return core.WithSecondary(beta, rttMs)
+}
+
+// WithGeoDB consults the given passive geolocation provider for this one
+// request (overriding Config.GeoDB). Such requests are never cached or
+// coalesced — the provider's answers may change between calls.
+func WithGeoDB(p GeoDBProvider) LocalizeOption { return core.WithGeoDB(p) }
+
+// NewHintEngine builds the reverse-DNS gazetteer over the simulator's
+// POP city table (IATA codes, CLLI codes, spelled-out names).
+func NewHintEngine() *HintEngine { return hints.NewEngine() }
+
+// NewGeoDBStatic builds an empty in-memory geolocation provider.
+func NewGeoDBStatic(name string) *GeoDBStatic { return geodb.NewStatic(name) }
+
+// LoadGeoDB reads a static geolocation database from a JSON file (the
+// octant-serve -geodb format).
+func LoadGeoDB(path string) (*GeoDBStatic, error) { return geodb.LoadFile(path) }
+
+// NewGeoDBComposite layers providers with per-provider trust weights and
+// staleness decay; lookups take the first member that answers.
+func NewGeoDBComposite(opts GeoDBCompositeOpts) *GeoDBComposite { return geodb.NewComposite(opts) }
+
+// NewGeoDBCached wraps a provider in an LRU lookup cache (capacity ≤ 0
+// means the 1024-entry default).
+func NewGeoDBCached(inner GeoDBProvider, capacity int) *GeoDBCached {
+	return geodb.NewCached(inner, capacity)
 }
 
 // NewBatchEngine wraps a fixed Localizer in a concurrent batch engine.
